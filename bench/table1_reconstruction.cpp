@@ -1,0 +1,132 @@
+// Reproduces paper Tables I and II: the storage access monitor rebuilding
+// high-level file operations from block-level accesses.
+//
+// Scenario (paper §V-B1): an iSCSI volume formatted with an ext-style
+// filesystem, ten directories "name0".."name9" each holding "1.img" ..
+// "10.img". The monitor middle-box is attached; the tenant VM then issues
+// the two file operations of Table II:
+//     1*  write /mnt/box/name1/1.img 4096
+//     2** read  /mnt/box/name9/7.img 4096
+// and the monitor's log (Table I) shows the reconstructed block-level
+// access sequence: directory reads, inode_group metadata reads, and the
+// data accesses mapped back to file paths — with writes trailing reads
+// because of the guest's write-back caching.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fs/simext.hpp"
+#include "services/monitor.hpp"
+
+using namespace storm;
+using namespace storm::bench;
+
+int main() {
+  TestbedOptions options;
+  options.service = "monitor";
+  options.volume_sectors = 262'144;  // 128 MB
+  // Format before deployment: the monitor builds its initial view from
+  // the attached volume, dumpe2fs-style.
+  sim::Simulator* sim = nullptr;
+
+  // Build the testbed manually so we can mkfs before the chain deploys.
+  cloud::CloudConfig config = testbed_config();
+  sim::Simulator simulator;
+  sim = &simulator;
+  cloud::Cloud cloud(simulator, config);
+  core::StormPlatform platform(cloud);
+  services::register_builtin_services(platform);
+  cloud::Vm& vm = cloud.create_vm("tenant-vm", "tenant1", 0);
+  auto volume = cloud.create_volume("vol1", options.volume_sectors);
+  if (!volume.is_ok()) return 1;
+  if (!fs::SimExt::mkfs(volume.value()->disk().store()).is_ok()) return 1;
+
+  core::ServiceSpec spec;
+  spec.type = "monitor";
+  spec.relay = core::RelayMode::kActive;
+  core::Deployment* deployment = nullptr;
+  platform.attach_with_chain("tenant-vm", "vol1", {spec},
+                             [&](Status s, core::Deployment* d) {
+                               if (!s.is_ok()) std::abort();
+                               deployment = d;
+                             });
+  simulator.run();
+  auto* monitor = static_cast<services::MonitorService*>(
+      deployment->box(0)->service.get());
+
+  // Guest filesystem with write-back caching (the paper points out the
+  // block-level write sequence trails the file-op sequence).
+  fs::SimExtOptions fs_options;
+  fs_options.writeback_delay = sim::milliseconds(200);
+  fs::SimExt fs(simulator, *vm.disk(), fs_options);
+  fs.mount([](Status s) {
+    if (!s.is_ok()) std::abort();
+  });
+  simulator.run();
+
+  // Build the paper's tree: /box/name0../name9 each with 1.img..10.img.
+  auto must = [&](auto op) {
+    Status status = error(ErrorCode::kIoError, "unset");
+    op([&](Status s) { status = s; });
+    sim->run();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", status.to_string().c_str());
+      std::abort();
+    }
+  };
+  must([&](auto cb) { fs.mkdir("/box", cb); });
+  for (int dir = 0; dir < 10; ++dir) {
+    std::string dirname = "/box/name" + std::to_string(dir);
+    must([&, dirname](auto cb) { fs.mkdir(dirname, cb); });
+    for (int file = 1; file <= 10; ++file) {
+      std::string path = dirname + "/" + std::to_string(file) + ".img";
+      must([&, path](auto cb) { fs.create(path, cb); });
+      must([&, path](auto cb) {
+        fs.write_file(path, 0, Bytes(4096, static_cast<std::uint8_t>(file)),
+                      cb);
+      });
+    }
+  }
+  must([&](auto cb) { fs.flush(cb); });
+  fs.drop_caches();  // cold guest cache, as when the VM (re)boots
+
+  // ---- Table II: the two file operations issued in the tenant VM -------
+  std::size_t mark = monitor->log().size();
+  std::printf("Table II. File operations in the tenant VM\n");
+  std::printf("  1*   write /box/name1/1.img 4096\n");
+  std::printf("  2**  read  /box/name9/7.img 4096\n");
+
+  must([&](auto cb) {
+    fs.write_file("/box/name1/1.img", 0, Bytes(4096, 0xEE), cb);
+  });
+  Bytes got;
+  must([&](auto cb) {
+    fs.read_file("/box/name9/7.img", 0, 4096, [&got, cb](Status s, Bytes d) {
+      got = std::move(d);
+      cb(s);
+    });
+  });
+  must([&](auto cb) { fs.flush(cb); });
+  sim->run();
+
+  // ---- Table I: what the monitor reconstructed -------------------------
+  std::printf("\nTable I. Reconstructed block-level accesses "
+              "(monitor middle-box log)\n");
+  std::printf("%-5s %-6s %-34s %8s\n", "ID", "op", "file", "size");
+  int id = 0;
+  for (std::size_t i = mark; i < monitor->log().size(); ++i) {
+    const auto& entry = monitor->log()[i];
+    const char* opname =
+        (entry.op.kind == core::FileOp::Kind::kWrite ||
+         entry.op.kind == core::FileOp::Kind::kMetaWrite)
+            ? "write"
+            : "read";
+    std::printf("%-5d %-6s %-34s %8llu\n", ++id, opname,
+                entry.op.path.c_str(),
+                static_cast<unsigned long long>(entry.op.size));
+  }
+  std::printf("\npaper: reads of the directory + inode_group metadata come "
+              "first;\n       the writes (delayed by the guest page cache) "
+              "trail them,\n       and every data access resolves to its "
+              "file path\n");
+  return 0;
+}

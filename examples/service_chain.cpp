@@ -1,0 +1,94 @@
+// Service chaining (paper §II): "a tenant concerned about data security
+// and audit logging can request both storage monitoring and encryption
+// service middle-boxes. StorM chains these middle-boxes so that after the
+// storage monitor records the I/O access, the data is passed through the
+// encryption box." Plus on-demand scaling: a forwarding box is inserted
+// into — and removed from — the live flow by reprogramming the switches.
+//
+//   $ ./service_chain
+#include <cstdio>
+
+#include "cloud/cloud.hpp"
+#include "core/platform.hpp"
+#include "fs/simext.hpp"
+#include "services/monitor.hpp"
+#include "services/registry.hpp"
+
+using namespace storm;
+
+int main() {
+  sim::Simulator sim;
+  cloud::Cloud cloud(sim, cloud::CloudConfig{});
+  core::StormPlatform platform(cloud);
+  services::register_builtin_services(platform);
+
+  cloud.create_vm("audit-vm", "acme", 0);
+  auto volume = cloud.create_volume("audit-vol", 262'144);
+  if (!volume.is_ok()) return 1;
+  fs::SimExt::mkfs(volume.value()->disk().store());
+
+  auto policy = core::parse_policy(R"(
+tenant acme
+volume audit-vm audit-vol
+  service monitor relay=active        # sees plaintext, logs accesses
+  service encryption relay=active     # then everything is encrypted
+)");
+  Status deployed = error(ErrorCode::kIoError, "pending");
+  platform.apply_policy(policy.value(), [&](Status s) { deployed = s; });
+  sim.run();
+  if (!deployed.is_ok()) {
+    std::fprintf(stderr, "%s\n", deployed.to_string().c_str());
+    return 1;
+  }
+  auto* deployment = platform.find_deployment("audit-vm", "audit-vol");
+  std::printf("chain deployed: VM -> %s -> %s -> storage\n",
+              deployment->box(0)->spec.type.c_str(),
+              deployment->box(1)->spec.type.c_str());
+
+  cloud::Vm& vm = *cloud.find_vm("audit-vm");
+  bool ok = false;
+  Bytes record(8 * 512, 0x5C);
+  vm.disk()->write(2000, record, [&](Status s) { ok = s.is_ok(); });
+  sim.run();
+  std::printf("write through the chain: %s\n", ok ? "OK" : "FAIL");
+
+  auto* monitor = static_cast<services::MonitorService*>(
+      deployment->box(0)->service.get());
+  std::printf("monitor (box 1) logged %zu accesses — in plaintext order\n",
+              monitor->log().size());
+  Bytes at_rest = volume.value()->disk().store().read_sync(2000, 8);
+  std::printf("backend stores ciphertext: %s\n",
+              at_rest != record ? "yes" : "NO (bug)");
+
+  // --- on-demand scaling on the live flow --------------------------------
+  core::ServiceSpec extra;
+  extra.type = "noop";
+  extra.relay = core::RelayMode::kForward;
+  Status scaled = platform.add_middlebox(*deployment, extra, 1);
+  std::printf("\ninserted a forwarding box mid-chain on the live flow: %s\n",
+              scaled.to_string().c_str());
+  ok = false;
+  vm.disk()->write(3000, record, [&](Status s) { ok = s.is_ok(); });
+  sim.run();
+  std::printf("write through the 3-box chain: %s "
+              "(packets via new box: %llu)\n", ok ? "OK" : "FAIL",
+              static_cast<unsigned long long>(
+                  deployment->box(1)->vm->node().packets_forwarded()));
+
+  Status removed = platform.remove_middlebox(*deployment, 1);
+  std::printf("removed it again: %s\n", removed.to_string().c_str());
+  ok = false;
+  vm.disk()->write(4000, record, [&](Status s) { ok = s.is_ok(); });
+  sim.run();
+  std::printf("write through the restored 2-box chain: %s\n",
+              ok ? "OK" : "FAIL");
+
+  Bytes back;
+  vm.disk()->read(2000, 8, [&](Status s, Bytes d) {
+    if (s.is_ok()) back = std::move(d);
+  });
+  sim.run();
+  std::printf("round-trip intact after all rewiring: %s\n",
+              back == record ? "yes" : "NO (bug)");
+  return back == record ? 0 : 1;
+}

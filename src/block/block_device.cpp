@@ -1,0 +1,58 @@
+#include "block/block_device.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace storm::block {
+
+Status BlockDevice::check_range(std::uint64_t lba,
+                                std::uint64_t sectors) const {
+  if (lba + sectors > num_sectors() || lba + sectors < lba) {
+    return error(ErrorCode::kInvalidArgument,
+                 "I/O beyond device end: lba=" + std::to_string(lba) +
+                     " sectors=" + std::to_string(sectors));
+  }
+  return Status::ok();
+}
+
+void MemDisk::read(std::uint64_t lba, std::uint32_t count, ReadCallback done) {
+  Status status = check_range(lba, count);
+  if (!status.is_ok()) {
+    done(status, {});
+    return;
+  }
+  done(Status::ok(), read_sync(lba, count));
+}
+
+void MemDisk::write(std::uint64_t lba, Bytes data, WriteCallback done) {
+  if (data.size() % kSectorSize != 0) {
+    done(error(ErrorCode::kInvalidArgument, "unaligned write size"));
+    return;
+  }
+  Status status = check_range(lba, data.size() / kSectorSize);
+  if (!status.is_ok()) {
+    done(status);
+    return;
+  }
+  write_sync(lba, data);
+  done(Status::ok());
+}
+
+Bytes MemDisk::read_sync(std::uint64_t lba, std::uint32_t count) const {
+  if (lba + count > sectors_) {
+    throw std::out_of_range("MemDisk::read_sync beyond device");
+  }
+  auto begin = data_.begin() + static_cast<std::ptrdiff_t>(lba * kSectorSize);
+  return Bytes(begin, begin + static_cast<std::ptrdiff_t>(count) * kSectorSize);
+}
+
+void MemDisk::write_sync(std::uint64_t lba,
+                         std::span<const std::uint8_t> data) {
+  if (data.size() % kSectorSize != 0 ||
+      lba + data.size() / kSectorSize > sectors_) {
+    throw std::out_of_range("MemDisk::write_sync bad range");
+  }
+  std::memcpy(data_.data() + lba * kSectorSize, data.data(), data.size());
+}
+
+}  // namespace storm::block

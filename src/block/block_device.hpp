@@ -1,0 +1,60 @@
+// Block device abstraction. All I/O is asynchronous (completion
+// callbacks), matching the event-driven simulation; MemDisk completes
+// inline, SimDisk after a modeled service time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace storm::block {
+
+inline constexpr std::uint32_t kSectorSize = 512;
+
+class BlockDevice {
+ public:
+  using ReadCallback = std::function<void(Status, Bytes)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  virtual ~BlockDevice() = default;
+
+  /// Read `count` sectors starting at `lba`.
+  virtual void read(std::uint64_t lba, std::uint32_t count,
+                    ReadCallback done) = 0;
+
+  /// Write `data` (must be sector-aligned in size) starting at `lba`.
+  virtual void write(std::uint64_t lba, Bytes data, WriteCallback done) = 0;
+
+  virtual std::uint64_t num_sectors() const = 0;
+
+  std::uint64_t size_bytes() const { return num_sectors() * kSectorSize; }
+
+ protected:
+  /// Validate an I/O range; shared by implementations.
+  Status check_range(std::uint64_t lba, std::uint64_t sectors) const;
+};
+
+/// Instant in-memory disk; also the backing store for SimDisk.
+class MemDisk : public BlockDevice {
+ public:
+  explicit MemDisk(std::uint64_t sectors)
+      : sectors_(sectors), data_(sectors * kSectorSize, 0) {}
+
+  void read(std::uint64_t lba, std::uint32_t count, ReadCallback done) override;
+  void write(std::uint64_t lba, Bytes data, WriteCallback done) override;
+  std::uint64_t num_sectors() const override { return sectors_; }
+
+  /// Synchronous accessors for tests, mkfs and the semantic engine's
+  /// initial filesystem scan (dumpfs-style).
+  Bytes read_sync(std::uint64_t lba, std::uint32_t count) const;
+  void write_sync(std::uint64_t lba, std::span<const std::uint8_t> data);
+
+ private:
+  std::uint64_t sectors_;
+  Bytes data_;
+};
+
+}  // namespace storm::block

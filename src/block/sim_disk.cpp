@@ -1,0 +1,51 @@
+#include "block/sim_disk.hpp"
+
+#include <algorithm>
+
+namespace storm::block {
+
+sim::Time SimDisk::schedule(std::uint64_t bytes) {
+  const auto service = profile_.base_latency +
+                       static_cast<sim::Duration>(
+                           bytes * 1'000'000'000ull /
+                           profile_.bytes_per_second);
+  // Earliest-free slot (NCQ-style limited concurrency).
+  auto slot = std::min_element(slot_free_.begin(), slot_free_.end());
+  sim::Time start = std::max(sim_.now(), *slot);
+  *slot = start + service;
+  return *slot;
+}
+
+void SimDisk::read(std::uint64_t lba, std::uint32_t count, ReadCallback done) {
+  Status status = check_range(lba, count);
+  if (!status.is_ok()) {
+    done(status, {});
+    return;
+  }
+  ++reads_;
+  sim::Time completion = schedule(count * kSectorSize);
+  sim_.at(completion, [this, lba, count, done = std::move(done)] {
+    done(Status::ok(), store_->read_sync(lba, count));
+  });
+}
+
+void SimDisk::write(std::uint64_t lba, Bytes data, WriteCallback done) {
+  if (data.size() % kSectorSize != 0) {
+    done(error(ErrorCode::kInvalidArgument, "unaligned write size"));
+    return;
+  }
+  Status status = check_range(lba, data.size() / kSectorSize);
+  if (!status.is_ok()) {
+    done(status);
+    return;
+  }
+  ++writes_;
+  sim::Time completion = schedule(data.size());
+  sim_.at(completion,
+          [this, lba, d = std::move(data), done = std::move(done)]() mutable {
+            store_->write_sync(lba, d);
+            done(Status::ok());
+          });
+}
+
+}  // namespace storm::block

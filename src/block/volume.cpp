@@ -1,0 +1,59 @@
+#include "block/volume.hpp"
+
+namespace storm::block {
+
+Result<Volume*> VolumeManager::create(const std::string& name,
+                                      std::uint64_t sectors) {
+  if (volumes_.contains(name)) {
+    return error(ErrorCode::kAlreadyExists, "volume exists: " + name);
+  }
+  if (sectors == 0) {
+    return error(ErrorCode::kInvalidArgument, "zero-size volume");
+  }
+  if (used_sectors_ + sectors > pool_sectors_) {
+    return error(ErrorCode::kOutOfSpace,
+                 "pool exhausted on host " + host_name_);
+  }
+  VolumeId id{next_id_++};
+  // IQN naming mirrors the OpenStack convention:
+  // iqn.2016-01.org.storm:<host>:volume-<id>
+  std::string iqn = "iqn.2016-01.org.storm:" + host_name_ + ":volume-" +
+                    std::to_string(id.value);
+  auto volume = std::make_unique<Volume>(
+      id, name, iqn, std::make_unique<SimDisk>(sim_, sectors, profile_));
+  Volume* ptr = volume.get();
+  volumes_[name] = std::move(volume);
+  used_sectors_ += sectors;
+  return ptr;
+}
+
+Result<Volume*> VolumeManager::find_by_iqn(const std::string& iqn) {
+  for (auto& [name, volume] : volumes_) {
+    if (volume->iqn() == iqn) return volume.get();
+  }
+  return error(ErrorCode::kNotFound, "no volume with IQN " + iqn);
+}
+
+Result<Volume*> VolumeManager::find_by_name(const std::string& name) {
+  auto it = volumes_.find(name);
+  if (it == volumes_.end()) {
+    return error(ErrorCode::kNotFound, "no volume named " + name);
+  }
+  return it->second.get();
+}
+
+Status VolumeManager::destroy(const std::string& name) {
+  auto it = volumes_.find(name);
+  if (it == volumes_.end()) {
+    return error(ErrorCode::kNotFound, "no volume named " + name);
+  }
+  if (it->second->attached()) {
+    return error(ErrorCode::kFailedPrecondition,
+                 "volume attached: " + name);
+  }
+  used_sectors_ -= it->second->disk().num_sectors();
+  volumes_.erase(it);
+  return Status::ok();
+}
+
+}  // namespace storm::block

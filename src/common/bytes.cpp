@@ -1,0 +1,18 @@
+#include "common/bytes.hpp"
+
+namespace storm {
+
+std::string to_hex(std::span<const std::uint8_t> data, std::size_t max) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  std::size_t n = std::min(data.size(), max);
+  out.reserve(n * 2 + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  if (n < data.size()) out += "...";
+  return out;
+}
+
+}  // namespace storm

@@ -1,0 +1,19 @@
+// Non-cryptographic hashes: CRC32 (iSCSI-style data digests) and FNV-1a
+// (hash-table keys for the semantics-reconstruction block index).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace storm {
+
+/// CRC32 (IEEE 802.3 polynomial, reflected). Used as the data digest on
+/// simulated iSCSI PDUs.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a(std::string_view s);
+std::uint64_t fnv1a(std::span<const std::uint8_t> data);
+
+}  // namespace storm

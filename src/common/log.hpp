@@ -1,0 +1,62 @@
+// Minimal leveled logger. Defaults to warnings-only so tests and benches
+// stay quiet; examples raise the level to show the platform working.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace storm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+inline auto log_debug(std::string component) {
+  return detail::LogLine(LogLevel::kDebug, std::move(component));
+}
+inline auto log_info(std::string component) {
+  return detail::LogLine(LogLevel::kInfo, std::move(component));
+}
+inline auto log_warn(std::string component) {
+  return detail::LogLine(LogLevel::kWarn, std::move(component));
+}
+inline auto log_error(std::string component) {
+  return detail::LogLine(LogLevel::kError, std::move(component));
+}
+
+}  // namespace storm

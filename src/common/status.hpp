@@ -1,0 +1,114 @@
+// Lightweight Status / Result<T> error propagation for recoverable
+// protocol and storage errors (C++20 has no std::expected yet).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace storm {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,
+  kIoError,
+  kParseError,
+  kConnectionFailed,
+  kPermissionDenied,
+  kUnavailable,
+  kFailedPrecondition,
+};
+
+const char* to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(storm::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).is_ok()) {
+      throw std::logic_error("Result constructed from OK status");
+    }
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    check();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    check();
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    check();
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void check() const {
+    if (!is_ok()) {
+      throw std::runtime_error("Result::value on error: " +
+                               std::get<Status>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfSpace: return "OUT_OF_SPACE";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kConnectionFailed: return "CONNECTION_FAILED";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace storm

@@ -1,0 +1,277 @@
+#include "core/active_relay.hpp"
+
+#include "common/log.hpp"
+#include "net/node.hpp"
+
+namespace storm::core {
+
+// ------------------------------------------------------------ RelayJournal
+
+void RelayJournal::append(Bytes wire, std::uint64_t watermark,
+                          bool boundary) {
+  bytes_ += wire.size();
+  entries_.push_back(Entry{std::move(wire), watermark, boundary});
+}
+
+void RelayJournal::trim(std::uint64_t acked_bytes) {
+  // Find the furthest acknowledged burst boundary, then drop the whole
+  // prefix up to it (never leaving a torn burst at the journal head).
+  std::size_t drop = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].watermark > acked_bytes) break;
+    if (entries_[i].boundary) drop = i + 1;
+  }
+  for (std::size_t i = 0; i < drop; ++i) {
+    bytes_ -= entries_.front().wire.size();
+    entries_.pop_front();
+  }
+}
+
+std::vector<Bytes> RelayJournal::unacknowledged() const {
+  std::vector<Bytes> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.wire);
+  return out;
+}
+
+// ------------------------------------------------------------- ActiveRelay
+
+ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
+                         std::vector<StorageService*> services,
+                         ActiveRelayCosts costs)
+    : vm_(mb_vm), upstream_(upstream), services_(std::move(services)),
+      costs_(costs) {}
+
+void ActiveRelay::start() {
+  vm_.node().tcp().listen(iscsi::kIscsiPort, [this](net::TcpConnection& conn) {
+    on_accept(conn);
+  });
+}
+
+void ActiveRelay::on_accept(net::TcpConnection& conn) {
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  session->downstream = &conn;
+  session->bind_port = conn.remote().port;
+  session->api = std::make_unique<SessionApi>(*this, *raw);
+  sessions_.push_back(std::move(session));
+
+  conn.set_on_data([this, raw](Bytes bytes) {
+    on_stream_data(*raw, Direction::kToTarget, std::move(bytes));
+  });
+  conn.set_on_ack([raw] {
+    raw->to_initiator.journal.trim(raw->downstream->bytes_acked());
+  });
+  conn.set_on_closed([this, raw](Status status) {
+    for (StorageService* service : services_) service->on_flow_closed(status);
+    if (raw->upstream != nullptr) raw->upstream->abort();
+  });
+
+  dial_upstream(*raw);
+}
+
+void ActiveRelay::dial_upstream(Session& session) {
+  // The pseudo-client binds the flow's original source port so SDN
+  // steering and later capture rules keep matching (paper Fig. 3 shows
+  // vm1_port preserved along the whole chain).
+  session.upstream = &vm_.node().tcp().connect(
+      upstream_,
+      [this, &session] {
+        session.upstream_ready = true;
+        if (!session.upstream_backlog.empty()) {
+          Bytes backlog;
+          backlog.swap(session.upstream_backlog);
+          session.upstream->send(std::move(backlog));
+        }
+      },
+      session.bind_port);
+  session.upstream->set_on_data([this, &session](Bytes bytes) {
+    on_stream_data(session, Direction::kToInitiator, std::move(bytes));
+  });
+  session.upstream->set_on_ack([&session] {
+    session.to_target.journal.trim(session.upstream->bytes_acked());
+  });
+  session.upstream->set_on_closed([this, &session](Status status) {
+    session.upstream_ready = false;
+    if (!session.failed) {
+      // Unplanned upstream loss: surface to services and drop the tenant
+      // side as well (the initiator re-attaches; journal preserved).
+      for (StorageService* service : services_) {
+        service->on_flow_closed(status);
+      }
+      if (session.downstream != nullptr) session.downstream->abort();
+    }
+  });
+}
+
+void ActiveRelay::on_stream_data(Session& session, Direction dir,
+                                 Bytes bytes) {
+  DirectionState& st = state(session, dir);
+  std::vector<iscsi::Pdu> pdus;
+  Status status = st.parser.feed(bytes, pdus);
+  if (!status.is_ok()) {
+    log_warn("active-relay") << vm_.name()
+                             << ": parse error: " << status.to_string();
+    session.downstream->abort();
+    if (session.upstream != nullptr) session.upstream->abort();
+    return;
+  }
+  // Journal trim: everything the next hop acknowledged can be dropped.
+  if (session.upstream != nullptr) {
+    session.to_target.journal.trim(session.upstream->bytes_acked());
+  }
+  if (session.downstream != nullptr) {
+    session.to_initiator.journal.trim(session.downstream->bytes_acked());
+  }
+  for (auto& pdu : pdus) st.queue.push_back(std::move(pdu));
+  pump_queue(session, dir);
+}
+
+void ActiveRelay::pump_queue(Session& session, Direction dir) {
+  DirectionState& st = state(session, dir);
+  if (st.processing || st.queue.empty()) return;
+  st.processing = true;
+  iscsi::Pdu pdu = std::move(st.queue.front());
+  st.queue.pop_front();
+
+  // Relay cost: parse/dispatch plus batched copy, then service costs —
+  // all charged to the middle-box vCPUs. The source's TCP was already
+  // ACKed on receipt, so none of this stalls the sender.
+  sim::Duration cost =
+      costs_.per_pdu +
+      static_cast<sim::Duration>(costs_.ns_per_byte *
+                                 static_cast<double>(pdu.data.size()));
+
+  auto continue_processing = [this, &session, dir,
+                              pdu = std::move(pdu)]() mutable {
+    DirectionState& st2 = state(session, dir);
+    if (pdu.opcode == iscsi::Opcode::kLoginRequest) {
+      session.login_pdu = pdu;  // kept for session re-establishment
+    }
+    bool consume = false;
+    sim::Duration service_cost = 0;
+    if (dir == Direction::kToTarget) {
+      for (StorageService* service : services_) {
+        ServiceVerdict verdict = service->on_pdu(dir, pdu, *session.api);
+        service_cost += verdict.cpu_cost;
+        if (verdict.consume) {
+          consume = true;
+          break;
+        }
+      }
+    } else {
+      for (auto it = services_.rbegin(); it != services_.rend(); ++it) {
+        ServiceVerdict verdict = (*it)->on_pdu(dir, pdu, *session.api);
+        service_cost += verdict.cpu_cost;
+        if (verdict.consume) {
+          consume = true;
+          break;
+        }
+      }
+    }
+    auto finish = [this, &session, dir, consume,
+                   pdu = std::move(pdu)]() mutable {
+      if (!consume) {
+        forward(session, dir, pdu);
+        ++pdus_relayed_;
+      }
+      DirectionState& st3 = state(session, dir);
+      st3.processing = false;
+      pump_queue(session, dir);
+    };
+    if (service_cost > 0) {
+      vm_.cpu().run(service_cost, std::move(finish));
+    } else {
+      finish();
+    }
+    (void)st2;
+  };
+  vm_.cpu().run(cost, std::move(continue_processing));
+}
+
+void ActiveRelay::forward(Session& session, Direction dir,
+                          const iscsi::Pdu& pdu) {
+  Bytes wire = iscsi::serialize(pdu);
+  DirectionState& st = state(session, dir);
+  st.enqueued_bytes += wire.size();
+  // A PDU without the final flag is mid-burst (a write command whose
+  // Data-Out tail follows): not a safe replay point.
+  st.journal.append(wire, st.enqueued_bytes, pdu.is_final());
+  if (dir == Direction::kToTarget) {
+    send_upstream(session, wire);
+  } else {
+    send_downstream(session, wire);
+  }
+}
+
+void ActiveRelay::send_upstream(Session& session, const Bytes& wire) {
+  if (!session.upstream_ready) {
+    session.upstream_backlog.insert(session.upstream_backlog.end(),
+                                    wire.begin(), wire.end());
+    return;
+  }
+  session.upstream->send(wire);
+}
+
+void ActiveRelay::send_downstream(Session& session, const Bytes& wire) {
+  if (session.downstream != nullptr) session.downstream->send(wire);
+}
+
+void ActiveRelay::SessionApi::inject_to_target(iscsi::Pdu pdu) {
+  relay_.forward(session_, Direction::kToTarget, pdu);
+}
+
+void ActiveRelay::SessionApi::inject_to_initiator(iscsi::Pdu pdu) {
+  relay_.forward(session_, Direction::kToInitiator, pdu);
+}
+
+sim::Simulator& ActiveRelay::SessionApi::simulator() {
+  return relay_.vm_.node().simulator();
+}
+
+void ActiveRelay::fail_upstream() {
+  for (auto& session : sessions_) {
+    if (session->upstream != nullptr) {
+      session->failed = true;
+      session->upstream->abort();
+      session->upstream_ready = false;
+    }
+  }
+}
+
+void ActiveRelay::recover_upstream() {
+  for (auto& session : sessions_) {
+    if (!session->failed) continue;
+    session->failed = false;
+    // Collect unacknowledged PDUs before resetting the counters. The
+    // backlog is stale (those bytes are all in the journal).
+    std::vector<Bytes> replay = session->to_target.journal.unacknowledged();
+    session->to_target = DirectionState{};
+    session->to_initiator = DirectionState{};
+    session->upstream_backlog.clear();
+    session->upstream_ready = false;
+    dial_upstream(*session);
+    // Re-login first, then the unacknowledged tail.
+    if (session->login_pdu) {
+      forward(*session, Direction::kToTarget, *session->login_pdu);
+    }
+    for (const Bytes& wire : replay) {
+      // Skip the stored login if it is the journal head (already sent).
+      session->to_target.enqueued_bytes += wire.size();
+      session->to_target.journal.append(wire,
+                                        session->to_target.enqueued_bytes);
+      send_upstream(*session, wire);
+    }
+  }
+}
+
+std::size_t ActiveRelay::journal_bytes() const {
+  std::size_t total = 0;
+  for (const auto& session : sessions_) {
+    total += session->to_target.journal.bytes();
+    total += session->to_initiator.journal.bytes();
+  }
+  return total;
+}
+
+}  // namespace storm::core

@@ -1,0 +1,147 @@
+// Active relay (paper §III-B): the middle-box terminates the spliced TCP
+// connection with a local pseudo-server, acknowledges received data
+// immediately, and re-originates the stream toward the next hop with a
+// pseudo-client — so the data source never stalls on middle-box
+// processing or downstream forwarding. Received-but-unforwarded PDUs are
+// journaled to (simulated) NVRAM until the next hop acknowledges them,
+// preserving consistency across the split connections.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "core/service.hpp"
+#include "iscsi/pdu.hpp"
+#include "net/tcp.hpp"
+
+namespace storm::core {
+
+struct ActiveRelayCosts {
+  /// Parse/dispatch cost per PDU (the TCP handler batches several packets
+  /// per user/kernel crossing, so cost scales with PDUs, not packets).
+  sim::Duration per_pdu = sim::microseconds(2);
+  /// Copy cost per byte through the batched TCP path.
+  double ns_per_byte = 0.15;
+};
+
+/// NVRAM journal: serialized PDUs kept until the egress TCP stack reports
+/// the bytes acknowledged. replay() hands back everything unacknowledged.
+class RelayJournal {
+ public:
+  /// Record `wire` as enqueued; `watermark` is the cumulative payload
+  /// byte count on the outgoing connection after this PDU. `boundary`
+  /// marks a safe replay point: the PDU completes an iSCSI burst, so a
+  /// replay starting after it begins at a fresh command.
+  void append(Bytes wire, std::uint64_t watermark, bool boundary = true);
+
+  /// Drop fully-acknowledged entries, but never split a burst: the
+  /// journal always retains whole bursts so replay after a session reset
+  /// re-issues complete (idempotent) commands.
+  void trim(std::uint64_t acked_bytes);
+
+  /// Unacknowledged entries, oldest first.
+  std::vector<Bytes> unacknowledged() const;
+
+  std::size_t entries() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  struct Entry {
+    Bytes wire;
+    std::uint64_t watermark;
+    bool boundary;
+  };
+  std::deque<Entry> entries_;
+  std::size_t bytes_ = 0;
+};
+
+class ActiveRelay {
+ public:
+  /// `upstream` is the next hop's address (the egress gateway; capture
+  /// rules on later active boxes may redirect it). Services are applied
+  /// in order for PDUs toward the target and in reverse order for PDUs
+  /// toward the initiator (the chain unwinds on the way back).
+  ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
+              std::vector<StorageService*> services,
+              ActiveRelayCosts costs = {});
+
+  ActiveRelay(const ActiveRelay&) = delete;
+  ActiveRelay& operator=(const ActiveRelay&) = delete;
+
+  /// Start the pseudo-server (listens on the iSCSI port).
+  void start();
+
+  // --- failure injection / recovery (tests + §III-B consistency) ---
+  /// Abort every session's upstream connection, keeping journals.
+  void fail_upstream();
+  /// Re-dial upstream for every session and replay unacknowledged PDUs
+  /// (the stored login PDU is replayed first to re-establish the session).
+  void recover_upstream();
+
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t journal_bytes() const;
+  std::uint64_t pdus_relayed() const { return pdus_relayed_; }
+
+ private:
+  struct Session;
+
+  class SessionApi : public RelayApi {
+   public:
+    SessionApi(ActiveRelay& relay, Session& session)
+        : relay_(relay), session_(session) {}
+    void inject_to_target(iscsi::Pdu pdu) override;
+    void inject_to_initiator(iscsi::Pdu pdu) override;
+    sim::Simulator& simulator() override;
+
+   private:
+    ActiveRelay& relay_;
+    Session& session_;
+  };
+
+  struct DirectionState {
+    iscsi::StreamParser parser;
+    std::deque<iscsi::Pdu> queue;  // PDUs awaiting processing, in order
+    bool processing = false;
+    RelayJournal journal;
+    std::uint64_t enqueued_bytes = 0;  // cumulative payload sent downstream
+  };
+
+  struct Session {
+    net::TcpConnection* downstream = nullptr;  // toward the initiator
+    net::TcpConnection* upstream = nullptr;    // toward the target
+    bool upstream_ready = false;
+    Bytes upstream_backlog;  // bytes to send once upstream establishes
+    DirectionState to_target;
+    DirectionState to_initiator;
+    std::unique_ptr<SessionApi> api;
+    std::optional<iscsi::Pdu> login_pdu;  // kept for session re-establishment
+    std::uint16_t bind_port = 0;
+    bool failed = false;
+  };
+
+  void on_accept(net::TcpConnection& conn);
+  void dial_upstream(Session& session);
+  void on_stream_data(Session& session, Direction dir, Bytes bytes);
+  void pump_queue(Session& session, Direction dir);
+  void forward(Session& session, Direction dir, const iscsi::Pdu& pdu);
+  void send_downstream(Session& session, const Bytes& wire);
+  void send_upstream(Session& session, const Bytes& wire);
+  DirectionState& state(Session& session, Direction dir) {
+    return dir == Direction::kToTarget ? session.to_target
+                                       : session.to_initiator;
+  }
+
+  cloud::Vm& vm_;
+  net::SocketAddr upstream_;
+  std::vector<StorageService*> services_;
+  ActiveRelayCosts costs_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t pdus_relayed_ = 0;
+};
+
+}  // namespace storm::core

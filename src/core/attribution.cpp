@@ -1,0 +1,42 @@
+#include "core/attribution.hpp"
+
+namespace storm::core {
+
+FlowIdentity ConnectionAttribution::to_identity(
+    const cloud::Attachment& attachment) {
+  FlowIdentity identity;
+  identity.tenant = attachment.tenant;
+  identity.vm = attachment.vm;
+  identity.volume = attachment.volume;
+  identity.iqn = attachment.iqn;
+  identity.host_ip = attachment.host_ip;
+  identity.target_ip = attachment.target_ip;
+  identity.source_port = attachment.source_port;
+  return identity;
+}
+
+std::optional<FlowIdentity> ConnectionAttribution::by_source_port(
+    std::uint16_t port) const {
+  for (const auto& attachment : cloud_.attachments()) {
+    if (attachment.source_port == port) return to_identity(attachment);
+  }
+  return std::nullopt;
+}
+
+std::optional<FlowIdentity> ConnectionAttribution::by_vm_volume(
+    const std::string& vm, const std::string& volume) const {
+  auto attachment = cloud_.find_attachment(vm, volume);
+  if (!attachment) return std::nullopt;
+  return to_identity(*attachment);
+}
+
+std::vector<FlowIdentity> ConnectionAttribution::tenant_flows(
+    const std::string& tenant) const {
+  std::vector<FlowIdentity> flows;
+  for (const auto& attachment : cloud_.attachments()) {
+    if (attachment.tenant == tenant) flows.push_back(to_identity(attachment));
+  }
+  return flows;
+}
+
+}  // namespace storm::core

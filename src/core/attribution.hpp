@@ -1,0 +1,45 @@
+// Connection attribution (paper §III-A): join the hypervisor's
+// VM <-> virtual-device (IQN) map with the patched iSCSI login path's
+// IQN <-> TCP-source-port map, so StorM can tell which VM owns which
+// storage flow and apply per-VM routing policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cloud/cloud.hpp"
+
+namespace storm::core {
+
+struct FlowIdentity {
+  std::string tenant;
+  std::string vm;
+  std::string volume;
+  std::string iqn;
+  net::Ipv4Addr host_ip;    // compute-host storage NIC (iSCSI initiator)
+  net::Ipv4Addr target_ip;  // storage host
+  std::uint16_t source_port = 0;
+};
+
+/// Read-side of attribution over the cloud's attachment registry.
+class ConnectionAttribution {
+ public:
+  explicit ConnectionAttribution(const cloud::Cloud& cloud) : cloud_(cloud) {}
+
+  /// Attribute a storage flow by its initiator-side source port.
+  std::optional<FlowIdentity> by_source_port(std::uint16_t port) const;
+
+  /// Attribute by VM + volume names (tenant policy lookups).
+  std::optional<FlowIdentity> by_vm_volume(const std::string& vm,
+                                           const std::string& volume) const;
+
+  /// All flows belonging to one tenant.
+  std::vector<FlowIdentity> tenant_flows(const std::string& tenant) const;
+
+ private:
+  static FlowIdentity to_identity(const cloud::Attachment& attachment);
+  const cloud::Cloud& cloud_;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,134 @@
+#include "core/passive_relay.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "net/node.hpp"
+
+namespace storm::core {
+
+PassiveRelay::PassiveRelay(cloud::Vm& mb_vm,
+                           std::vector<StorageService*> services,
+                           PassiveRelayCosts costs)
+    : vm_(mb_vm), services_(std::move(services)), costs_(costs),
+      api_(std::make_unique<NullApi>(mb_vm.node().simulator())) {
+  for (StorageService* service : services_) {
+    if (service->requires_active_relay()) {
+      throw std::invalid_argument(
+          "service '" + service->name() + "' requires an active relay");
+    }
+  }
+}
+
+void PassiveRelay::start() {
+  vm_.node().set_forward_hook(
+      [this](net::Packet& pkt) { return on_packet(pkt); });
+}
+
+bool PassiveRelay::on_packet(net::Packet& pkt) {
+  ++packets_;
+  // Pure ACKs / control segments: pay the hook cost, then continue on
+  // their way. Reordering a bare ACK ahead of held data is harmless.
+  if (pkt.payload.empty()) {
+    net::Packet copy = pkt;
+    vm_.cpu().run(costs_.hook_per_packet, [this, copy]() mutable {
+      vm_.node().emit_forward(std::move(copy));
+    });
+    return true;
+  }
+
+  const net::FourTuple key = pkt.four_tuple();
+  StreamState& state = streams_[key];
+  state.held.push_back(pkt);
+  state.inbox.push_back(pkt.payload);
+  pump(key);
+  return true;
+}
+
+void PassiveRelay::pump(const net::FourTuple& key) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) return;
+  StreamState& state = it->second;
+  if (state.busy || state.inbox.empty()) return;
+  state.busy = true;
+  Bytes payload = std::move(state.inbox.front());
+  state.inbox.pop_front();
+
+  Direction dir = key.dst.port == iscsi::kIscsiPort
+                      ? Direction::kToTarget
+                      : Direction::kToInitiator;
+  // Hook + two per-byte copies, then reassembly + services. Serialized
+  // per stream so parser feeds keep arrival order even with >1 vCPU.
+  sim::Duration cost =
+      costs_.hook_per_packet +
+      static_cast<sim::Duration>(costs_.copy_ns_per_byte *
+                                 static_cast<double>(payload.size()));
+  vm_.cpu().run(cost, [this, key, dir, payload = std::move(payload)] {
+    auto sit = streams_.find(key);
+    if (sit == streams_.end()) return;
+    StreamState& st = sit->second;
+    std::vector<iscsi::Pdu> pdus;
+    Status status = st.parser.feed(payload, pdus);
+    if (!status.is_ok()) {
+      log_warn("passive-relay") << vm_.name() << ": parse error: "
+                                << status.to_string() << "; flushing raw";
+      // Fail open: forward the held packets untransformed.
+      for (auto& held : st.held) vm_.node().emit_forward(std::move(held));
+      st.held.clear();
+      st.busy = false;
+      pump(key);
+      return;
+    }
+    sim::Duration service_cost = 0;
+    for (auto& pdu : pdus) {
+      ++pdus_;
+      std::size_t before = iscsi::serialize(pdu).size();
+      if (dir == Direction::kToTarget) {
+        for (StorageService* service : services_) {
+          service_cost += service->on_pdu(dir, pdu, *api_).cpu_cost;
+        }
+      } else {
+        for (auto rit = services_.rbegin(); rit != services_.rend(); ++rit) {
+          service_cost += (*rit)->on_pdu(dir, pdu, *api_).cpu_cost;
+        }
+      }
+      Bytes wire = iscsi::serialize(pdu);
+      if (wire.size() != before) {
+        throw std::logic_error("passive relay service changed PDU size");
+      }
+      st.transformed.insert(st.transformed.end(), wire.begin(), wire.end());
+    }
+    auto finish = [this, key] {
+      auto fit = streams_.find(key);
+      if (fit == streams_.end()) return;
+      drain(fit->second);
+      fit->second.busy = false;
+      pump(key);
+    };
+    if (service_cost > 0) {
+      vm_.cpu().run(service_cost, finish);
+    } else {
+      finish();
+    }
+  });
+}
+
+void PassiveRelay::drain(StreamState& state) {
+  // Emit held packets whose payload is fully covered by transformed
+  // stream bytes, preserving the original packet boundaries (sizes are
+  // unchanged, so TCP sequence bookkeeping stays intact end-to-end).
+  while (!state.held.empty() &&
+         state.transformed.size() >= state.held.front().payload.size()) {
+    net::Packet pkt = std::move(state.held.front());
+    state.held.pop_front();
+    std::memcpy(pkt.payload.data(), state.transformed.data(),
+                pkt.payload.size());
+    state.transformed.erase(
+        state.transformed.begin(),
+        state.transformed.begin() +
+            static_cast<std::ptrdiff_t>(pkt.payload.size()));
+    vm_.node().emit_forward(std::move(pkt));
+  }
+}
+
+}  // namespace storm::core

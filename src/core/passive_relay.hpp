@@ -1,0 +1,83 @@
+// Passive relay (paper §III-B): intercept forwarded packets with a
+// kernel-hook + per-packet user/kernel copies (a netfilter-queue
+// stand-in). Every data packet pays the hook cost and waits for service
+// processing before moving to the next hop — the *source's* TCP ACKs also
+// wait, which is exactly why the paper builds the active relay.
+//
+// Services under a passive relay must be pure in-place transforms that
+// preserve PDU sizes (ciphers, monitors); consuming/injecting services
+// need the active relay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "core/service.hpp"
+#include "iscsi/pdu.hpp"
+#include "net/packet.hpp"
+
+namespace storm::core {
+
+struct PassiveRelayCosts {
+  /// Kernel hook + syscall + context switch, per packet.
+  sim::Duration hook_per_packet = sim::microseconds(2);
+  /// Two user/kernel copies per payload byte (in and out).
+  double copy_ns_per_byte = 0.6;
+};
+
+class PassiveRelay {
+ public:
+  PassiveRelay(cloud::Vm& mb_vm, std::vector<StorageService*> services,
+               PassiveRelayCosts costs = {});
+
+  PassiveRelay(const PassiveRelay&) = delete;
+  PassiveRelay& operator=(const PassiveRelay&) = delete;
+
+  /// Install the FORWARD-chain hook on the middle-box VM.
+  void start();
+
+  std::uint64_t packets_hooked() const { return packets_; }
+  std::uint64_t pdus_processed() const { return pdus_; }
+
+ private:
+  /// Per flow-direction reassembly/transform state.
+  struct StreamState {
+    iscsi::StreamParser parser;
+    std::deque<net::Packet> held;  // packets awaiting transformed bytes
+    std::deque<Bytes> inbox;       // payloads awaiting processing, in order
+    Bytes transformed;             // service-processed stream bytes
+    bool busy = false;             // one payload in processing at a time
+  };
+
+  class NullApi : public RelayApi {
+   public:
+    explicit NullApi(sim::Simulator& simulator) : sim_(simulator) {}
+    void inject_to_target(iscsi::Pdu) override {
+      throw std::logic_error("passive relay cannot inject PDUs");
+    }
+    void inject_to_initiator(iscsi::Pdu) override {
+      throw std::logic_error("passive relay cannot inject PDUs");
+    }
+    sim::Simulator& simulator() override { return sim_; }
+
+   private:
+    sim::Simulator& sim_;
+  };
+
+  bool on_packet(net::Packet& pkt);
+  void pump(const net::FourTuple& key);
+  void drain(StreamState& state);
+
+  cloud::Vm& vm_;
+  std::vector<StorageService*> services_;
+  PassiveRelayCosts costs_;
+  std::map<net::FourTuple, StreamState> streams_;
+  std::unique_ptr<NullApi> api_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t pdus_ = 0;
+};
+
+}  // namespace storm::core

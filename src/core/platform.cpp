@@ -1,0 +1,284 @@
+#include "core/platform.hpp"
+
+#include "common/log.hpp"
+
+namespace storm::core {
+
+namespace {
+
+/// Built-in no-op service: parses and forwards (used for MB-FWD-style
+/// baselines with interception but no processing).
+class NoopService : public StorageService {
+ public:
+  std::string name() const override { return "noop"; }
+  ServiceVerdict on_pdu(Direction, iscsi::Pdu&, RelayApi&) override {
+    return {};
+  }
+};
+
+}  // namespace
+
+StormPlatform::StormPlatform(cloud::Cloud& cloud)
+    : cloud_(cloud), attribution_(cloud), splicer_(cloud), sdn_(cloud) {
+  register_service("noop", [](ServiceEnv&) {
+    return Result<std::unique_ptr<StorageService>>(
+        std::make_unique<NoopService>());
+  });
+}
+
+void StormPlatform::register_service(const std::string& type,
+                                     ServiceFactory factory) {
+  factories_[type] = std::move(factory);
+}
+
+unsigned StormPlatform::place_middlebox(const ServiceSpec& spec,
+                                        unsigned vm_host) {
+  if (spec.host_index >= 0) {
+    return static_cast<unsigned>(spec.host_index);
+  }
+  // Default placement: round-robin over hosts other than the tenant VM's
+  // (the paper's worst-case measurement spreads everything out; the
+  // placement ablation co-locates explicitly via host_index).
+  unsigned host = next_mb_host_++ % cloud_.compute_count();
+  if (host == vm_host) host = next_mb_host_++ % cloud_.compute_count();
+  return host;
+}
+
+Result<std::unique_ptr<MiddleboxInstance>> StormPlatform::build_box(
+    const ServiceSpec& spec, const std::string& label,
+    const std::string& tenant, unsigned vm_host, block::Volume* volume) {
+  auto box = std::make_unique<MiddleboxInstance>();
+  box->spec = spec;
+  unsigned host = place_middlebox(spec, vm_host);
+  box->vm = &cloud_.create_middlebox_vm(label, tenant, host, spec.vcpus);
+
+  if (spec.relay != RelayMode::kForward) {
+    auto it = factories_.find(spec.type);
+    if (it == factories_.end()) {
+      return error(ErrorCode::kNotFound,
+                   "no service registered for type '" + spec.type + "'");
+    }
+    ServiceEnv env;
+    env.cloud = &cloud_;
+    env.platform = this;
+    env.mb_vm = box->vm;
+    env.volume = volume;
+    env.spec = &box->spec;
+    auto service = it->second(env);
+    if (!service.is_ok()) return service.status();
+    box->service = std::move(service).take();
+    if (box->service->requires_active_relay() &&
+        spec.relay != RelayMode::kActive) {
+      return error(ErrorCode::kInvalidArgument,
+                   "service '" + spec.type + "' requires relay=active");
+    }
+  }
+  return box;
+}
+
+void StormPlatform::wire_relays(Deployment& deployment) {
+  net::SocketAddr upstream{deployment.splice.gateways.egress_instance_ip(),
+                           iscsi::kIscsiPort};
+  for (auto& box : deployment.boxes) {
+    switch (box->spec.relay) {
+      case RelayMode::kForward:
+        break;  // plain IP forwarding, nothing to run
+      case RelayMode::kPassive:
+        box->passive_relay = std::make_unique<PassiveRelay>(
+            *box->vm, std::vector<StorageService*>{box->service.get()});
+        box->passive_relay->start();
+        break;
+      case RelayMode::kActive:
+        box->active_relay = std::make_unique<ActiveRelay>(
+            *box->vm, upstream,
+            std::vector<StorageService*>{box->service.get()});
+        box->active_relay->start();
+        break;
+    }
+  }
+}
+
+void StormPlatform::attach_with_chain(
+    const std::string& vm_name, const std::string& volume_name,
+    std::vector<ServiceSpec> chain,
+    std::function<void(Status, Deployment*)> done) {
+  cloud::Vm* vm = cloud_.find_vm(vm_name);
+  if (vm == nullptr) {
+    done(error(ErrorCode::kNotFound, "no VM " + vm_name), nullptr);
+    return;
+  }
+  auto located = cloud_.locate_volume(volume_name);
+  if (!located.is_ok()) {
+    done(located.status(), nullptr);
+    return;
+  }
+  block::Volume* volume = located.value().first;
+  unsigned storage_index = located.value().second;
+
+  auto deployment = std::make_unique<Deployment>();
+  Deployment* dep = deployment.get();
+  dep->vm = vm_name;
+  dep->volume = volume_name;
+  dep->splice.cookie = next_cookie_++;
+  dep->splice.vm_port = allocate_flow_port();
+  dep->splice.host_storage_ip = cloud_.compute(vm->host_index()).storage_ip();
+  dep->splice.target_ip = cloud_.storage(storage_index).storage_ip();
+  dep->splice.gateways = splicer_.tenant_gateways(vm->tenant());
+
+  // Provision the middle-box VMs + service instances.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    std::string label = "mb-" + std::to_string(next_mb_id_++) + "-" +
+                        chain[i].type;
+    auto box = build_box(chain[i], label, vm->tenant(), vm->host_index(),
+                         volume);
+    if (!box.is_ok()) {
+      done(box.status(), nullptr);
+      return;
+    }
+    dep->splice.chain.push_back(
+        Hop{box.value()->vm, box.value()->spec.relay});
+    dep->boxes.push_back(std::move(box).take());
+  }
+
+  deployments_.push_back(std::move(deployment));
+
+  // Let services finish async setup (replication attaches its replicas),
+  // then program the network and attach the volume.
+  auto remaining = std::make_shared<std::size_t>(1);
+  auto first_error = std::make_shared<Status>(Status::ok());
+  auto proceed = [this, dep, vm, done, first_error]() {
+    if (!first_error->is_ok()) {
+      done(*first_error, nullptr);
+      return;
+    }
+    wire_relays(*dep);
+    splicer_.install_gateway_rules(dep->splice);
+    splicer_.install_capture_rules(dep->splice);
+    sdn_.install_chain_rules(dep->splice);
+
+    cloud::AttachHooks hooks;
+    hooks.force_source_port = dep->splice.vm_port;
+    hooks.before_login = [this, dep](cloud::ComputeHost& host,
+                                     const cloud::Attachment&) {
+      splicer_.install_host_redirect(host, dep->splice);
+    };
+    hooks.after_login = [this, dep](cloud::ComputeHost& host,
+                                    const cloud::Attachment&) {
+      splicer_.remove_host_redirect(host, dep->splice);
+    };
+    cloud_.attach_volume(*vm, dep->volume,
+                         [dep, done](Status status,
+                                     cloud::Attachment attachment) {
+                           if (!status.is_ok()) {
+                             done(status, nullptr);
+                             return;
+                           }
+                           dep->attachment = std::move(attachment);
+                           done(Status::ok(), dep);
+                         },
+                         hooks);
+  };
+  auto on_ready = [remaining, first_error, proceed](Status status) {
+    if (!status.is_ok() && first_error->is_ok()) *first_error = status;
+    if (--*remaining == 0) proceed();
+  };
+  for (auto& box : dep->boxes) {
+    if (box->service) {
+      ++*remaining;
+      box->service->initialize(on_ready);
+    }
+  }
+  on_ready(Status::ok());  // release the initial hold
+}
+
+void StormPlatform::apply_policy(const TenantPolicy& policy,
+                                 std::function<void(Status)> done) {
+  Status valid = validate_policy(policy);
+  if (!valid.is_ok()) {
+    done(valid);
+    return;
+  }
+  auto volumes = std::make_shared<std::vector<VolumePolicy>>(policy.volumes);
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, volumes, done, step](std::size_t index) {
+    if (index == volumes->size()) {
+      done(Status::ok());
+      return;
+    }
+    const VolumePolicy& vp = (*volumes)[index];
+    attach_with_chain(vp.vm, vp.volume, vp.chain,
+                      [done, step, index](Status status, Deployment*) {
+                        if (!status.is_ok()) {
+                          done(status);
+                          return;
+                        }
+                        (*step)(index + 1);
+                      });
+  };
+  (*step)(0);
+}
+
+Deployment* StormPlatform::find_deployment(const std::string& vm,
+                                           const std::string& volume) {
+  for (auto& deployment : deployments_) {
+    if (deployment->vm == vm && deployment->volume == volume) {
+      return deployment.get();
+    }
+  }
+  return nullptr;
+}
+
+Status StormPlatform::add_middlebox(Deployment& deployment,
+                                    const ServiceSpec& spec,
+                                    std::size_t position) {
+  if (spec.relay == RelayMode::kActive) {
+    return error(ErrorCode::kInvalidArgument,
+                 "cannot insert an active relay into a live flow "
+                 "(it would cut the TCP stream)");
+  }
+  if (position > deployment.boxes.size()) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  cloud::Vm* vm = cloud_.find_vm(deployment.vm);
+  auto box = build_box(spec,
+                       "mb-" + std::to_string(next_mb_id_++) + "-" + spec.type,
+                       vm->tenant(), vm->host_index(), nullptr);
+  if (!box.is_ok()) return box.status();
+  if (box.value()->spec.relay == RelayMode::kPassive) {
+    box.value()->passive_relay = std::make_unique<PassiveRelay>(
+        *box.value()->vm,
+        std::vector<StorageService*>{box.value()->service.get()});
+    box.value()->passive_relay->start();
+  }
+  deployment.boxes.insert(
+      deployment.boxes.begin() + static_cast<std::ptrdiff_t>(position),
+      std::move(box).take());
+  deployment.splice.chain.clear();
+  for (auto& b : deployment.boxes) {
+    deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
+  }
+  sdn_.reprogram_chain(deployment.splice);
+  return Status::ok();
+}
+
+Status StormPlatform::remove_middlebox(Deployment& deployment,
+                                       std::size_t position) {
+  if (position >= deployment.boxes.size()) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  MiddleboxInstance& box = *deployment.boxes[position];
+  if (box.spec.relay == RelayMode::kActive) {
+    return error(ErrorCode::kInvalidArgument,
+                 "cannot remove an active relay from a live flow");
+  }
+  deployment.boxes.erase(deployment.boxes.begin() +
+                         static_cast<std::ptrdiff_t>(position));
+  deployment.splice.chain.clear();
+  for (auto& b : deployment.boxes) {
+    deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
+  }
+  sdn_.reprogram_chain(deployment.splice);
+  return Status::ok();
+}
+
+}  // namespace storm::core

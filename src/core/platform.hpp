@@ -1,0 +1,126 @@
+// StormPlatform: the top-level façade tying the pieces together.
+//
+// Tenants submit policies (policy.hpp); the platform provisions
+// middle-box VMs from the service registry, creates the tenant's gateway
+// pair, programs NAT + SDN steering, and finally attaches the volume
+// under the atomic-attachment protocol — after which every byte of that
+// volume's iSCSI traffic traverses the tenant's middle-box chain,
+// transparently to the VM and the storage backend (paper §III-D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "core/active_relay.hpp"
+#include "core/attribution.hpp"
+#include "core/passive_relay.hpp"
+#include "core/policy.hpp"
+#include "core/sdn_controller.hpp"
+#include "core/service.hpp"
+#include "core/splicer.hpp"
+
+namespace storm::core {
+
+class StormPlatform;
+
+/// Everything a service factory may need.
+struct ServiceEnv {
+  cloud::Cloud* cloud = nullptr;
+  StormPlatform* platform = nullptr;
+  cloud::Vm* mb_vm = nullptr;
+  block::Volume* volume = nullptr;  // the protected (primary) volume
+  const ServiceSpec* spec = nullptr;
+};
+
+/// One deployed middle-box VM with its relay and service instance.
+struct MiddleboxInstance {
+  cloud::Vm* vm = nullptr;
+  ServiceSpec spec;
+  std::unique_ptr<StorageService> service;  // null for relay=forward
+  std::unique_ptr<ActiveRelay> active_relay;
+  std::unique_ptr<PassiveRelay> passive_relay;
+};
+
+/// A spliced volume attachment with its chain.
+struct Deployment {
+  std::string vm;
+  std::string volume;
+  SpliceContext splice;
+  cloud::Attachment attachment;
+  std::vector<std::unique_ptr<MiddleboxInstance>> boxes;
+
+  /// Convenience accessors for benches/tests.
+  MiddleboxInstance* box(std::size_t index) {
+    return index < boxes.size() ? boxes[index].get() : nullptr;
+  }
+};
+
+class StormPlatform {
+ public:
+  explicit StormPlatform(cloud::Cloud& cloud);
+
+  StormPlatform(const StormPlatform&) = delete;
+  StormPlatform& operator=(const StormPlatform&) = delete;
+
+  /// Factory registry: maps ServiceSpec::type to a constructor. The
+  /// built-in "noop" type is pre-registered; storm::services registers
+  /// the paper's three services.
+  using ServiceFactory =
+      std::function<Result<std::unique_ptr<StorageService>>(ServiceEnv&)>;
+  void register_service(const std::string& type, ServiceFactory factory);
+  bool has_service(const std::string& type) const {
+    return factories_.contains(type);
+  }
+
+  /// Apply a full tenant policy: deploy every volume's chain in order.
+  void apply_policy(const TenantPolicy& policy,
+                    std::function<void(Status)> done);
+
+  /// Deploy one chain and attach one volume through it.
+  void attach_with_chain(const std::string& vm_name,
+                         const std::string& volume_name,
+                         std::vector<ServiceSpec> chain,
+                         std::function<void(Status, Deployment*)> done);
+
+  // --- on-demand scaling (paper §III-A, SDN-enabled flow steering) ---
+  /// Insert a packet-level middle-box (relay=forward|passive) at
+  /// `position` in an existing chain and reprogram the switches.
+  Status add_middlebox(Deployment& deployment, const ServiceSpec& spec,
+                       std::size_t position);
+  /// Remove the packet-level middle-box at `position`.
+  Status remove_middlebox(Deployment& deployment, std::size_t position);
+
+  Deployment* find_deployment(const std::string& vm,
+                              const std::string& volume);
+
+  ConnectionAttribution& attribution() { return attribution_; }
+  NetworkSplicer& splicer() { return splicer_; }
+  SdnController& sdn() { return sdn_; }
+  cloud::Cloud& cloud() { return cloud_; }
+
+ private:
+  std::uint16_t allocate_flow_port() { return next_flow_port_++; }
+  unsigned place_middlebox(const ServiceSpec& spec, unsigned vm_host);
+  Result<std::unique_ptr<MiddleboxInstance>> build_box(
+      const ServiceSpec& spec, const std::string& label,
+      const std::string& tenant, unsigned vm_host, block::Volume* volume);
+  void wire_relays(Deployment& deployment);
+
+  cloud::Cloud& cloud_;
+  ConnectionAttribution attribution_;
+  NetworkSplicer splicer_;
+  SdnController sdn_;
+  std::map<std::string, ServiceFactory> factories_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::uint64_t next_cookie_ = 1;
+  std::uint16_t next_flow_port_ = 40000;
+  unsigned next_mb_host_ = 0;
+  std::uint64_t next_mb_id_ = 1;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,126 @@
+#include "core/policy.hpp"
+
+#include <sstream>
+
+namespace storm::core {
+
+const char* to_string(RelayMode mode) {
+  switch (mode) {
+    case RelayMode::kForward: return "forward";
+    case RelayMode::kPassive: return "passive";
+    case RelayMode::kActive: return "active";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<RelayMode> parse_relay_mode(const std::string& value) {
+  if (value == "forward") return RelayMode::kForward;
+  if (value == "passive") return RelayMode::kPassive;
+  if (value == "active") return RelayMode::kActive;
+  return error(ErrorCode::kParseError, "unknown relay mode: " + value);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+Result<TenantPolicy> parse_policy(const std::string& text) {
+  TenantPolicy policy;
+  VolumePolicy* current_volume = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    auto fail = [&](const std::string& message) {
+      return error(ErrorCode::kParseError,
+                   "line " + std::to_string(line_no) + ": " + message);
+    };
+
+    if (tokens[0] == "tenant") {
+      if (tokens.size() != 2) return fail("expected: tenant <name>");
+      policy.tenant = tokens[1];
+    } else if (tokens[0] == "volume") {
+      if (tokens.size() != 3) return fail("expected: volume <vm> <volume>");
+      policy.volumes.push_back(VolumePolicy{tokens[1], tokens[2], {}});
+      current_volume = &policy.volumes.back();
+    } else if (tokens[0] == "service") {
+      if (current_volume == nullptr) {
+        return fail("service outside a volume block");
+      }
+      if (tokens.size() < 2) return fail("expected: service <type> [k=v...]");
+      ServiceSpec spec;
+      spec.type = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          return fail("expected key=value, got: " + tokens[i]);
+        }
+        std::string key = tokens[i].substr(0, eq);
+        std::string value = tokens[i].substr(eq + 1);
+        if (key == "relay") {
+          auto mode = parse_relay_mode(value);
+          if (!mode.is_ok()) return mode.status();
+          spec.relay = mode.value();
+        } else if (key == "vcpus") {
+          spec.vcpus = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "host") {
+          spec.host_index = std::stoi(value);
+        } else {
+          spec.params[key] = value;
+        }
+      }
+      current_volume->chain.push_back(std::move(spec));
+    } else {
+      return fail("unknown directive: " + tokens[0]);
+    }
+  }
+  if (policy.tenant.empty()) {
+    return error(ErrorCode::kParseError, "missing 'tenant' directive");
+  }
+  Status status = validate_policy(policy);
+  if (!status.is_ok()) return status;
+  return policy;
+}
+
+Status validate_policy(const TenantPolicy& policy) {
+  if (policy.volumes.empty()) {
+    return error(ErrorCode::kInvalidArgument, "policy lists no volumes");
+  }
+  for (const auto& volume : policy.volumes) {
+    if (volume.chain.empty()) {
+      return error(ErrorCode::kInvalidArgument,
+                   "volume " + volume.volume + " has an empty service chain");
+    }
+    for (const auto& spec : volume.chain) {
+      if (spec.type.empty()) {
+        return error(ErrorCode::kInvalidArgument, "service without a type");
+      }
+      if (spec.vcpus == 0) {
+        return error(ErrorCode::kInvalidArgument,
+                     "service " + spec.type + " requests 0 vCPUs");
+      }
+      // Replication rewrites command routing, which requires terminating
+      // the TCP stream — it cannot run as a packet-level relay.
+      if (spec.type == "replication" && spec.relay != RelayMode::kActive) {
+        return error(ErrorCode::kInvalidArgument,
+                     "replication requires relay=active");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace storm::core

@@ -1,0 +1,69 @@
+// Tenant policies (paper §III-D): which VMs/volumes get middle-box
+// services, each middle-box's service type and virtual resources, and how
+// the boxes are chained per volume. Tenants submit these as text; the
+// platform parses and deploys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace storm::core {
+
+/// How the middle-box intercepts the flow (paper §III-B).
+enum class RelayMode {
+  kForward,  // plain IP forwarding, no interception (the MB-FWD baseline)
+  kPassive,  // per-packet kernel hook + user/kernel copies
+  kActive,   // split-TCP with immediate ACK and NVRAM journal (default)
+};
+
+const char* to_string(RelayMode mode);
+
+struct ServiceSpec {
+  std::string type;  // "noop" | "monitor" | "encryption" | "stream_cipher" |
+                     // "replication" | ... (extensible via the registry)
+  RelayMode relay = RelayMode::kActive;
+  unsigned vcpus = 2;
+  /// Placement: compute-host index, or -1 to let the platform choose.
+  int host_index = -1;
+  /// Service-specific parameters, e.g. {"replicas", "vol2,vol3"}.
+  std::map<std::string, std::string> params;
+
+  std::string param(const std::string& key,
+                    const std::string& fallback = "") const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+struct VolumePolicy {
+  std::string vm;
+  std::string volume;
+  std::vector<ServiceSpec> chain;  // traversal order, VM side first
+};
+
+struct TenantPolicy {
+  std::string tenant;
+  std::vector<VolumePolicy> volumes;
+};
+
+/// Parse the tenant policy text format:
+///
+///   tenant alice
+///   volume vm1 vol1
+///     service monitor relay=active vcpus=2
+///     service encryption relay=active key=0011..ff
+///   volume vm2 vol2
+///     service replication replicas=vol2-r1,vol2-r2
+///
+/// Blank lines and '#' comments are ignored.
+Result<TenantPolicy> parse_policy(const std::string& text);
+
+/// Validate structural rules (each volume has >= 1 service, relay modes
+/// compatible with service types, etc.).
+Status validate_policy(const TenantPolicy& policy);
+
+}  // namespace storm::core

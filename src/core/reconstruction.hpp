@@ -1,0 +1,122 @@
+// Semantics reconstruction (paper §III-C): rebuild file-level operations
+// from raw block accesses observed in the storage stream.
+//
+// An initial filesystem view is generated from the volume when the block
+// device is attached (the paper uses dumpe2fs; we scan the same on-disk
+// structures). Intercepted *metadata writes* — inode-table blocks,
+// directory blocks, indirect-pointer blocks — keep the view up to date,
+// so later data-block accesses resolve to live file paths. The
+// block->file mapping is kept in a hash table for O(1) lookups (§IV).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "block/block_device.hpp"
+#include "common/status.hpp"
+#include "fs/layout.hpp"
+
+namespace storm::core {
+
+struct FileOp {
+  enum class Kind {
+    kRead,       // file or directory content
+    kWrite,
+    kMetaRead,   // superblock / bitmaps / inode tables
+    kMetaWrite,
+  };
+  Kind kind;
+  std::string path;       // file path, "<dir>/." for directories, or a
+                          // metadata label like "META: inode_group_2"
+  std::uint64_t size = 0; // bytes
+  std::uint32_t block = 0;
+
+  std::string to_string() const;
+};
+
+class SemanticsReconstructor {
+ public:
+  /// Build the initial high-level view from a point-in-time snapshot of
+  /// the volume (supplied by the platform at attach time).
+  static Result<std::unique_ptr<SemanticsReconstructor>> from_snapshot(
+      const block::MemDisk& disk);
+
+  /// For a volume with no (readable) filesystem yet — e.g. a blank volume
+  /// behind an encryption middle-box. The reconstructor arms itself when
+  /// it observes the superblock being written (mkfs through the chain)
+  /// and builds the whole view from intercepted metadata writes.
+  static std::unique_ptr<SemanticsReconstructor> unformatted();
+
+  bool armed() const { return armed_; }
+
+  /// Feed an intercepted write burst (sector lba, full data).
+  std::vector<FileOp> on_write(std::uint64_t lba, const Bytes& data);
+
+  /// Feed an intercepted read command (sector lba, length in bytes).
+  std::vector<FileOp> on_read(std::uint64_t lba, std::uint64_t length);
+
+  // --- queries -------------------------------------------------------------
+  std::optional<std::string> path_of_block(std::uint32_t block) const;
+  std::optional<std::string> path_of_inode(std::uint32_t ino) const;
+  const fs::SuperBlock& superblock() const { return sb_; }
+  std::size_t tracked_files() const;
+
+ private:
+  SemanticsReconstructor() = default;
+
+  struct FileInfo {
+    fs::InodeType type = fs::InodeType::kFree;
+    std::uint64_t size = 0;
+    std::uint32_t parent = 0;  // 0 = unknown/root-less
+    std::string name;
+    std::set<std::uint32_t> blocks;  // data blocks owned
+  };
+
+  void scan_snapshot(const block::MemDisk& disk);
+  void index_inode_blocks(std::uint32_t ino, const fs::Inode& inode,
+                          const block::MemDisk* snapshot);
+  void drop_inode_blocks(std::uint32_t ino);
+
+  /// Apply a metadata write, updating the view.
+  void apply_inode_table_write(std::uint32_t block,
+                               std::span<const std::uint8_t> data);
+  void apply_dir_block_write(std::uint32_t block, std::uint32_t dir_ino,
+                             std::span<const std::uint8_t> data);
+  void apply_pointer_block_write(std::uint32_t block, std::uint32_t owner,
+                                 std::span<const std::uint8_t> data);
+
+  /// Classify one fs block and emit/extend an event.
+  FileOp classify(bool is_write, std::uint32_t block, std::uint64_t bytes);
+
+  bool armed_ = false;
+  fs::SuperBlock sb_;
+  std::map<std::uint32_t, FileInfo> inodes_;
+  // The paper's hash table: data block -> owning inode.
+  std::unordered_map<std::uint32_t, std::uint32_t> block_owner_;
+  // Indirect/double-indirect pointer blocks -> owning inode.
+  std::unordered_map<std::uint32_t, std::uint32_t> pointer_block_owner_;
+  // Pointer blocks that are the L1 of a double-indirect tree (their
+  // entries reference further pointer blocks, not data).
+  std::set<std::uint32_t> dindirect_l1_;
+  // Directory data block -> directory inode (for dirent diffing).
+  std::unordered_map<std::uint32_t, std::uint32_t> dir_block_owner_;
+  // Raw caches for diffing metadata writes.
+  std::map<std::uint32_t, Bytes> inode_block_cache_;
+  std::map<std::uint32_t, Bytes> dir_block_cache_;
+  // Last known contents of indirect-pointer blocks (from the snapshot or
+  // intercepted writes), so re-indexing an inode can re-resolve its
+  // indirect pointees without re-reading the disk.
+  std::map<std::uint32_t, Bytes> pointer_block_cache_;
+  // Writes to not-yet-attributed blocks, kept so the content can be
+  // (re)interpreted once the block's role becomes known — guest page
+  // caches flush data and metadata in arbitrary order (paper §V-B1).
+  std::map<std::uint32_t, Bytes> orphan_writes_;
+};
+
+}  // namespace storm::core

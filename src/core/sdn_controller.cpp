@@ -1,0 +1,101 @@
+#include "core/sdn_controller.hpp"
+
+#include "common/log.hpp"
+#include "iscsi/pdu.hpp"
+
+namespace storm::core {
+
+void SdnController::add_rule_everywhere(net::FlowRule rule) {
+  // The controller programs every virtual switch; rules only trigger
+  // where the flow actually passes (matches carry the previous hop's MAC
+  // and the flow's ports, so they are inert elsewhere).
+  for (net::FlowSwitch* fs : cloud_.flow_switches()) {
+    fs->add_rule(rule);
+    ++rules_installed_;
+  }
+}
+
+void SdnController::install_chain_rules(const SpliceContext& ctx) {
+  if (ctx.chain.empty()) return;
+
+  const net::Ipv4Addr egw_ip = ctx.gateways.egress_instance_ip();
+  const net::Ipv4Addr igw_ip = ctx.gateways.ingress_instance_ip();
+  const net::MacAddr igw_mac = ctx.gateways.ingress->nic_mac(1);
+  const net::MacAddr egw_mac = ctx.gateways.egress->nic_mac(1);
+
+  // --- forward direction -------------------------------------------------
+  // Hop list: ingress gateway, then every middle-box. Packets always
+  // carry dst_ip = egress gateway; each rule matches the previous hop's
+  // source MAC and rewrites the destination MAC to the next middle-box
+  // (paper Fig. 3). The final hop needs no rule: ARP resolves the egress
+  // gateway naturally.
+  net::MacAddr prev_mac = igw_mac;
+  for (const Hop& hop : ctx.chain) {
+    net::FlowRule rule;
+    rule.priority = 100;
+    rule.cookie = ctx.cookie;
+    rule.match.src_mac = prev_mac;
+    rule.match.dst_ip = egw_ip;
+    rule.match.src_port = ctx.vm_port;
+    rule.actions = {net::FlowAction::set_dst_mac(hop.vm->mac()),
+                    net::FlowAction::normal()};
+    add_rule_everywhere(rule);
+    prev_mac = hop.vm->mac();
+  }
+
+  // --- reverse direction -------------------------------------------------
+  // Split the chain into TCP segments at active relays (each terminates
+  // the byte stream and re-originates it). Within one segment
+  // [A, inner..., B], replies travel B -> inner(reversed) -> A with
+  // dst_ip = A's address, so inner packet-level hops need mirror rules.
+  struct Endpoint {
+    net::Ipv4Addr ip;
+    net::MacAddr mac;
+  };
+  Endpoint segment_a{igw_ip, igw_mac};
+  std::vector<Hop> inner;
+  auto flush_segment = [&](Endpoint segment_b) {
+    net::MacAddr prev = segment_b.mac;
+    for (auto it = inner.rbegin(); it != inner.rend(); ++it) {
+      net::FlowRule rule;
+      rule.priority = 100;
+      rule.cookie = ctx.cookie;
+      rule.match.src_mac = prev;
+      rule.match.dst_ip = segment_a.ip;
+      rule.match.dst_port = ctx.vm_port;
+      rule.actions = {net::FlowAction::set_dst_mac(it->vm->mac()),
+                      net::FlowAction::normal()};
+      add_rule_everywhere(rule);
+      prev = it->vm->mac();
+    }
+    inner.clear();
+  };
+  for (const Hop& hop : ctx.chain) {
+    if (hop.relay == RelayMode::kActive) {
+      flush_segment(Endpoint{hop.vm->ip(), hop.vm->mac()});
+      segment_a = Endpoint{hop.vm->ip(), hop.vm->mac()};
+    } else {
+      inner.push_back(hop);
+    }
+  }
+  flush_segment(Endpoint{egw_ip, egw_mac});
+
+  log_info("sdn") << "installed steering rules for flow port "
+                  << ctx.vm_port << " through " << ctx.chain.size()
+                  << " middle-box(es)";
+}
+
+std::size_t SdnController::remove_chain_rules(std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (net::FlowSwitch* fs : cloud_.flow_switches()) {
+    removed += fs->remove_rules_by_cookie(cookie);
+  }
+  return removed;
+}
+
+void SdnController::reprogram_chain(const SpliceContext& ctx) {
+  remove_chain_rules(ctx.cookie);
+  install_chain_rules(ctx);
+}
+
+}  // namespace storm::core

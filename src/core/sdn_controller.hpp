@@ -1,0 +1,41 @@
+// SDN flow steering (paper §III-A, Fig. 3): a centralized controller that
+// installs mod_dst_mac rules in the OVS-style virtual switches so a
+// spliced flow traverses its middle-box chain in order, in both
+// directions, and supports adding/removing middle-boxes on demand.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/cloud.hpp"
+#include "core/splicer.hpp"
+
+namespace storm::core {
+
+class SdnController {
+ public:
+  explicit SdnController(cloud::Cloud& cloud) : cloud_(cloud) {}
+
+  /// Compute and install steering rules for the chain, tagged with the
+  /// context's cookie. Idempotent per cookie only if removed first.
+  void install_chain_rules(const SpliceContext& ctx);
+
+  /// Remove all steering rules tagged with the cookie.
+  std::size_t remove_chain_rules(std::uint64_t cookie);
+
+  /// Reprogram the switches for an updated chain: used by on-demand
+  /// scaling (adding/removing middle-boxes on an existing flow). Only
+  /// packet-level hops (forward/passive) can change mid-flow — an active
+  /// relay terminates TCP, so inserting one mid-connection would break
+  /// the byte stream.
+  void reprogram_chain(const SpliceContext& ctx);
+
+  std::uint64_t rules_installed() const { return rules_installed_; }
+
+ private:
+  void add_rule_everywhere(net::FlowRule rule);
+
+  cloud::Cloud& cloud_;
+  std::uint64_t rules_installed_ = 0;
+};
+
+}  // namespace storm::core

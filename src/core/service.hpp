@@ -1,0 +1,80 @@
+// The tenant-facing service API (paper §III-B): middle-box services
+// receive parsed iSCSI PDUs in flow order, may transform them in place,
+// consume them, or inject new PDUs in either direction.
+//
+// Compute cost: services return the simulated CPU time their processing
+// takes; the relay charges it to the middle-box VM's vCPUs, so service
+// work contends with the relay's own packet handling — which is exactly
+// the contention the paper's Figures 5-9 measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "iscsi/pdu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace storm::core {
+
+enum class Direction {
+  kToTarget,     // initiator -> storage (commands, Data-Out)
+  kToInitiator,  // storage -> initiator (Data-In, responses)
+};
+
+inline const char* to_string(Direction dir) {
+  return dir == Direction::kToTarget ? "to-target" : "to-initiator";
+}
+
+/// Capabilities a relay exposes to services beyond in-place transforms.
+/// Only the active relay implements injection (it owns both byte streams);
+/// the passive relay rejects services that need it.
+class RelayApi {
+ public:
+  virtual ~RelayApi() = default;
+
+  /// Send a service-originated PDU toward the storage target.
+  virtual void inject_to_target(iscsi::Pdu pdu) = 0;
+
+  /// Send a service-originated PDU toward the tenant VM.
+  virtual void inject_to_initiator(iscsi::Pdu pdu) = 0;
+
+  virtual sim::Simulator& simulator() = 0;
+};
+
+struct ServiceVerdict {
+  /// True: the service handled the PDU itself (e.g. a replication box
+  /// serving a read from a replica); the relay must not forward it.
+  bool consume = false;
+  /// Simulated CPU cost of processing this PDU, charged to the MB vCPUs.
+  sim::Duration cpu_cost = 0;
+};
+
+class StorageService {
+ public:
+  virtual ~StorageService() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Process one PDU travelling in `dir`. May mutate `pdu` in place
+  /// (sizes must be preserved under a passive relay).
+  virtual ServiceVerdict on_pdu(Direction dir, iscsi::Pdu& pdu,
+                                RelayApi& relay) = 0;
+
+  /// True when the service consumes/injects PDUs and therefore needs an
+  /// active relay (TCP termination). Checked at deployment.
+  virtual bool requires_active_relay() const { return false; }
+
+  /// Asynchronous setup before any traffic flows (e.g. the replication
+  /// service attaching its backup volumes to the middle-box VM). The
+  /// platform waits for `ready` before opening the data path.
+  virtual void initialize(std::function<void(Status)> ready) {
+    ready(Status::ok());
+  }
+
+  /// The spliced flow's TCP stream closed (target failure, detach).
+  virtual void on_flow_closed(Status /*status*/) {}
+};
+
+}  // namespace storm::core

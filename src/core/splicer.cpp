@@ -1,0 +1,96 @@
+#include "core/splicer.hpp"
+
+#include "common/log.hpp"
+#include "iscsi/pdu.hpp"
+
+namespace storm::core {
+
+GatewayPair& NetworkSplicer::tenant_gateways(const std::string& tenant) {
+  auto it = gateways_.find(tenant);
+  if (it != gateways_.end()) return it->second;
+  GatewayPair pair;
+  pair.ingress = &cloud_.create_gateway("igw-" + tenant);
+  pair.egress = &cloud_.create_gateway("egw-" + tenant);
+  log_info("splicer") << "created gateway pair for tenant " << tenant
+                      << " (ingress "
+                      << net::to_string(pair.ingress_storage_ip()) << "/"
+                      << net::to_string(pair.ingress_instance_ip())
+                      << ", egress "
+                      << net::to_string(pair.egress_storage_ip()) << "/"
+                      << net::to_string(pair.egress_instance_ip()) << ")";
+  return gateways_.emplace(tenant, pair).first->second;
+}
+
+void NetworkSplicer::install_host_redirect(cloud::ComputeHost& host,
+                                           const SpliceContext& ctx) {
+  net::NatRule rule;
+  rule.match_dst_ip = ctx.target_ip;
+  rule.match_dst_port = iscsi::kIscsiPort;
+  rule.match_src_port = ctx.vm_port;
+  rule.dnat_ip = ctx.gateways.ingress_storage_ip();
+  rule.cookie = ctx.cookie;
+  host.node().nat().add_rule(rule);
+}
+
+void NetworkSplicer::remove_host_redirect(cloud::ComputeHost& host,
+                                          const SpliceContext& ctx) {
+  host.node().nat().remove_rules_by_cookie(ctx.cookie);
+}
+
+void NetworkSplicer::install_gateway_rules(const SpliceContext& ctx) {
+  // Ingress: masquerade the flow into the instance network and aim it at
+  // the egress gateway. Middle-boxes only ever see ingress<->egress
+  // addresses — storage-network IPs never leak into the instance network.
+  net::NatRule ingress;
+  ingress.match_src_ip = ctx.host_storage_ip;
+  ingress.match_src_port = ctx.vm_port;
+  ingress.match_dst_ip = ctx.gateways.ingress_storage_ip();
+  ingress.match_dst_port = iscsi::kIscsiPort;
+  ingress.snat_ip = ctx.gateways.ingress_instance_ip();  // port preserved
+  ingress.dnat_ip = ctx.gateways.egress_instance_ip();
+  ingress.cookie = ctx.cookie;
+  ctx.gateways.ingress->nat().add_rule(ingress);
+
+  // Egress: masquerade back onto the storage network toward the real
+  // target. Matching the flow's source port selects the right target when
+  // several volumes share the gateway pair.
+  net::NatRule egress;
+  egress.match_src_port = ctx.vm_port;
+  egress.match_dst_ip = ctx.gateways.egress_instance_ip();
+  egress.match_dst_port = iscsi::kIscsiPort;
+  egress.snat_ip = ctx.gateways.egress_storage_ip();
+  egress.dnat_ip = ctx.target_ip;
+  egress.cookie = ctx.cookie;
+  ctx.gateways.egress->nat().add_rule(egress);
+}
+
+void NetworkSplicer::install_capture_rules(const SpliceContext& ctx) {
+  // Each active middle-box captures the segment arriving from the previous
+  // TCP endpoint (ingress gateway or the previous active box) by DNATing
+  // it to its local pseudo-server.
+  net::Ipv4Addr prev_endpoint = ctx.gateways.ingress_instance_ip();
+  for (const Hop& hop : ctx.chain) {
+    if (hop.relay != RelayMode::kActive) continue;
+    net::NatRule capture;
+    capture.match_src_ip = prev_endpoint;
+    capture.match_src_port = ctx.vm_port;
+    capture.match_dst_ip = ctx.gateways.egress_instance_ip();
+    capture.match_dst_port = iscsi::kIscsiPort;
+    capture.dnat_ip = hop.vm->ip();
+    capture.cookie = ctx.cookie;
+    hop.vm->node().nat().add_rule(capture);
+    prev_endpoint = hop.vm->ip();
+  }
+}
+
+std::size_t NetworkSplicer::remove_all_rules(const SpliceContext& ctx) {
+  std::size_t removed = 0;
+  removed += ctx.gateways.ingress->nat().remove_rules_by_cookie(ctx.cookie);
+  removed += ctx.gateways.egress->nat().remove_rules_by_cookie(ctx.cookie);
+  for (const Hop& hop : ctx.chain) {
+    removed += hop.vm->node().nat().remove_rules_by_cookie(ctx.cookie);
+  }
+  return removed;
+}
+
+}  // namespace storm::core

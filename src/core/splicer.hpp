@@ -1,0 +1,89 @@
+// Network splicing (paper §III-A): bring selected iSCSI flows from the
+// storage network into the instance network through a per-tenant pair of
+// storage gateways, steer them through the middle-box chain, and return
+// them to the storage network — all transparently to the initiator and
+// target.
+//
+// The pieces, mapped to the paper:
+//  * storage->instance redirection: a DNAT rule on the tenant VM's host
+//    (installed only for the duration of the atomic attach window),
+//  * ingress gateway: IP-masquerade the flow into the tenant's instance-
+//    network address space and point it at the egress gateway,
+//  * egress gateway: masquerade back onto the storage network toward the
+//    real target,
+//  * conntrack keeps established flows working after rule removal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "core/policy.hpp"
+
+namespace storm::core {
+
+struct GatewayPair {
+  net::NetNode* ingress = nullptr;
+  net::NetNode* egress = nullptr;
+
+  net::Ipv4Addr ingress_storage_ip() const { return ingress->nic_ip(0); }
+  net::Ipv4Addr ingress_instance_ip() const { return ingress->nic_ip(1); }
+  net::Ipv4Addr egress_storage_ip() const { return egress->nic_ip(0); }
+  net::Ipv4Addr egress_instance_ip() const { return egress->nic_ip(1); }
+};
+
+/// One middle-box position in a deployed chain.
+struct Hop {
+  cloud::Vm* vm = nullptr;
+  RelayMode relay = RelayMode::kActive;
+};
+
+/// Everything the splicer and the SDN controller need to know about one
+/// spliced storage flow.
+struct SpliceContext {
+  std::uint64_t cookie = 0;      // tags every rule this flow installed
+  std::uint16_t vm_port = 0;     // initiator source port (attribution)
+  net::Ipv4Addr host_storage_ip; // compute host running the tenant VM
+  net::Ipv4Addr target_ip;       // storage host
+  GatewayPair gateways;
+  std::vector<Hop> chain;
+};
+
+class NetworkSplicer {
+ public:
+  explicit NetworkSplicer(cloud::Cloud& cloud) : cloud_(cloud) {}
+
+  /// Get or create the tenant's gateway pair (created inside the tenant's
+  /// network space; invisible to other tenants).
+  GatewayPair& tenant_gateways(const std::string& tenant);
+
+  /// The atomic-attachment window (paper §III-A): DNAT the about-to-be-
+  /// created iSCSI connection on the tenant VM's host toward the ingress
+  /// gateway. Matches the flow's preset source port, so only this volume's
+  /// connection is redirected.
+  void install_host_redirect(cloud::ComputeHost& host,
+                             const SpliceContext& ctx);
+  void remove_host_redirect(cloud::ComputeHost& host,
+                            const SpliceContext& ctx);
+
+  /// Gateway masquerading rules for one flow.
+  void install_gateway_rules(const SpliceContext& ctx);
+
+  /// Active-relay capture rules on the middle-boxes themselves: redirect
+  /// the chain segment's flow to the local pseudo-server port.
+  void install_capture_rules(const SpliceContext& ctx);
+
+  /// Remove every NAT rule tagged with the context's cookie (gateways,
+  /// middle-boxes, and any leftover host rules). Established flows keep
+  /// working via conntrack.
+  std::size_t remove_all_rules(const SpliceContext& ctx);
+
+ private:
+  cloud::Cloud& cloud_;
+  std::map<std::string, GatewayPair> gateways_;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,86 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace storm::crypto {
+namespace {
+
+std::uint32_t rotl(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha20_block(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce, std::uint32_t counter,
+                    std::uint8_t out[64]) {
+  if (key.size() != 32 || nonce.size() != 12) {
+    throw std::invalid_argument("chacha20: key=32B nonce=12B required");
+  }
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+void chacha20_crypt(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce, std::uint32_t counter,
+                    std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out) {
+  if (out.size() < in.size()) {
+    throw std::invalid_argument("chacha20: output too small");
+  }
+  std::uint8_t keystream[64];
+  for (std::size_t off = 0; off < in.size(); off += 64) {
+    chacha20_block(key, nonce, counter++, keystream);
+    std::size_t n = std::min<std::size_t>(64, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[off + i] = in[off + i] ^ keystream[i];
+    }
+  }
+}
+
+}  // namespace storm::crypto

@@ -1,0 +1,33 @@
+// SHA-256 (FIPS 180-4). Used for replica integrity digests and test
+// fixtures (content-addressed verification of end-to-end data paths).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace storm::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> h_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+std::string digest_hex(const Sha256Digest& digest);
+
+}  // namespace storm::crypto

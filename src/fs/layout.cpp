@@ -1,0 +1,178 @@
+#include "fs/layout.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace storm::fs {
+
+Bytes SuperBlock::serialize() const {
+  Bytes block(kBlockSize, 0);
+  ByteWriter w(block);
+  block.clear();
+  w.u32(magic);
+  w.u32(total_blocks);
+  w.u32(blocks_per_group);
+  w.u32(inodes_per_group);
+  w.u32(num_groups);
+  block.resize(kBlockSize, 0);
+  return block;
+}
+
+Result<SuperBlock> SuperBlock::parse(std::span<const std::uint8_t> block) {
+  try {
+    ByteReader r(block);
+    SuperBlock sb;
+    sb.magic = r.u32();
+    if (sb.magic != kMagic) {
+      return error(ErrorCode::kParseError, "bad SimExt magic");
+    }
+    sb.total_blocks = r.u32();
+    sb.blocks_per_group = r.u32();
+    sb.inodes_per_group = r.u32();
+    sb.num_groups = r.u32();
+    if (sb.blocks_per_group == 0 || sb.inodes_per_group == 0 ||
+        sb.inodes_per_group % kInodesPerBlock != 0 ||
+        sb.blocks_per_group <= sb.group_meta_blocks()) {
+      return error(ErrorCode::kParseError, "inconsistent SimExt geometry");
+    }
+    return sb;
+  } catch (const std::out_of_range&) {
+    return error(ErrorCode::kParseError, "truncated superblock");
+  }
+}
+
+void Inode::serialize_into(std::span<std::uint8_t> slot) const {
+  if (slot.size() < kInodeSize) throw std::invalid_argument("inode slot");
+  std::memset(slot.data(), 0, kInodeSize);
+  Bytes tmp;
+  ByteWriter w(tmp);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u16(links);
+  w.u64(size);
+  for (std::uint32_t block : direct) w.u32(block);
+  w.u32(indirect);
+  w.u32(dindirect);
+  std::memcpy(slot.data(), tmp.data(), tmp.size());
+}
+
+Inode Inode::parse(std::span<const std::uint8_t> slot) {
+  ByteReader r(slot);
+  Inode inode;
+  inode.type = static_cast<InodeType>(r.u16());
+  inode.links = r.u16();
+  inode.size = r.u64();
+  for (auto& block : inode.direct) block = r.u32();
+  inode.indirect = r.u32();
+  inode.dindirect = r.u32();
+  return inode;
+}
+
+void DirEntry::serialize_into(std::span<std::uint8_t> slot) const {
+  if (slot.size() < kDirEntrySize) throw std::invalid_argument("dirent slot");
+  if (name.size() > kMaxNameLen) throw std::invalid_argument("name too long");
+  std::memset(slot.data(), 0, kDirEntrySize);
+  Bytes tmp;
+  ByteWriter w(tmp);
+  w.u32(inode);
+  w.u8(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type)));
+  w.u8(static_cast<std::uint8_t>(name.size()));
+  w.raw(name.data(), name.size());
+  std::memcpy(slot.data(), tmp.data(), tmp.size());
+}
+
+DirEntry DirEntry::parse(std::span<const std::uint8_t> slot) {
+  ByteReader r(slot);
+  DirEntry entry;
+  entry.inode = r.u32();
+  entry.type = static_cast<InodeType>(r.u8());
+  std::uint8_t name_len = r.u8();
+  Bytes name = r.raw(std::min<std::size_t>(name_len, kMaxNameLen));
+  entry.name.assign(name.begin(), name.end());
+  return entry;
+}
+
+BlockClass classify_block(const SuperBlock& sb, std::uint32_t block) {
+  BlockClass result;
+  if (block >= sb.total_blocks) {
+    result.kind = BlockClass::Kind::kOutOfRange;
+    return result;
+  }
+  if (block == 0) {
+    result.kind = BlockClass::Kind::kSuperblock;
+    return result;
+  }
+  std::uint32_t rel = block - 1;
+  result.group = rel / sb.blocks_per_group;
+  std::uint32_t offset = rel % sb.blocks_per_group;
+  if (result.group >= sb.num_groups) {
+    result.kind = BlockClass::Kind::kOutOfRange;
+    return result;
+  }
+  if (offset == 0) {
+    result.kind = BlockClass::Kind::kBlockBitmap;
+  } else if (offset == 1) {
+    result.kind = BlockClass::Kind::kInodeBitmap;
+  } else if (offset < sb.group_meta_blocks()) {
+    result.kind = BlockClass::Kind::kInodeTable;
+    result.table_index = offset - 2;
+  } else {
+    result.kind = BlockClass::Kind::kData;
+  }
+  return result;
+}
+
+std::string BlockClass::to_string() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kSuperblock: out << "superblock"; break;
+    case Kind::kBlockBitmap: out << "block_bitmap_" << group; break;
+    case Kind::kInodeBitmap: out << "inode_bitmap_" << group; break;
+    case Kind::kInodeTable: out << "inode_group_" << group; break;
+    case Kind::kData: out << "data"; break;
+    case Kind::kOutOfRange: out << "out_of_range"; break;
+  }
+  return out.str();
+}
+
+std::uint32_t inode_group(const SuperBlock& sb, std::uint32_t ino) {
+  return ino / sb.inodes_per_group;
+}
+
+std::pair<std::uint32_t, std::uint32_t> inode_location(const SuperBlock& sb,
+                                                       std::uint32_t ino) {
+  std::uint32_t group = inode_group(sb, ino);
+  std::uint32_t index = ino % sb.inodes_per_group;
+  std::uint32_t block = sb.group_first_block(group) + 2 +
+                        index / kInodesPerBlock;
+  std::uint32_t offset = (index % kInodesPerBlock) * kInodeSize;
+  return {block, offset};
+}
+
+std::uint32_t first_inode_of_table_block(const SuperBlock& sb,
+                                         std::uint32_t group,
+                                         std::uint32_t table_index) {
+  return group * sb.inodes_per_group + table_index * kInodesPerBlock;
+}
+
+bool bitmap_get(std::span<const std::uint8_t> bitmap, std::uint32_t index) {
+  return (bitmap[index / 8] >> (index % 8)) & 1;
+}
+
+void bitmap_set(std::span<std::uint8_t> bitmap, std::uint32_t index,
+                bool value) {
+  if (value) {
+    bitmap[index / 8] |= static_cast<std::uint8_t>(1u << (index % 8));
+  } else {
+    bitmap[index / 8] &= static_cast<std::uint8_t>(~(1u << (index % 8)));
+  }
+}
+
+std::optional<std::uint32_t> bitmap_find_clear(
+    std::span<const std::uint8_t> bitmap, std::uint32_t limit) {
+  for (std::uint32_t i = 0; i < limit; ++i) {
+    if (!bitmap_get(bitmap, i)) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace storm::fs

@@ -1,0 +1,1326 @@
+#include "fs/simext.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace storm::fs {
+
+// ---------------------------------------------------------------- utilities
+
+Result<std::vector<std::string>> split_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return error(ErrorCode::kInvalidArgument, "path must be absolute: " + path);
+  }
+  std::vector<std::string> parts;
+  std::size_t pos = 1;
+  while (pos <= path.size()) {
+    std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    std::string part = path.substr(pos, next - pos);
+    if (!part.empty()) {
+      if (part.size() > kMaxNameLen) {
+        return error(ErrorCode::kInvalidArgument, "name too long: " + part);
+      }
+      parts.push_back(std::move(part));
+    }
+    pos = next + 1;
+  }
+  return parts;
+}
+
+/// Join N async sub-operations into one completion with first-error-wins.
+struct SimExt::Joiner : std::enable_shared_from_this<SimExt::Joiner> {
+  int outstanding = 0;
+  bool sealed = false;
+  Status first_error = Status::ok();
+  std::function<void(Status)> on_done;
+
+  static std::shared_ptr<Joiner> make(std::function<void(Status)> done) {
+    auto joiner = std::make_shared<Joiner>();
+    joiner->on_done = std::move(done);
+    return joiner;
+  }
+
+  /// Register one sub-operation; call the returned functor on completion.
+  std::function<void(Status)> begin() {
+    ++outstanding;
+    auto self = shared_from_this();
+    return [self](Status status) {
+      if (!status.is_ok() && self->first_error.is_ok()) {
+        self->first_error = status;
+      }
+      --self->outstanding;
+      self->maybe_fire();
+    };
+  }
+
+  void seal() {
+    sealed = true;
+    maybe_fire();
+  }
+
+ private:
+  void maybe_fire() {
+    if (sealed && outstanding == 0 && on_done) {
+      auto done = std::move(on_done);
+      on_done = nullptr;
+      done(first_error);
+    }
+  }
+};
+
+// ------------------------------------------------------------------- mkfs
+
+SimExt::SimExt(sim::Simulator& simulator, block::BlockDevice& device,
+               Options options)
+    : sim_(simulator), dev_(device), options_(options) {}
+
+Status SimExt::mkfs(block::MemDisk& disk) {
+  SuperBlock sb;
+  sb.blocks_per_group = 1024;
+  sb.inodes_per_group = 512;
+  sb.total_blocks =
+      static_cast<std::uint32_t>(disk.num_sectors() / kSectorsPerBlock);
+  if (sb.total_blocks < 1 + sb.blocks_per_group) {
+    return error(ErrorCode::kInvalidArgument,
+                 "device too small for SimExt (needs >= " +
+                     std::to_string((1 + sb.blocks_per_group) * kBlockSize) +
+                     " bytes)");
+  }
+  sb.num_groups = (sb.total_blocks - 1) / sb.blocks_per_group;
+
+  auto write_block = [&](std::uint32_t block, const Bytes& data) {
+    disk.write_sync(static_cast<std::uint64_t>(block) * kSectorsPerBlock,
+                    data);
+  };
+
+  write_block(0, sb.serialize());
+  for (std::uint32_t g = 0; g < sb.num_groups; ++g) {
+    Bytes block_bitmap(kBlockSize, 0);
+    for (std::uint32_t i = 0; i < sb.group_meta_blocks(); ++i) {
+      bitmap_set(block_bitmap, i, true);
+    }
+    write_block(sb.group_first_block(g), block_bitmap);
+
+    Bytes inode_bitmap(kBlockSize, 0);
+    if (g == 0) {
+      bitmap_set(inode_bitmap, 0, true);          // inode 0 reserved
+      bitmap_set(inode_bitmap, kRootInode, true);  // root directory
+    }
+    write_block(sb.group_first_block(g) + 1, inode_bitmap);
+  }
+
+  // Root directory inode (empty directory, no data blocks yet).
+  Inode root;
+  root.type = InodeType::kDirectory;
+  root.links = 1;
+  auto [root_block, root_off] = inode_location(sb, kRootInode);
+  Bytes table_block(kBlockSize, 0);
+  root.serialize_into(
+      std::span<std::uint8_t>(table_block.data() + root_off, kInodeSize));
+  write_block(root_block, table_block);
+  return Status::ok();
+}
+
+// ------------------------------------------------------------------- mount
+
+void SimExt::mount(DoneCb done) {
+  dev_.read(0, kSectorsPerBlock, [this, done](Status status, Bytes data) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    auto parsed = SuperBlock::parse(data);
+    if (!parsed.is_ok()) {
+      done(parsed.status());
+      return;
+    }
+    sb_ = parsed.value();
+    // Prefetch every group's allocation bitmaps so allocation decisions
+    // are synchronous afterwards (a mount-time metadata scan, like
+    // loading group descriptors in ext*).
+    std::vector<std::uint32_t> bitmaps;
+    for (std::uint32_t g = 0; g < sb_.num_groups; ++g) {
+      bitmaps.push_back(sb_.group_first_block(g));
+      bitmaps.push_back(sb_.group_first_block(g) + 1);
+    }
+    ensure_blocks(std::move(bitmaps), [this, done](Status s) {
+      if (s.is_ok()) mounted_ = true;
+      done(s);
+    });
+  });
+}
+
+// --------------------------------------------------------------- op queue
+
+void SimExt::enqueue(std::function<void(DoneCb)> op, DoneCb user_done) {
+  op_queue_.emplace_back(std::move(op), std::move(user_done));
+  if (!op_running_) run_next();
+}
+
+void SimExt::run_next() {
+  if (op_queue_.empty()) {
+    op_running_ = false;
+    return;
+  }
+  op_running_ = true;
+  auto [op, user_done] = std::move(op_queue_.front());
+  op_queue_.pop_front();
+  op([this, user_done = std::move(user_done)](Status status) {
+    user_done(status);
+    // Defer to break recursion chains on long op queues.
+    sim_.post([this] { run_next(); });
+  });
+}
+
+// --------------------------------------------------------------- cache
+
+void SimExt::ensure_block(std::uint32_t block, DoneCb done) {
+  if (cache_.contains(block)) {
+    done(Status::ok());
+    return;
+  }
+  dev_.read(static_cast<std::uint64_t>(block) * kSectorsPerBlock,
+            kSectorsPerBlock, [this, block, done](Status status, Bytes data) {
+              if (!status.is_ok()) {
+                done(status);
+                return;
+              }
+              cache_.emplace(block, std::move(data));
+              done(Status::ok());
+            });
+}
+
+void SimExt::ensure_blocks(std::vector<std::uint32_t> blocks, DoneCb done) {
+  auto join = Joiner::make(std::move(done));
+  for (std::uint32_t block : blocks) {
+    ensure_block(block, join->begin());
+  }
+  join->seal();
+}
+
+Bytes& SimExt::cached(std::uint32_t block) {
+  auto it = cache_.find(block);
+  if (it == cache_.end()) {
+    throw std::logic_error("SimExt: block not cached: " +
+                           std::to_string(block));
+  }
+  return it->second;
+}
+
+void SimExt::mark_dirty(std::uint32_t block,
+                        const std::shared_ptr<Joiner>& join) {
+  if (options_.writeback_delay == 0) {
+    // Coalesce repeated dirtying of the same metadata block within one
+    // event tick (e.g. 64 bitmap updates while mapping one large write)
+    // into a single device write, as a real buffer cache would.
+    auto [it, fresh] = pending_meta_.try_emplace(block);
+    it->second.push_back(join->begin());
+    if (fresh) {
+      sim_.post([this, block] {
+        auto node = pending_meta_.extract(block);
+        if (node.empty()) return;
+        Bytes copy = cached(block);
+        dev_.write(static_cast<std::uint64_t>(block) * kSectorsPerBlock,
+                   std::move(copy),
+                   [waiters = std::move(node.mapped())](Status status) {
+                     for (const auto& waiter : waiters) waiter(status);
+                   });
+      });
+    }
+    return;
+  }
+  dirty_.insert(block);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.after(options_.writeback_delay, [this] {
+      flush_scheduled_ = false;
+      flush_dirty([](Status) {});
+    });
+  }
+}
+
+void SimExt::flush_dirty(DoneCb done) {
+  auto join = Joiner::make(std::move(done));
+  for (std::uint32_t block : dirty_) {
+    Bytes copy = cached(block);
+    dev_.write(static_cast<std::uint64_t>(block) * kSectorsPerBlock,
+               std::move(copy), join->begin());
+  }
+  dirty_.clear();
+  for (auto& [lba, data] : pending_data_) {
+    dev_.write(lba, std::move(data), join->begin());
+  }
+  pending_data_.clear();
+  join->seal();
+}
+
+void SimExt::flush(DoneCb done) {
+  enqueue([this](DoneCb finish) { flush_dirty(std::move(finish)); },
+          std::move(done));
+}
+
+void SimExt::drop_caches() {
+  // Keep bitmaps (allocator state) and anything dirty.
+  std::set<std::uint32_t> keep = dirty_;
+  for (std::uint32_t g = 0; g < sb_.num_groups; ++g) {
+    keep.insert(sb_.group_first_block(g));
+    keep.insert(sb_.group_first_block(g) + 1);
+  }
+  std::erase_if(cache_, [&](const auto& kv) { return !keep.contains(kv.first); });
+}
+
+// --------------------------------------------------------------- inodes
+
+std::uint32_t SimExt::inode_block(std::uint32_t ino) const {
+  return inode_location(sb_, ino).first;
+}
+
+Inode SimExt::get_inode(std::uint32_t ino) {
+  auto [block, offset] = inode_location(sb_, ino);
+  const Bytes& data = cached(block);
+  return Inode::parse(
+      std::span<const std::uint8_t>(data.data() + offset, kInodeSize));
+}
+
+void SimExt::put_inode(std::uint32_t ino, const Inode& inode,
+                       const std::shared_ptr<Joiner>& join) {
+  auto [block, offset] = inode_location(sb_, ino);
+  Bytes& data = cached(block);
+  inode.serialize_into(std::span<std::uint8_t>(data.data() + offset,
+                                               kInodeSize));
+  mark_dirty(block, join);
+}
+
+// ------------------------------------------------------------- allocation
+
+Result<std::uint32_t> SimExt::alloc_inode(
+    const std::shared_ptr<Joiner>& join) {
+  for (std::uint32_t g = 0; g < sb_.num_groups; ++g) {
+    std::uint32_t bitmap_block = sb_.group_first_block(g) + 1;
+    Bytes& bitmap = cached(bitmap_block);
+    auto index = bitmap_find_clear(bitmap, sb_.inodes_per_group);
+    if (!index) continue;
+    bitmap_set(bitmap, *index, true);
+    mark_dirty(bitmap_block, join);
+    return g * sb_.inodes_per_group + *index;
+  }
+  return error(ErrorCode::kOutOfSpace, "no free inodes");
+}
+
+Result<std::uint32_t> SimExt::alloc_block(
+    const std::shared_ptr<Joiner>& join) {
+  for (std::uint32_t g = 0; g < sb_.num_groups; ++g) {
+    std::uint32_t bitmap_block = sb_.group_first_block(g);
+    Bytes& bitmap = cached(bitmap_block);
+    auto index = bitmap_find_clear(bitmap, sb_.blocks_per_group);
+    if (!index) continue;
+    std::uint32_t block = sb_.group_first_block(g) + *index;
+    if (block >= sb_.total_blocks) continue;  // truncated last group
+    bitmap_set(bitmap, *index, true);
+    mark_dirty(bitmap_block, join);
+    return block;
+  }
+  return error(ErrorCode::kOutOfSpace, "no free blocks");
+}
+
+void SimExt::free_inode(std::uint32_t ino,
+                        const std::shared_ptr<Joiner>& join) {
+  std::uint32_t g = inode_group(sb_, ino);
+  std::uint32_t bitmap_block = sb_.group_first_block(g) + 1;
+  Bytes& bitmap = cached(bitmap_block);
+  bitmap_set(bitmap, ino % sb_.inodes_per_group, false);
+  mark_dirty(bitmap_block, join);
+}
+
+void SimExt::free_block(std::uint32_t block,
+                        const std::shared_ptr<Joiner>& join) {
+  std::uint32_t g = (block - 1) / sb_.blocks_per_group;
+  std::uint32_t bitmap_block = sb_.group_first_block(g);
+  Bytes& bitmap = cached(bitmap_block);
+  bitmap_set(bitmap, block - sb_.group_first_block(g), false);
+  mark_dirty(bitmap_block, join);
+  cache_.erase(block);
+  dirty_.erase(block);
+}
+
+std::uint32_t SimExt::free_data_blocks() const {
+  std::uint32_t free = 0;
+  for (std::uint32_t g = 0; g < sb_.num_groups; ++g) {
+    auto it = cache_.find(sb_.group_first_block(g));
+    if (it == cache_.end()) continue;
+    for (std::uint32_t i = 0; i < sb_.blocks_per_group; ++i) {
+      if (!bitmap_get(it->second, i)) ++free;
+    }
+  }
+  return free;
+}
+
+// --------------------------------------------------------------- resolve
+
+void SimExt::resolve(const std::string& path, ResolveCb done) {
+  auto parts = split_path(path);
+  if (!parts.is_ok()) {
+    done(parts.status(), {});
+    return;
+  }
+  if (parts.value().empty()) {
+    done(Status::ok(), Resolved{0, kRootInode, ""});
+    return;
+  }
+  auto shared =
+      std::make_shared<std::vector<std::string>>(std::move(parts).take());
+  resolve_step(shared, 0, kRootInode, std::move(done));
+}
+
+void SimExt::resolve_step(std::shared_ptr<std::vector<std::string>> parts,
+                          std::size_t index, std::uint32_t current,
+                          ResolveCb done) {
+  ensure_block(inode_block(current), [this, parts, index, current,
+                                      done](Status status) {
+    if (!status.is_ok()) {
+      done(status, {});
+      return;
+    }
+    Inode dir = get_inode(current);
+    if (dir.type != InodeType::kDirectory) {
+      done(error(ErrorCode::kInvalidArgument, "not a directory"), {});
+      return;
+    }
+    const std::string& name = (*parts)[index];
+    dir_scan(dir, name,
+             [this, parts, index, current, name, done](
+                 Status scan_status, std::uint32_t ino, std::uint32_t,
+                 std::uint32_t) {
+               if (!scan_status.is_ok()) {
+                 done(scan_status, {});
+                 return;
+               }
+               bool last = index + 1 == parts->size();
+               if (last) {
+                 done(Status::ok(), Resolved{current, ino, name});
+                 return;
+               }
+               if (ino == 0) {
+                 done(error(ErrorCode::kNotFound, "no such path component: " +
+                                                      name),
+                      {});
+                 return;
+               }
+               resolve_step(parts, index + 1, ino, done);
+             });
+  });
+}
+
+void SimExt::dir_scan(
+    const Inode& dir, const std::string& name,
+    std::function<void(Status, std::uint32_t, std::uint32_t, std::uint32_t)>
+        done) {
+  std::vector<std::uint32_t> blocks;
+  for (std::uint32_t block : dir.direct) {
+    if (block != 0) blocks.push_back(block);
+  }
+  ensure_blocks(blocks, [this, blocks, name, done](Status status) {
+    if (!status.is_ok()) {
+      done(status, 0, 0, 0);
+      return;
+    }
+    for (std::uint32_t block : blocks) {
+      const Bytes& data = cached(block);
+      for (std::uint32_t slot = 0; slot < kDirEntriesPerBlock; ++slot) {
+        DirEntry entry = DirEntry::parse(std::span<const std::uint8_t>(
+            data.data() + slot * kDirEntrySize, kDirEntrySize));
+        if (entry.inode != 0 && entry.name == name) {
+          done(Status::ok(), entry.inode, block, slot * kDirEntrySize);
+          return;
+        }
+      }
+    }
+    done(Status::ok(), 0, 0, 0);
+  });
+}
+
+void SimExt::dir_add_entry(std::uint32_t dir_ino, const DirEntry& entry,
+                           DoneCb done) {
+  ensure_block(inode_block(dir_ino), [this, dir_ino, entry,
+                                      done](Status status) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    Inode dir = get_inode(dir_ino);
+    std::vector<std::uint32_t> blocks;
+    for (std::uint32_t block : dir.direct) {
+      if (block != 0) blocks.push_back(block);
+    }
+    ensure_blocks(blocks, [this, dir_ino, entry, done](Status s) {
+      if (!s.is_ok()) {
+        done(s);
+        return;
+      }
+      auto join = Joiner::make(done);
+      Inode dir = get_inode(dir_ino);
+      // Find a free slot in existing blocks.
+      for (std::uint32_t block : dir.direct) {
+        if (block == 0) continue;
+        Bytes& data = cached(block);
+        for (std::uint32_t slot = 0; slot < kDirEntriesPerBlock; ++slot) {
+          DirEntry existing = DirEntry::parse(std::span<const std::uint8_t>(
+              data.data() + slot * kDirEntrySize, kDirEntrySize));
+          if (existing.inode == 0) {
+            entry.serialize_into(std::span<std::uint8_t>(
+                data.data() + slot * kDirEntrySize, kDirEntrySize));
+            mark_dirty(block, join);
+            join->seal();
+            return;
+          }
+        }
+      }
+      // All blocks full: grow the directory by one block.
+      for (auto& slot : dir.direct) {
+        if (slot != 0) continue;
+        auto block = alloc_block(join);
+        if (!block.is_ok()) {
+          join->begin()(block.status());
+          join->seal();
+          return;
+        }
+        slot = block.value();
+        dir.size += kBlockSize;
+        // Inode first, then the new directory block: a block-level
+        // observer must see the mapping before the mapped content
+        // (semantics reconstruction relies on this ordering).
+        put_inode(dir_ino, dir, join);
+        cache_[slot] = Bytes(kBlockSize, 0);
+        Bytes& data = cached(slot);
+        entry.serialize_into(
+            std::span<std::uint8_t>(data.data(), kDirEntrySize));
+        mark_dirty(slot, join);
+        join->seal();
+        return;
+      }
+      join->begin()(error(ErrorCode::kOutOfSpace, "directory full"));
+      join->seal();
+    });
+  });
+}
+
+void SimExt::dir_remove_entry(std::uint32_t dir_ino, const std::string& name,
+                              DoneCb done) {
+  ensure_block(inode_block(dir_ino), [this, dir_ino, name,
+                                      done](Status status) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    Inode dir = get_inode(dir_ino);
+    dir_scan(dir, name,
+             [this, done](Status s, std::uint32_t ino, std::uint32_t block,
+                          std::uint32_t offset) {
+               if (!s.is_ok()) {
+                 done(s);
+                 return;
+               }
+               if (ino == 0) {
+                 done(error(ErrorCode::kNotFound, "entry not found"));
+                 return;
+               }
+               auto join = Joiner::make(done);
+               Bytes& data = cached(block);
+               std::memset(data.data() + offset, 0, kDirEntrySize);
+               mark_dirty(block, join);
+               join->seal();
+             });
+  });
+}
+
+// ---------------------------------------------------------- block mapping
+
+void SimExt::map_block(Inode& inode, std::uint32_t index, bool allocate,
+                       std::shared_ptr<Joiner> join,
+                       std::function<void(Status, std::uint32_t)> done) {
+  auto alloc_table_block = [this, join](std::uint32_t& slot) -> Status {
+    auto block = alloc_block(join);
+    if (!block.is_ok()) return block.status();
+    slot = block.value();
+    cache_[slot] = Bytes(kBlockSize, 0);
+    mark_dirty(slot, join);
+    return Status::ok();
+  };
+
+  if (index < kDirectBlocks) {
+    if (inode.direct[index] == 0 && allocate) {
+      auto block = alloc_block(join);
+      if (!block.is_ok()) {
+        done(block.status(), 0);
+        return;
+      }
+      inode.direct[index] = block.value();
+    }
+    done(Status::ok(), inode.direct[index]);
+    return;
+  }
+
+  std::uint32_t rel = index - kDirectBlocks;
+  if (rel < kPointersPerBlock) {
+    if (inode.indirect == 0) {
+      if (!allocate) {
+        done(Status::ok(), 0);
+        return;
+      }
+      Status s = alloc_table_block(inode.indirect);
+      if (!s.is_ok()) {
+        done(s, 0);
+        return;
+      }
+    }
+    std::uint32_t table = inode.indirect;
+    ensure_block(table, [this, table, rel, allocate, join,
+                         done](Status status) {
+      if (!status.is_ok()) {
+        done(status, 0);
+        return;
+      }
+      Bytes& data = cached(table);
+      std::uint8_t* slot = data.data() + rel * 4;
+      std::uint32_t value = (std::uint32_t(slot[0]) << 24) |
+                            (std::uint32_t(slot[1]) << 16) |
+                            (std::uint32_t(slot[2]) << 8) | slot[3];
+      if (value == 0 && allocate) {
+        auto block = alloc_block(join);
+        if (!block.is_ok()) {
+          done(block.status(), 0);
+          return;
+        }
+        value = block.value();
+        slot[0] = static_cast<std::uint8_t>(value >> 24);
+        slot[1] = static_cast<std::uint8_t>(value >> 16);
+        slot[2] = static_cast<std::uint8_t>(value >> 8);
+        slot[3] = static_cast<std::uint8_t>(value);
+        mark_dirty(table, join);
+      }
+      done(Status::ok(), value);
+    });
+    return;
+  }
+
+  rel -= kPointersPerBlock;
+  if (rel >= kPointersPerBlock * kPointersPerBlock) {
+    done(error(ErrorCode::kInvalidArgument, "file too large"), 0);
+    return;
+  }
+  if (inode.dindirect == 0) {
+    if (!allocate) {
+      done(Status::ok(), 0);
+      return;
+    }
+    Status s = alloc_table_block(inode.dindirect);
+    if (!s.is_ok()) {
+      done(s, 0);
+      return;
+    }
+  }
+  std::uint32_t l1_block = inode.dindirect;
+  std::uint32_t l1_index = rel / kPointersPerBlock;
+  std::uint32_t l2_index = rel % kPointersPerBlock;
+  ensure_block(l1_block, [this, l1_block, l1_index, l2_index, allocate, join,
+                          done, alloc_table_block](Status status) mutable {
+    if (!status.is_ok()) {
+      done(status, 0);
+      return;
+    }
+    Bytes& l1 = cached(l1_block);
+    std::uint8_t* l1_slot = l1.data() + l1_index * 4;
+    std::uint32_t l2_block = (std::uint32_t(l1_slot[0]) << 24) |
+                             (std::uint32_t(l1_slot[1]) << 16) |
+                             (std::uint32_t(l1_slot[2]) << 8) | l1_slot[3];
+    if (l2_block == 0) {
+      if (!allocate) {
+        done(Status::ok(), 0);
+        return;
+      }
+      Status s = alloc_table_block(l2_block);
+      if (!s.is_ok()) {
+        done(s, 0);
+        return;
+      }
+      l1_slot[0] = static_cast<std::uint8_t>(l2_block >> 24);
+      l1_slot[1] = static_cast<std::uint8_t>(l2_block >> 16);
+      l1_slot[2] = static_cast<std::uint8_t>(l2_block >> 8);
+      l1_slot[3] = static_cast<std::uint8_t>(l2_block);
+      mark_dirty(l1_block, join);
+    }
+    ensure_block(l2_block, [this, l2_block, l2_index, allocate, join,
+                            done](Status s2) {
+      if (!s2.is_ok()) {
+        done(s2, 0);
+        return;
+      }
+      Bytes& l2 = cached(l2_block);
+      std::uint8_t* slot = l2.data() + l2_index * 4;
+      std::uint32_t value = (std::uint32_t(slot[0]) << 24) |
+                            (std::uint32_t(slot[1]) << 16) |
+                            (std::uint32_t(slot[2]) << 8) | slot[3];
+      if (value == 0 && allocate) {
+        auto block = alloc_block(join);
+        if (!block.is_ok()) {
+          done(block.status(), 0);
+          return;
+        }
+        value = block.value();
+        slot[0] = static_cast<std::uint8_t>(value >> 24);
+        slot[1] = static_cast<std::uint8_t>(value >> 16);
+        slot[2] = static_cast<std::uint8_t>(value >> 8);
+        slot[3] = static_cast<std::uint8_t>(value);
+        mark_dirty(l2_block, join);
+      }
+      done(Status::ok(), value);
+    });
+  });
+}
+
+void SimExt::free_file_blocks(const Inode& inode,
+                              std::shared_ptr<Joiner> join, DoneCb done) {
+  for (std::uint32_t block : inode.direct) {
+    if (block != 0) free_block(block, join);
+  }
+  auto free_table = [this, join](std::uint32_t table, auto&& next) {
+    ensure_block(table, [this, table, join, next](Status status) {
+      if (!status.is_ok()) {
+        next(status);
+        return;
+      }
+      const Bytes& data = cached(table);
+      std::vector<std::uint32_t> children;
+      for (std::uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        const std::uint8_t* slot = data.data() + i * 4;
+        std::uint32_t value = (std::uint32_t(slot[0]) << 24) |
+                              (std::uint32_t(slot[1]) << 16) |
+                              (std::uint32_t(slot[2]) << 8) | slot[3];
+        if (value != 0) children.push_back(value);
+      }
+      for (std::uint32_t child : children) free_block(child, join);
+      free_block(table, join);
+      next(Status::ok());
+    });
+  };
+
+  if (inode.indirect == 0 && inode.dindirect == 0) {
+    done(Status::ok());
+    return;
+  }
+  auto after_indirect = [this, inode, join, done, free_table](Status status) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    if (inode.dindirect == 0) {
+      done(Status::ok());
+      return;
+    }
+    // Double indirect: free each L2 table (and its children), then the L1.
+    std::uint32_t l1_block = inode.dindirect;
+    ensure_block(l1_block, [this, l1_block, join, done,
+                            free_table](Status s) {
+      if (!s.is_ok()) {
+        done(s);
+        return;
+      }
+      const Bytes& l1 = cached(l1_block);
+      auto l2_blocks = std::make_shared<std::vector<std::uint32_t>>();
+      for (std::uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        const std::uint8_t* slot = l1.data() + i * 4;
+        std::uint32_t value = (std::uint32_t(slot[0]) << 24) |
+                              (std::uint32_t(slot[1]) << 16) |
+                              (std::uint32_t(slot[2]) << 8) | slot[3];
+        if (value != 0) l2_blocks->push_back(value);
+      }
+      // Free L2 tables sequentially.
+      auto step = std::make_shared<std::function<void(std::size_t)>>();
+      *step = [this, l2_blocks, l1_block, join, done, free_table,
+               step](std::size_t i) {
+        if (i == l2_blocks->size()) {
+          free_block(l1_block, join);
+          done(Status::ok());
+          return;
+        }
+        free_table((*l2_blocks)[i], [step, i, done](Status s2) {
+          if (!s2.is_ok()) {
+            done(s2);
+            return;
+          }
+          (*step)(i + 1);
+        });
+      };
+      (*step)(0);
+    });
+  };
+
+  if (inode.indirect != 0) {
+    free_table(inode.indirect, after_indirect);
+  } else {
+    after_indirect(Status::ok());
+  }
+}
+
+// --------------------------------------------------------------- op bodies
+
+void SimExt::create(const std::string& path, DoneCb done) {
+  enqueue([this, path](DoneCb finish) {
+    do_create(path, InodeType::kFile, std::move(finish));
+  }, std::move(done));
+}
+
+void SimExt::mkdir(const std::string& path, DoneCb done) {
+  enqueue([this, path](DoneCb finish) {
+    do_create(path, InodeType::kDirectory, std::move(finish));
+  }, std::move(done));
+}
+
+void SimExt::do_create(const std::string& path, InodeType type, DoneCb done) {
+  resolve(path, [this, type, done](Status status, Resolved resolved) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    if (resolved.inode != 0 || resolved.parent == 0) {
+      done(error(ErrorCode::kAlreadyExists, "path exists"));
+      return;
+    }
+    auto join = Joiner::make(done);
+    auto ino = alloc_inode(join);
+    if (!ino.is_ok()) {
+      join->begin()(ino.status());
+      join->seal();
+      return;
+    }
+    std::uint32_t new_ino = ino.value();
+    ensure_block(inode_block(new_ino), [this, new_ino, type, resolved,
+                                        join](Status s) {
+      if (!s.is_ok()) {
+        join->begin()(s);
+        join->seal();
+        return;
+      }
+      Inode inode;
+      inode.type = type;
+      inode.links = 1;
+      put_inode(new_ino, inode, join);
+      DirEntry entry;
+      entry.inode = new_ino;
+      entry.type = type;
+      entry.name = resolved.leaf;
+      dir_add_entry(resolved.parent, entry, join->begin());
+      join->seal();
+    });
+  });
+}
+
+void SimExt::write_file(const std::string& path, std::uint64_t offset,
+                        Bytes data, DoneCb done) {
+  enqueue([this, path, offset, data = std::move(data)](DoneCb finish) mutable {
+    do_write(path, offset, std::move(data), std::move(finish));
+  }, std::move(done));
+}
+
+void SimExt::do_write(const std::string& path, std::uint64_t offset,
+                      Bytes data, DoneCb done) {
+  resolve(path, [this, offset, data = std::move(data),
+                 done](Status status, Resolved resolved) mutable {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    if (resolved.inode == 0) {
+      done(error(ErrorCode::kNotFound, "no such file"));
+      return;
+    }
+    std::uint32_t ino = resolved.inode;
+    ensure_block(inode_block(ino), [this, ino, offset,
+                                    data = std::move(data),
+                                    done](Status s) mutable {
+      if (!s.is_ok()) {
+        done(s);
+        return;
+      }
+      auto inode = std::make_shared<Inode>(get_inode(ino));
+      if (inode->type != InodeType::kFile) {
+        done(error(ErrorCode::kInvalidArgument, "not a regular file"));
+        return;
+      }
+      auto join = Joiner::make(done);
+      auto payload = std::make_shared<Bytes>(std::move(data));
+      std::uint64_t end = offset + payload->size();
+      std::uint32_t first_block = static_cast<std::uint32_t>(offset / kBlockSize);
+      std::uint32_t last_block =
+          payload->empty() ? first_block
+                           : static_cast<std::uint32_t>((end - 1) / kBlockSize);
+
+      // Data bytes are staged during the mapping phase and issued only
+      // after the inode (and any pointer blocks) have been written: a
+      // block-level observer can then attribute every data write to its
+      // file — the property StorM's semantics reconstruction depends on.
+      auto staged = std::make_shared<
+          std::vector<std::pair<std::uint64_t, Bytes>>>();
+      auto step = std::make_shared<std::function<void(std::uint32_t)>>();
+      *step = [this, ino, inode, offset, payload, end, first_block,
+               last_block, join, staged, step](std::uint32_t index) {
+        if (payload->empty() || index > last_block) {
+          std::uint64_t old_size = inode->size;
+          inode->size = std::max(old_size, end);
+          put_inode(ino, *inode, join);
+          // Merge contiguous staged writes into single device I/Os, as a
+          // kernel block layer would merge bios.
+          std::vector<std::pair<std::uint64_t, Bytes>> merged;
+          for (auto& [lba, bytes] : *staged) {
+            if (!merged.empty() &&
+                merged.back().first + merged.back().second.size() / 512 ==
+                    lba) {
+              merged.back().second.insert(merged.back().second.end(),
+                                          bytes.begin(), bytes.end());
+            } else {
+              merged.emplace_back(lba, std::move(bytes));
+            }
+          }
+          // Issue data after the same-tick metadata flush (see
+          // mark_dirty): the post below runs after the pending-meta posts
+          // already scheduled by put_inode/alloc, keeping the
+          // metadata-before-data device order reconstruction relies on.
+          for (auto& [lba, bytes] : merged) {
+            if (options_.writeback_delay == 0) {
+              sim_.post([this, lba = lba, bytes = std::move(bytes),
+                         cb = join->begin()]() mutable {
+                dev_.write(lba, std::move(bytes), std::move(cb));
+              });
+            } else {
+              pending_data_.emplace_back(lba, std::move(bytes));
+              if (!flush_scheduled_) {
+                flush_scheduled_ = true;
+                sim_.after(options_.writeback_delay, [this] {
+                  flush_scheduled_ = false;
+                  flush_dirty([](Status) {});
+                });
+              }
+            }
+          }
+          join->seal();
+          return;
+        }
+        std::uint64_t block_start =
+            static_cast<std::uint64_t>(index) * kBlockSize;
+        std::uint64_t copy_from = std::max<std::uint64_t>(offset, block_start);
+        std::uint64_t copy_to = std::min<std::uint64_t>(end, block_start + kBlockSize);
+        bool full_block = (copy_from == block_start) &&
+                          (copy_to == block_start + kBlockSize);
+        bool existed_before =
+            block_start < inode->size;  // may contain old data
+
+        map_block(*inode, index, /*allocate=*/true, join,
+                  [this, inode, index, payload, offset, block_start,
+                   copy_from, copy_to, full_block, existed_before, join,
+                   staged, step](Status ms, std::uint32_t block) {
+          if (!ms.is_ok()) {
+            join->begin()(ms);
+            join->seal();
+            return;
+          }
+          auto issue_write = [block, staged](Bytes bytes) {
+            staged->emplace_back(
+                static_cast<std::uint64_t>(block) * kSectorsPerBlock,
+                std::move(bytes));
+          };
+          auto slice = [payload, offset](std::uint64_t from,
+                                         std::uint64_t to) {
+            return std::span<const std::uint8_t>(
+                payload->data() + (from - offset), to - from);
+          };
+          if (full_block) {
+            Bytes bytes(slice(copy_from, copy_to).begin(),
+                        slice(copy_from, copy_to).end());
+            issue_write(std::move(bytes));
+            (*step)(index + 1);
+            return;
+          }
+          if (!existed_before) {
+            Bytes bytes(kBlockSize, 0);
+            auto src = slice(copy_from, copy_to);
+            std::memcpy(bytes.data() + (copy_from - block_start), src.data(),
+                        src.size());
+            issue_write(std::move(bytes));
+            (*step)(index + 1);
+            return;
+          }
+          // Read-modify-write of an existing partial block.
+          std::uint64_t lba =
+              static_cast<std::uint64_t>(block) * kSectorsPerBlock;
+          dev_.read(lba, kSectorsPerBlock,
+                    [slice, copy_from, copy_to, block_start, issue_write,
+                     step, index, join](Status rs, Bytes old) {
+            if (!rs.is_ok()) {
+              join->begin()(rs);
+              join->seal();
+              return;
+            }
+            auto src = slice(copy_from, copy_to);
+            std::memcpy(old.data() + (copy_from - block_start), src.data(),
+                        src.size());
+            issue_write(std::move(old));
+            (*step)(index + 1);
+          });
+        });
+      };
+      (*step)(first_block);
+    });
+  });
+}
+
+void SimExt::read_file(const std::string& path, std::uint64_t offset,
+                       std::uint32_t length, ReadCb done) {
+  enqueue([this, path, offset, length, done](DoneCb finish) {
+    do_read(path, offset, length,
+            [done, finish](Status status, Bytes data) {
+              done(status, std::move(data));
+              finish(status);
+            });
+  }, [](Status) {});
+}
+
+void SimExt::do_read(const std::string& path, std::uint64_t offset,
+                     std::uint32_t length, ReadCb done) {
+  resolve(path, [this, offset, length, done](Status status,
+                                             Resolved resolved) {
+    if (!status.is_ok()) {
+      done(status, {});
+      return;
+    }
+    if (resolved.inode == 0) {
+      done(error(ErrorCode::kNotFound, "no such file"), {});
+      return;
+    }
+    std::uint32_t ino = resolved.inode;
+    ensure_block(inode_block(ino), [this, ino, offset, length,
+                                    done](Status s) {
+      if (!s.is_ok()) {
+        done(s, {});
+        return;
+      }
+      auto inode = std::make_shared<Inode>(get_inode(ino));
+      if (inode->type != InodeType::kFile) {
+        done(error(ErrorCode::kInvalidArgument, "not a regular file"), {});
+        return;
+      }
+      if (offset >= inode->size) {
+        done(Status::ok(), {});
+        return;
+      }
+      std::uint64_t end =
+          std::min<std::uint64_t>(inode->size, offset + length);
+      auto result = std::make_shared<Bytes>();
+      result->reserve(end - offset);
+      std::uint32_t first_block = static_cast<std::uint32_t>(offset / kBlockSize);
+      std::uint32_t last_block = static_cast<std::uint32_t>((end - 1) / kBlockSize);
+
+      // Phase 1: map every affected file block (metadata only — the
+      // pointer blocks are cached after the first touch).
+      auto blocks = std::make_shared<std::vector<std::uint32_t>>();
+      auto map_step = std::make_shared<std::function<void(std::uint32_t)>>();
+      // Phase 2 (run after mapping): merge contiguous runs into large
+      // device reads, as the kernel block layer merges bios.
+      auto read_phase = [this, offset, end, first_block, last_block,
+                         result, blocks, done] {
+        struct Run {
+          std::uint32_t first_index;
+          std::uint32_t first_block;  // 0 = hole
+          std::uint32_t count;
+        };
+        auto runs = std::make_shared<std::vector<Run>>();
+        for (std::uint32_t i = 0; i < blocks->size(); ++i) {
+          std::uint32_t block = (*blocks)[i];
+          bool contiguous =
+              !runs->empty() &&
+              ((block == 0 && runs->back().first_block == 0) ||
+               (block != 0 && runs->back().first_block != 0 &&
+                runs->back().first_block + runs->back().count == block));
+          if (contiguous) {
+            ++runs->back().count;
+          } else {
+            runs->push_back(Run{first_block + i, block, 1});
+          }
+        }
+        auto run_step = std::make_shared<std::function<void(std::size_t)>>();
+        *run_step = [this, offset, end, result, runs, done,
+                     run_step](std::size_t run_index) {
+          if (run_index == runs->size()) {
+            done(Status::ok(), std::move(*result));
+            return;
+          }
+          const Run& run = (*runs)[run_index];
+          std::uint64_t run_start =
+              static_cast<std::uint64_t>(run.first_index) * kBlockSize;
+          std::uint64_t from = std::max<std::uint64_t>(offset, run_start);
+          std::uint64_t to = std::min<std::uint64_t>(
+              end, run_start + static_cast<std::uint64_t>(run.count) *
+                                   kBlockSize);
+          if (run.first_block == 0) {  // hole
+            result->insert(result->end(), to - from, 0);
+            (*run_step)(run_index + 1);
+            return;
+          }
+          std::uint64_t lba =
+              static_cast<std::uint64_t>(run.first_block) * kSectorsPerBlock;
+          dev_.read(lba, run.count * kSectorsPerBlock,
+                    [from, to, run_start, result, done, run_step,
+                     run_index](Status rs, Bytes data) {
+            if (!rs.is_ok()) {
+              done(rs, {});
+              return;
+            }
+            result->insert(
+                result->end(),
+                data.begin() + static_cast<std::ptrdiff_t>(from - run_start),
+                data.begin() + static_cast<std::ptrdiff_t>(to - run_start));
+            (*run_step)(run_index + 1);
+          });
+        };
+        (*run_step)(0);
+      };
+      *map_step = [this, inode, last_block, blocks, done, map_step,
+                   read_phase, first_block](std::uint32_t index) {
+        if (index > last_block) {
+          read_phase();
+          return;
+        }
+        map_block(*inode, index, /*allocate=*/false, nullptr,
+                  [blocks, done, map_step, index](Status ms,
+                                                  std::uint32_t block) {
+          if (!ms.is_ok()) {
+            done(ms, {});
+            return;
+          }
+          blocks->push_back(block);
+          (*map_step)(index + 1);
+        });
+      };
+      (*map_step)(first_block);
+    });
+  });
+}
+
+void SimExt::unlink(const std::string& path, DoneCb done) {
+  enqueue([this, path](DoneCb finish) {
+    do_unlink(path, std::move(finish));
+  }, std::move(done));
+}
+
+void SimExt::do_unlink(const std::string& path, DoneCb done) {
+  resolve(path, [this, done](Status status, Resolved resolved) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    if (resolved.inode == 0 || resolved.parent == 0) {
+      done(error(ErrorCode::kNotFound, "no such path"));
+      return;
+    }
+    std::uint32_t ino = resolved.inode;
+    ensure_block(inode_block(ino), [this, ino, resolved, done](Status s) {
+      if (!s.is_ok()) {
+        done(s);
+        return;
+      }
+      Inode inode = get_inode(ino);
+      auto finish_removal = [this, ino, resolved, inode, done](Status fs) {
+        if (!fs.is_ok()) {
+          done(fs);
+          return;
+        }
+        auto join = Joiner::make(done);
+        dir_remove_entry(resolved.parent, resolved.leaf, join->begin());
+        free_inode(ino, join);
+        Inode cleared;  // type kFree, all zero
+        put_inode(ino, cleared, join);
+        join->seal();
+      };
+      if (inode.type == InodeType::kDirectory) {
+        // Directories must be empty (we reuse dir_scan over all entries).
+        std::vector<std::uint32_t> blocks;
+        for (std::uint32_t block : inode.direct) {
+          if (block != 0) blocks.push_back(block);
+        }
+        ensure_blocks(blocks, [this, blocks, inode, finish_removal,
+                               done](Status es) {
+          if (!es.is_ok()) {
+            done(es);
+            return;
+          }
+          for (std::uint32_t block : blocks) {
+            const Bytes& data = cached(block);
+            for (std::uint32_t slot = 0; slot < kDirEntriesPerBlock; ++slot) {
+              DirEntry entry = DirEntry::parse(std::span<const std::uint8_t>(
+                  data.data() + slot * kDirEntrySize, kDirEntrySize));
+              if (entry.inode != 0) {
+                done(error(ErrorCode::kFailedPrecondition,
+                           "directory not empty"));
+                return;
+              }
+            }
+          }
+          auto join2 = Joiner::make([finish_removal](Status js) {
+            finish_removal(js);
+          });
+          for (std::uint32_t block : blocks) free_block(block, join2);
+          join2->seal();
+        });
+        return;
+      }
+      auto join = Joiner::make([finish_removal](Status js) {
+        finish_removal(js);
+      });
+      free_file_blocks(inode, join, join->begin());
+      join->seal();
+    });
+  });
+}
+
+void SimExt::rename(const std::string& from, const std::string& to,
+                    DoneCb done) {
+  enqueue([this, from, to](DoneCb finish) {
+    do_rename(from, to, std::move(finish));
+  }, std::move(done));
+}
+
+void SimExt::do_rename(const std::string& from, const std::string& to,
+                       DoneCb done) {
+  resolve(from, [this, to, done](Status status, Resolved src) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    if (src.inode == 0 || src.parent == 0) {
+      done(error(ErrorCode::kNotFound, "rename source missing"));
+      return;
+    }
+    resolve(to, [this, src, done](Status s2, Resolved dst) {
+      if (!s2.is_ok()) {
+        done(s2);
+        return;
+      }
+      if (dst.inode != 0 || dst.parent == 0) {
+        done(error(ErrorCode::kAlreadyExists, "rename target exists"));
+        return;
+      }
+      ensure_block(inode_block(src.inode), [this, src, dst,
+                                            done](Status s3) {
+        if (!s3.is_ok()) {
+          done(s3);
+          return;
+        }
+        Inode inode = get_inode(src.inode);
+        dir_remove_entry(src.parent, src.leaf,
+                         [this, src, dst, inode, done](Status s4) {
+          if (!s4.is_ok()) {
+            done(s4);
+            return;
+          }
+          DirEntry entry;
+          entry.inode = src.inode;
+          entry.type = inode.type;
+          entry.name = dst.leaf;
+          dir_add_entry(dst.parent, entry, done);
+        });
+      });
+    });
+  });
+}
+
+void SimExt::readdir(const std::string& path, ListCb done) {
+  enqueue([this, path, done](DoneCb finish) {
+    auto fail = [done, finish](Status status) {
+      done(status, {});
+      finish(status);
+    };
+    resolve(path, [this, done, finish, fail](Status status,
+                                             Resolved resolved) {
+      if (!status.is_ok()) {
+        fail(status);
+        return;
+      }
+      if (resolved.inode == 0) {
+        fail(error(ErrorCode::kNotFound, "no such directory"));
+        return;
+      }
+      ensure_block(inode_block(resolved.inode),
+                   [this, resolved, done, finish, fail](Status s) {
+        if (!s.is_ok()) {
+          fail(s);
+          return;
+        }
+        Inode dir = get_inode(resolved.inode);
+        if (dir.type != InodeType::kDirectory) {
+          fail(error(ErrorCode::kInvalidArgument, "not a directory"));
+          return;
+        }
+        std::vector<std::uint32_t> blocks;
+        for (std::uint32_t block : dir.direct) {
+          if (block != 0) blocks.push_back(block);
+        }
+        ensure_blocks(blocks, [this, blocks, done, finish,
+                               fail](Status es) {
+          if (!es.is_ok()) {
+            fail(es);
+            return;
+          }
+          std::vector<DirEntry> entries;
+          for (std::uint32_t block : blocks) {
+            const Bytes& data = cached(block);
+            for (std::uint32_t slot = 0; slot < kDirEntriesPerBlock;
+                 ++slot) {
+              DirEntry entry = DirEntry::parse(std::span<const std::uint8_t>(
+                  data.data() + slot * kDirEntrySize, kDirEntrySize));
+              if (entry.inode != 0) entries.push_back(std::move(entry));
+            }
+          }
+          done(Status::ok(), std::move(entries));
+          finish(Status::ok());
+        });
+      });
+    });
+  }, [](Status) {});
+}
+
+void SimExt::stat(const std::string& path, StatCb done) {
+  enqueue([this, path, done](DoneCb finish) {
+    resolve(path, [this, done, finish](Status status, Resolved resolved) {
+      if (!status.is_ok()) {
+        done(status, {});
+        finish(status);
+        return;
+      }
+      if (resolved.inode == 0) {
+        Status nf = error(ErrorCode::kNotFound, "no such path");
+        done(nf, {});
+        finish(nf);
+        return;
+      }
+      ensure_block(inode_block(resolved.inode),
+                   [this, resolved, done, finish](Status s) {
+        if (!s.is_ok()) {
+          done(s, {});
+          finish(s);
+          return;
+        }
+        Inode inode = get_inode(resolved.inode);
+        StatInfo info;
+        info.type = inode.type;
+        info.size = inode.size;
+        info.inode = resolved.inode;
+        done(Status::ok(), info);
+        finish(Status::ok());
+      });
+    });
+  }, [](Status) {});
+}
+
+}  // namespace storm::fs

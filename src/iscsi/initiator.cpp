@@ -1,0 +1,169 @@
+#include "iscsi/initiator.hpp"
+
+#include "block/block_device.hpp"
+#include "common/log.hpp"
+#include "net/node.hpp"
+
+namespace storm::iscsi {
+
+Initiator::Initiator(net::NetNode& node, net::SocketAddr target,
+                     std::string iqn, std::uint16_t local_port)
+    : node_(node), target_(target), iqn_(std::move(iqn)),
+      local_port_(local_port) {}
+
+void Initiator::login(LoginCallback done) {
+  login_cb_ = std::move(done);
+  conn_ = &node_.tcp().connect(target_, [this] {
+    send_pdu(make_login_request(iqn_));
+  }, local_port_);
+  source_port_ = conn_->local().port;
+  conn_->set_on_data([this](Bytes bytes) { on_data(bytes); });
+  conn_->set_on_closed([this](Status status) { on_closed(status); });
+}
+
+void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
+                     ReadCallback done) {
+  if (failed_ || !logged_in_) {
+    done(error(ErrorCode::kFailedPrecondition, "session not established"), {});
+    return;
+  }
+  std::uint32_t tag = next_tag_++;
+  std::uint32_t bytes = sectors * block::kSectorSize;
+  pending_reads_[tag] = PendingRead{{}, bytes, std::move(done)};
+  ++reads_;
+  send_pdu(make_read_command(tag, lba, bytes));
+}
+
+void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
+  if (failed_ || !logged_in_) {
+    done(error(ErrorCode::kFailedPrecondition, "session not established"));
+    return;
+  }
+  if (data.empty() || data.size() % block::kSectorSize != 0) {
+    done(error(ErrorCode::kInvalidArgument, "unaligned write"));
+    return;
+  }
+  std::uint32_t tag = next_tag_++;
+  pending_writes_[tag] = PendingWrite{std::move(done)};
+  ++writes_;
+
+  const std::uint32_t total = static_cast<std::uint32_t>(data.size());
+  // Command PDU carries the first segment as immediate data; the rest
+  // streams as Data-Out PDUs.
+  std::uint32_t first = std::min(kMaxDataSegment, total);
+  Pdu cmd = make_write_command(tag, lba, total);
+  cmd.data = Bytes(data.begin(), data.begin() + first);
+  if (first == total) cmd.flags |= kFlagFinal;
+  send_pdu(cmd);
+  std::uint32_t offset = first;
+  while (offset < total) {
+    std::uint32_t n = std::min(kMaxDataSegment, total - offset);
+    Bytes chunk(data.begin() + offset, data.begin() + offset + n);
+    send_pdu(make_data_out(tag, offset, std::move(chunk),
+                           offset + n == total));
+    offset += n;
+  }
+}
+
+void Initiator::logout() {
+  if (conn_ == nullptr || failed_) return;
+  Pdu pdu;
+  pdu.opcode = Opcode::kLogoutRequest;
+  send_pdu(pdu);
+}
+
+void Initiator::on_data(Bytes bytes) {
+  std::vector<Pdu> pdus;
+  Status status = parser_.feed(bytes, pdus);
+  if (!status.is_ok()) {
+    log_warn("iscsi-init") << "protocol error: " << status.to_string();
+    conn_->abort();
+    return;
+  }
+  for (auto& pdu : pdus) handle_pdu(std::move(pdu));
+}
+
+void Initiator::handle_pdu(Pdu pdu) {
+  switch (pdu.opcode) {
+    case Opcode::kLoginResponse: {
+      logged_in_ = pdu.status == kStatusGood;
+      if (login_cb_) {
+        auto cb = std::move(login_cb_);
+        login_cb_ = nullptr;
+        cb(logged_in_ ? Status::ok()
+                      : error(ErrorCode::kPermissionDenied, "login rejected"));
+      }
+      return;
+    }
+    case Opcode::kDataIn: {
+      auto it = pending_reads_.find(pdu.task_tag);
+      if (it == pending_reads_.end()) return;
+      PendingRead& pending = it->second;
+      if (pdu.data_offset != pending.data.size()) {
+        log_warn("iscsi-init") << "out-of-order Data-In";
+        return;
+      }
+      pending.data.insert(pending.data.end(), pdu.data.begin(),
+                          pdu.data.end());
+      return;
+    }
+    case Opcode::kScsiResponse: {
+      if (auto it = pending_reads_.find(pdu.task_tag);
+          it != pending_reads_.end()) {
+        PendingRead pending = std::move(it->second);
+        pending_reads_.erase(it);
+        if (pdu.status == kStatusGood &&
+            pending.data.size() == pending.expected) {
+          pending.done(Status::ok(), std::move(pending.data));
+        } else {
+          pending.done(error(ErrorCode::kIoError, "read failed"), {});
+        }
+        return;
+      }
+      if (auto it = pending_writes_.find(pdu.task_tag);
+          it != pending_writes_.end()) {
+        PendingWrite pending = std::move(it->second);
+        pending_writes_.erase(it);
+        pending.done(pdu.status == kStatusGood
+                         ? Status::ok()
+                         : error(ErrorCode::kIoError, "write failed"));
+        return;
+      }
+      return;
+    }
+    case Opcode::kLogoutResponse:
+      conn_->close();
+      return;
+    default:
+      return;
+  }
+}
+
+void Initiator::on_closed(Status status) {
+  if (failed_) return;
+  failed_ = true;
+  logged_in_ = false;
+  Status failure = status.is_ok()
+                       ? error(ErrorCode::kConnectionFailed, "session closed")
+                       : status;
+  if (login_cb_) {
+    auto cb = std::move(login_cb_);
+    login_cb_ = nullptr;
+    cb(failure);
+  }
+  // Fail all outstanding commands.
+  auto reads = std::move(pending_reads_);
+  pending_reads_.clear();
+  for (auto& [tag, pending] : reads) pending.done(failure, {});
+  auto writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  for (auto& [tag, pending] : writes) pending.done(failure);
+  if (on_failure_) on_failure_(failure);
+}
+
+void Initiator::send_pdu(const Pdu& pdu) {
+  if (conn_ == nullptr) return;
+  conn_->send(serialize(pdu));
+}
+
+}  // namespace storm::iscsi

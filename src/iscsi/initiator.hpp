@@ -1,0 +1,95 @@
+// iSCSI initiator: runs on the *compute host* (as in OpenStack — not in
+// the tenant VM), one connection per attached volume. Exposes the login
+// source port, reproducing the paper's patched "Login Session" code that
+// StorM's connection attribution reads (§III-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "iscsi/pdu.hpp"
+#include "net/tcp.hpp"
+
+namespace storm::iscsi {
+
+class Initiator {
+ public:
+  using LoginCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Status, Bytes)>;
+  using WriteCallback = std::function<void(Status)>;
+  using FailureCallback = std::function<void(Status)>;
+
+  /// `target` is the address the initiator dials. StorM's splicing NAT
+  /// may transparently redirect the flow; the initiator neither knows nor
+  /// cares — exactly the transparency property the paper claims.
+  /// A nonzero `local_port` pins the TCP source port (StorM pins it so
+  /// per-flow rules can be installed before the first SYN).
+  Initiator(net::NetNode& node, net::SocketAddr target, std::string iqn,
+            std::uint16_t local_port = 0);
+
+  Initiator(const Initiator&) = delete;
+  Initiator& operator=(const Initiator&) = delete;
+
+  /// Open the TCP connection and perform login.
+  void login(LoginCallback done);
+
+  /// Read `sectors` * 512 bytes from sector `lba`.
+  void read(std::uint64_t lba, std::uint32_t sectors, ReadCallback done);
+
+  /// Write sector-aligned `data` at sector `lba`.
+  void write(std::uint64_t lba, Bytes data, WriteCallback done);
+
+  void logout();
+
+  /// Fired when the session drops with commands outstanding (all pending
+  /// callbacks also fire with errors).
+  void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
+
+  /// TCP source port of this session — the attribution hook.
+  std::uint16_t source_port() const { return source_port_; }
+  const std::string& iqn() const { return iqn_; }
+  bool logged_in() const { return logged_in_; }
+
+  std::uint64_t reads_issued() const { return reads_; }
+  std::uint64_t writes_issued() const { return writes_; }
+
+ private:
+  struct PendingRead {
+    Bytes data;
+    std::uint32_t expected;
+    ReadCallback done;
+  };
+  struct PendingWrite {
+    WriteCallback done;
+  };
+
+  void on_data(Bytes bytes);
+  void handle_pdu(Pdu pdu);
+  void on_closed(Status status);
+  void send_pdu(const Pdu& pdu);
+
+  net::NetNode& node_;
+  net::SocketAddr target_;
+  std::string iqn_;
+  std::uint16_t local_port_ = 0;
+  net::TcpConnection* conn_ = nullptr;
+  StreamParser parser_;
+  bool logged_in_ = false;
+  bool failed_ = false;
+  std::uint16_t source_port_ = 0;
+  std::uint32_t next_tag_ = 1;
+
+  LoginCallback login_cb_;
+  FailureCallback on_failure_;
+  std::map<std::uint32_t, PendingRead> pending_reads_;
+  std::map<std::uint32_t, PendingWrite> pending_writes_;
+
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace storm::iscsi

@@ -1,0 +1,182 @@
+#include "iscsi/pdu.hpp"
+
+#include <sstream>
+
+#include "common/hash.hpp"
+
+namespace storm::iscsi {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNopOut: return "NOP-Out";
+    case Opcode::kScsiCommand: return "SCSI-Command";
+    case Opcode::kLoginRequest: return "Login-Request";
+    case Opcode::kDataOut: return "Data-Out";
+    case Opcode::kLogoutRequest: return "Logout-Request";
+    case Opcode::kNopIn: return "NOP-In";
+    case Opcode::kScsiResponse: return "SCSI-Response";
+    case Opcode::kLoginResponse: return "Login-Response";
+    case Opcode::kDataIn: return "Data-In";
+    case Opcode::kLogoutResponse: return "Logout-Response";
+    case Opcode::kReject: return "Reject";
+  }
+  return "Unknown";
+}
+
+std::string Pdu::summary() const {
+  std::ostringstream out;
+  out << to_string(opcode) << " tag=" << task_tag;
+  if (opcode == Opcode::kScsiCommand) {
+    out << (is_read() ? " READ" : " WRITE") << " lba=" << lba
+        << " len=" << transfer_length;
+  }
+  if (!data.empty()) out << " data=" << data.size() << "B@" << data_offset;
+  if (is_final()) out << " F";
+  return out.str();
+}
+
+Bytes serialize(const Pdu& pdu) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u8(static_cast<std::uint8_t>(pdu.opcode));
+  w.u8(pdu.flags);
+  w.u8(pdu.status);
+  w.u8(0);  // reserved
+  w.u32(pdu.task_tag);
+  w.u64(pdu.lba);
+  w.u32(pdu.transfer_length);
+  w.u32(pdu.data_offset);
+  w.str(pdu.text);
+  w.u32(static_cast<std::uint32_t>(pdu.data.size()));
+  w.raw(pdu.data);
+  w.u32(pdu.data.empty() ? 0 : crc32(pdu.data));
+
+  Bytes framed;
+  ByteWriter frame(framed);
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body);
+  return framed;
+}
+
+Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
+  try {
+    ByteReader r(body);
+    Pdu pdu;
+    pdu.opcode = static_cast<Opcode>(r.u8());
+    pdu.flags = r.u8();
+    pdu.status = r.u8();
+    r.skip(1);
+    pdu.task_tag = r.u32();
+    pdu.lba = r.u64();
+    pdu.transfer_length = r.u32();
+    pdu.data_offset = r.u32();
+    pdu.text = r.str();
+    std::uint32_t data_len = r.u32();
+    pdu.data = r.raw(data_len);
+    pdu.data_digest = r.u32();
+    if (r.remaining() != 0) {
+      return error(ErrorCode::kParseError, "trailing bytes in PDU");
+    }
+    std::uint32_t expect = pdu.data.empty() ? 0 : crc32(pdu.data);
+    if (pdu.data_digest != expect) {
+      return error(ErrorCode::kParseError, "data digest mismatch");
+    }
+    return pdu;
+  } catch (const std::out_of_range&) {
+    return error(ErrorCode::kParseError, "truncated PDU body");
+  }
+}
+
+Status StreamParser::feed(std::span<const std::uint8_t> bytes,
+                          std::vector<Pdu>& out) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    ByteReader r(std::span<const std::uint8_t>(buffer_.data() + pos, 4));
+    std::uint32_t body_len = r.u32();
+    if (buffer_.size() - pos - 4 < body_len) break;
+    auto result = parse_pdu(std::span<const std::uint8_t>(
+        buffer_.data() + pos + 4, body_len));
+    if (!result.is_ok()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+      return result.status();
+    }
+    out.push_back(std::move(result).take());
+    pos += 4 + body_len;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return Status::ok();
+}
+
+Pdu make_login_request(const std::string& iqn) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kLoginRequest;
+  pdu.text = "iqn=" + iqn;
+  pdu.flags = kFlagFinal;
+  return pdu;
+}
+
+Pdu make_login_response(std::uint8_t status) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kLoginResponse;
+  pdu.status = status;
+  pdu.flags = kFlagFinal;
+  return pdu;
+}
+
+Pdu make_read_command(std::uint32_t task_tag, std::uint64_t lba,
+                      std::uint32_t length_bytes) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kScsiCommand;
+  pdu.flags = kFlagFinal | kFlagRead;
+  pdu.task_tag = task_tag;
+  pdu.lba = lba;
+  pdu.transfer_length = length_bytes;
+  return pdu;
+}
+
+Pdu make_write_command(std::uint32_t task_tag, std::uint64_t lba,
+                       std::uint32_t length_bytes) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kScsiCommand;
+  pdu.flags = 0;  // data follows in Data-Out PDUs
+  pdu.task_tag = task_tag;
+  pdu.lba = lba;
+  pdu.transfer_length = length_bytes;
+  return pdu;
+}
+
+Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+                  bool final) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kDataOut;
+  pdu.task_tag = task_tag;
+  pdu.data_offset = offset;
+  pdu.data = std::move(data);
+  if (final) pdu.flags |= kFlagFinal;
+  return pdu;
+}
+
+Pdu make_data_in(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+                 bool final) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kDataIn;
+  pdu.task_tag = task_tag;
+  pdu.data_offset = offset;
+  pdu.data = std::move(data);
+  if (final) pdu.flags |= kFlagFinal;
+  return pdu;
+}
+
+Pdu make_scsi_response(std::uint32_t task_tag, std::uint8_t status) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kScsiResponse;
+  pdu.task_tag = task_tag;
+  pdu.status = status;
+  pdu.flags = kFlagFinal;
+  return pdu;
+}
+
+}  // namespace storm::iscsi

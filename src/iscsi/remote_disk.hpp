@@ -1,0 +1,46 @@
+// RemoteDisk: BlockDevice adapter over an iSCSI session. This is the
+// tenant VM's virtual-disk view — filesystems and workloads issue sector
+// I/O here and it travels the (possibly spliced) storage path.
+#pragma once
+
+#include "block/block_device.hpp"
+#include "iscsi/initiator.hpp"
+
+namespace storm::iscsi {
+
+class RemoteDisk : public block::BlockDevice {
+ public:
+  /// `sectors` is the volume capacity (known to the control plane at
+  /// attach time).
+  RemoteDisk(Initiator& initiator, std::uint64_t sectors)
+      : initiator_(initiator), sectors_(sectors) {}
+
+  void read(std::uint64_t lba, std::uint32_t count,
+            ReadCallback done) override {
+    Status status = check_range(lba, count);
+    if (!status.is_ok()) {
+      done(status, {});
+      return;
+    }
+    initiator_.read(lba, count, std::move(done));
+  }
+
+  void write(std::uint64_t lba, Bytes data, WriteCallback done) override {
+    Status status = check_range(lba, data.size() / block::kSectorSize);
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    initiator_.write(lba, std::move(data), std::move(done));
+  }
+
+  std::uint64_t num_sectors() const override { return sectors_; }
+
+  Initiator& initiator() { return initiator_; }
+
+ private:
+  Initiator& initiator_;
+  std::uint64_t sectors_;
+};
+
+}  // namespace storm::iscsi

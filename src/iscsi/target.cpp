@@ -1,0 +1,192 @@
+#include "iscsi/target.hpp"
+
+#include "common/log.hpp"
+#include "net/node.hpp"
+
+namespace storm::iscsi {
+
+Target::Target(net::NetNode& node, block::VolumeManager& volumes,
+               std::uint16_t port)
+    : node_(node), volumes_(volumes), port_(port) {}
+
+void Target::start() {
+  node_.tcp().listen(port_,
+                     [this](net::TcpConnection& conn) { on_accept(conn); });
+}
+
+void Target::on_accept(net::TcpConnection& conn) {
+  auto session = std::make_unique<Session>();
+  session->conn = &conn;
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  conn.set_on_data([this, raw](Bytes bytes) { on_data(*raw, bytes); });
+  conn.set_on_closed([raw](Status) { raw->closed = true; });
+}
+
+void Target::on_data(Session& session, Bytes bytes) {
+  std::vector<Pdu> pdus;
+  Status status = session.parser.feed(bytes, pdus);
+  if (!status.is_ok()) {
+    log_warn("iscsi-tgt") << node_.name()
+                          << ": protocol error: " << status.to_string();
+    session.conn->abort();
+    session.closed = true;
+    return;
+  }
+  for (auto& pdu : pdus) handle_pdu(session, std::move(pdu));
+}
+
+void Target::handle_pdu(Session& session, Pdu pdu) {
+  switch (pdu.opcode) {
+    case Opcode::kLoginRequest: {
+      std::string iqn = pdu.text.starts_with("iqn=") ? pdu.text.substr(4)
+                                                     : pdu.text;
+      auto volume = volumes_.find_by_iqn(iqn);
+      if (!volume.is_ok()) {
+        log_warn("iscsi-tgt") << "login failed for " << iqn;
+        send_pdu(session, make_login_response(kStatusLoginFailed));
+        return;
+      }
+      session.iqn = iqn;
+      session.volume = volume.value();
+      send_pdu(session, make_login_response(kStatusGood));
+      return;
+    }
+    case Opcode::kScsiCommand:
+      handle_command(session, pdu);
+      return;
+    case Opcode::kDataOut: {
+      auto it = session.writes.find(pdu.task_tag);
+      if (it == session.writes.end()) {
+        send_pdu(session, make_scsi_response(pdu.task_tag,
+                                             kStatusCheckCondition));
+        return;
+      }
+      Session::WriteBurst& burst = it->second;
+      if (pdu.data_offset != burst.data.size()) {
+        log_warn("iscsi-tgt") << "out-of-order Data-Out";
+        send_pdu(session, make_scsi_response(pdu.task_tag,
+                                             kStatusCheckCondition));
+        session.writes.erase(it);
+        return;
+      }
+      burst.data.insert(burst.data.end(), pdu.data.begin(), pdu.data.end());
+      if (pdu.is_final() || burst.data.size() >= burst.expected) {
+        complete_write(session, pdu.task_tag);
+      }
+      return;
+    }
+    case Opcode::kLogoutRequest: {
+      Pdu resp;
+      resp.opcode = Opcode::kLogoutResponse;
+      resp.task_tag = pdu.task_tag;
+      send_pdu(session, resp);
+      session.conn->close();
+      return;
+    }
+    case Opcode::kNopOut: {
+      Pdu resp;
+      resp.opcode = Opcode::kNopIn;
+      resp.task_tag = pdu.task_tag;
+      send_pdu(session, resp);
+      return;
+    }
+    default: {
+      Pdu reject;
+      reject.opcode = Opcode::kReject;
+      reject.task_tag = pdu.task_tag;
+      send_pdu(session, reject);
+      return;
+    }
+  }
+}
+
+void Target::handle_command(Session& session, const Pdu& pdu) {
+  if (session.volume == nullptr) {
+    send_pdu(session, make_scsi_response(pdu.task_tag, kStatusCheckCondition));
+    return;
+  }
+  ++commands_;
+  if (pdu.is_read()) {
+    const std::uint32_t sectors = pdu.transfer_length / block::kSectorSize;
+    session.volume->disk().read(
+        pdu.lba, sectors,
+        [this, &session, tag = pdu.task_tag](Status status, Bytes data) {
+          if (session.closed) return;
+          if (!status.is_ok()) {
+            send_pdu(session, make_scsi_response(tag, kStatusCheckCondition));
+            return;
+          }
+          // Stream the data in bounded Data-In segments.
+          std::uint32_t offset = 0;
+          while (offset < data.size()) {
+            std::uint32_t n = std::min<std::uint32_t>(
+                kMaxDataSegment, static_cast<std::uint32_t>(data.size()) - offset);
+            Bytes chunk(data.begin() + offset, data.begin() + offset + n);
+            bool final = offset + n == data.size();
+            send_pdu(session,
+                     make_data_in(tag, offset, std::move(chunk), final));
+            offset += n;
+          }
+          send_pdu(session, make_scsi_response(tag, kStatusGood));
+        });
+    return;
+  }
+  // Write command: data arrives in Data-Out PDUs (plus any immediate data).
+  Session::WriteBurst burst;
+  burst.lba = pdu.lba;
+  burst.expected = pdu.transfer_length;
+  burst.data = pdu.data;  // immediate data, if any
+  session.writes[pdu.task_tag] = std::move(burst);
+  if (pdu.is_final() ||
+      session.writes[pdu.task_tag].data.size() >= pdu.transfer_length) {
+    complete_write(session, pdu.task_tag);
+  }
+}
+
+void Target::complete_write(Session& session, std::uint32_t task_tag) {
+  auto it = session.writes.find(task_tag);
+  Session::WriteBurst burst = std::move(it->second);
+  session.writes.erase(it);
+  if (burst.data.size() != burst.expected) {
+    send_pdu(session, make_scsi_response(task_tag, kStatusCheckCondition));
+    return;
+  }
+  session.volume->disk().write(
+      burst.lba, std::move(burst.data),
+      [this, &session, task_tag](Status status) {
+        if (session.closed) return;
+        send_pdu(session,
+                 make_scsi_response(task_tag, status.is_ok()
+                                                  ? kStatusGood
+                                                  : kStatusCheckCondition));
+      });
+}
+
+void Target::send_pdu(Session& session, const Pdu& pdu) {
+  if (session.closed) return;
+  session.conn->send(serialize(pdu));
+}
+
+std::size_t Target::close_sessions_for(const std::string& iqn) {
+  std::size_t closed = 0;
+  for (auto& session : sessions_) {
+    if (!session->closed && session->iqn == iqn) {
+      session->conn->abort();
+      session->closed = true;
+      ++closed;
+    }
+  }
+  return closed;
+}
+
+std::vector<Target::SessionInfo> Target::sessions() const {
+  std::vector<SessionInfo> out;
+  for (const auto& session : sessions_) {
+    if (session->closed || session->iqn.empty()) continue;
+    out.push_back(SessionInfo{session->iqn, session->conn->four_tuple()});
+  }
+  return out;
+}
+
+}  // namespace storm::iscsi

@@ -1,0 +1,77 @@
+#include "net/flow_switch.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace storm::net {
+
+bool FlowMatch::matches(int in_port_arg, const Packet& pkt) const {
+  if (in_port && *in_port != in_port_arg) return false;
+  if (src_mac && *src_mac != pkt.eth.src) return false;
+  if (dst_mac && *dst_mac != pkt.eth.dst) return false;
+  if (src_ip && *src_ip != pkt.ip.src) return false;
+  if (dst_ip && *dst_ip != pkt.ip.dst) return false;
+  if (src_port && *src_port != pkt.tcp.src_port) return false;
+  if (dst_port && *dst_port != pkt.tcp.dst_port) return false;
+  return true;
+}
+
+std::string FlowMatch::to_string() const {
+  std::ostringstream out;
+  if (in_port) out << "in_port=" << *in_port << ",";
+  if (src_mac) out << "dl_src=" << storm::net::to_string(*src_mac) << ",";
+  if (dst_mac) out << "dl_dst=" << storm::net::to_string(*dst_mac) << ",";
+  if (src_ip) out << "nw_src=" << storm::net::to_string(*src_ip) << ",";
+  if (dst_ip) out << "nw_dst=" << storm::net::to_string(*dst_ip) << ",";
+  if (src_port) out << "tp_src=" << *src_port << ",";
+  if (dst_port) out << "tp_dst=" << *dst_port << ",";
+  std::string s = out.str();
+  if (!s.empty()) s.pop_back();
+  return s.empty() ? "*" : s;
+}
+
+void FlowSwitch::add_rule(FlowRule rule) {
+  auto pos = std::find_if(rules_.begin(), rules_.end(),
+                          [&](const FlowRule& existing) {
+                            return existing.priority < rule.priority;
+                          });
+  rules_.insert(pos, std::move(rule));
+}
+
+std::size_t FlowSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
+  auto removed = std::erase_if(
+      rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
+  return removed;
+}
+
+void FlowSwitch::process(int in_port, Packet pkt) {
+  for (auto& rule : rules_) {
+    if (!rule.match.matches(in_port, pkt)) continue;
+    ++rule.hits;
+    for (const auto& action : rule.actions) {
+      switch (action.type) {
+        case FlowActionType::kSetDstMac:
+          pkt.eth.dst = action.mac;
+          break;
+        case FlowActionType::kSetSrcMac:
+          pkt.eth.src = action.mac;
+          break;
+        case FlowActionType::kOutput:
+          output(action.port, std::move(pkt));
+          return;
+        case FlowActionType::kNormal:
+          forward_normal(in_port, std::move(pkt));
+          return;
+        case FlowActionType::kDrop:
+          return;
+      }
+    }
+    // Rules whose action list only rewrites headers continue to NORMAL,
+    // matching how StorM's mod_dst_mac steering rules behave in OVS.
+    forward_normal(in_port, std::move(pkt));
+    return;
+  }
+  forward_normal(in_port, std::move(pkt));
+}
+
+}  // namespace storm::net

@@ -1,0 +1,84 @@
+// OVS-style flow-table switch: priority-ordered match/action rules
+// installed by the StorM SDN controller (paper Fig. 3). Unmatched packets
+// fall back to the NORMAL L2 learning pipeline, as in Open vSwitch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/switch.hpp"
+
+namespace storm::net {
+
+/// All fields optional: an empty field is a wildcard.
+struct FlowMatch {
+  std::optional<int> in_port;
+  std::optional<MacAddr> src_mac;
+  std::optional<MacAddr> dst_mac;
+  std::optional<Ipv4Addr> src_ip;
+  std::optional<Ipv4Addr> dst_ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+
+  bool matches(int in_port_arg, const Packet& pkt) const;
+  std::string to_string() const;
+};
+
+enum class FlowActionType {
+  kSetDstMac,   // mod_dst_mac — the steering primitive from paper Fig. 3
+  kSetSrcMac,
+  kOutput,      // emit on an explicit port
+  kNormal,      // L2 learning pipeline
+  kDrop,
+};
+
+struct FlowAction {
+  FlowActionType type;
+  MacAddr mac{};  // for kSet*Mac
+  int port = -1;  // for kOutput
+
+  static FlowAction set_dst_mac(MacAddr mac) {
+    return {FlowActionType::kSetDstMac, mac, -1};
+  }
+  static FlowAction set_src_mac(MacAddr mac) {
+    return {FlowActionType::kSetSrcMac, mac, -1};
+  }
+  static FlowAction output(int port) {
+    return {FlowActionType::kOutput, MacAddr{}, port};
+  }
+  static FlowAction normal() { return {FlowActionType::kNormal, MacAddr{}, -1}; }
+  static FlowAction drop() { return {FlowActionType::kDrop, MacAddr{}, -1}; }
+};
+
+struct FlowRule {
+  int priority = 0;  // higher wins
+  FlowMatch match;
+  std::vector<FlowAction> actions;
+  std::uint64_t cookie = 0;  // controller tag, for targeted removal
+  std::uint64_t hits = 0;
+};
+
+class FlowSwitch : public L2Switch {
+ public:
+  using L2Switch::L2Switch;
+
+  /// Insert a rule; rules are kept sorted by descending priority
+  /// (stable: earlier-installed wins ties).
+  void add_rule(FlowRule rule);
+
+  /// Remove all rules carrying `cookie`; returns how many were removed.
+  std::size_t remove_rules_by_cookie(std::uint64_t cookie);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  const std::vector<FlowRule>& rules() const { return rules_; }
+
+ protected:
+  void process(int in_port, Packet pkt) override;
+
+ private:
+  std::vector<FlowRule> rules_;
+};
+
+}  // namespace storm::net

@@ -1,0 +1,30 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+namespace storm::net {
+
+void Link::send(int from_end, Packet pkt) {
+  if (down_) return;
+  const int to_end = 1 - from_end;
+  auto& receiver = receivers_.at(static_cast<std::size_t>(to_end));
+  if (!receiver) return;
+
+  const std::uint64_t bits = pkt.wire_size() * 8ull;
+  const auto ser = static_cast<sim::Duration>(bits * 1'000'000'000ull / bps_);
+
+  // FIFO through the per-direction serializer.
+  auto& next_free = next_free_[static_cast<std::size_t>(from_end)];
+  sim::Time start = std::max(sim_.now(), next_free);
+  next_free = start + ser;
+  sim::Time deliver_at = next_free + prop_;
+
+  packets_ += 1;
+  bytes_ += pkt.wire_size();
+  sim_.at(deliver_at, [this, to_end, p = std::move(pkt)]() mutable {
+    if (down_) return;  // went down while in flight
+    receivers_[static_cast<std::size_t>(to_end)](std::move(p));
+  });
+}
+
+}  // namespace storm::net

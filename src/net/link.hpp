@@ -1,0 +1,52 @@
+// Point-to-point full-duplex link with bandwidth (serialization delay plus
+// FIFO queueing) and propagation delay. Supports failure injection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace storm::net {
+
+class Link {
+ public:
+  using Receiver = std::function<void(Packet)>;
+
+  Link(sim::Simulator& simulator, std::uint64_t bits_per_second,
+       sim::Duration propagation_delay)
+      : sim_(simulator), bps_(bits_per_second), prop_(propagation_delay) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Attach the receive callback for `end` (0 or 1).
+  void connect(int end, Receiver receiver) {
+    receivers_.at(static_cast<std::size_t>(end)) = std::move(receiver);
+  }
+
+  /// Transmit from `from_end`; delivered at the opposite end after
+  /// queueing + serialization + propagation. Dropped if the link is down.
+  void send(int from_end, Packet pkt);
+
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  std::uint64_t packets_delivered() const { return packets_; }
+  std::uint64_t bytes_delivered() const { return bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint64_t bps_;
+  sim::Duration prop_;
+  bool down_ = false;
+  std::array<Receiver, 2> receivers_{};
+  std::array<sim::Time, 2> next_free_{};  // per-direction serializer
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace storm::net

@@ -1,0 +1,84 @@
+#include "net/nat.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace storm::net {
+
+bool NatRule::matches(const Packet& pkt) const {
+  if (match_src_ip && *match_src_ip != pkt.ip.src) return false;
+  if (match_src_port && *match_src_port != pkt.tcp.src_port) return false;
+  if (match_dst_ip && *match_dst_ip != pkt.ip.dst) return false;
+  if (match_dst_port && *match_dst_port != pkt.tcp.dst_port) return false;
+  return true;
+}
+
+std::string NatRule::to_string() const {
+  std::ostringstream out;
+  out << "match{";
+  if (match_src_ip) out << " src=" << storm::net::to_string(*match_src_ip);
+  if (match_src_port) out << " sport=" << *match_src_port;
+  if (match_dst_ip) out << " dst=" << storm::net::to_string(*match_dst_ip);
+  if (match_dst_port) out << " dport=" << *match_dst_port;
+  out << " } ->";
+  if (snat_ip || snat_port) {
+    out << " SNAT";
+    if (snat_ip) out << " " << storm::net::to_string(*snat_ip);
+    if (snat_port) out << ":" << *snat_port;
+  }
+  if (dnat_ip || dnat_port) {
+    out << " DNAT";
+    if (dnat_ip) out << " " << storm::net::to_string(*dnat_ip);
+    if (dnat_port) out << ":" << *dnat_port;
+  }
+  return out.str();
+}
+
+std::size_t NatEngine::remove_rules_by_cookie(std::uint64_t cookie) {
+  return std::erase_if(
+      rules_, [cookie](const NatRule& r) { return r.cookie == cookie; });
+}
+
+void NatEngine::apply(Packet& pkt, const FourTuple& to) {
+  pkt.ip.src = to.src.ip;
+  pkt.tcp.src_port = to.src.port;
+  pkt.ip.dst = to.dst.ip;
+  pkt.tcp.dst_port = to.dst.port;
+}
+
+bool NatEngine::translate(Packet& pkt) {
+  const FourTuple key = pkt.four_tuple();
+
+  if (auto it = forward_.find(key); it != forward_.end()) {
+    apply(pkt, it->second);
+    return true;
+  }
+  if (auto it = reverse_.find(key); it != reverse_.end()) {
+    apply(pkt, it->second);
+    return true;
+  }
+
+  for (const NatRule& rule : rules_) {
+    if (!rule.matches(pkt)) continue;
+    FourTuple translated = key;
+    if (rule.snat_ip) translated.src.ip = *rule.snat_ip;
+    if (rule.snat_port) translated.src.port = *rule.snat_port;
+    if (rule.dnat_ip) translated.dst.ip = *rule.dnat_ip;
+    if (rule.dnat_port) translated.dst.port = *rule.dnat_port;
+    if (translated == key) return false;  // no-op rule
+
+    forward_[key] = translated;
+    reverse_[FourTuple{translated.dst, translated.src}] =
+        FourTuple{key.dst, key.src};
+    apply(pkt, translated);
+    return true;
+  }
+  return false;
+}
+
+void NatEngine::flush_conntrack() {
+  forward_.clear();
+  reverse_.clear();
+}
+
+}  // namespace storm::net

@@ -1,0 +1,62 @@
+// iptables-style NAT with connection tracking.
+//
+// Rules match the *pre-translation* packet and may rewrite source
+// (SNAT / masquerading) and/or destination (DNAT). The first packet of a
+// flow that matches a rule creates a conntrack entry; subsequent packets
+// (and replies) are translated from conntrack alone. This is what makes
+// StorM's atomic volume attachment work: the platform removes the rules
+// right after attach, and established flows keep flowing because their
+// conntrack entries survive rule removal (paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace storm::net {
+
+struct NatRule {
+  // Match (wildcard when empty). Matches the packet before translation.
+  std::optional<Ipv4Addr> match_src_ip;
+  std::optional<std::uint16_t> match_src_port;
+  std::optional<Ipv4Addr> match_dst_ip;
+  std::optional<std::uint16_t> match_dst_port;
+
+  // Rewrites to apply (any subset).
+  std::optional<Ipv4Addr> snat_ip;
+  std::optional<std::uint16_t> snat_port;
+  std::optional<Ipv4Addr> dnat_ip;
+  std::optional<std::uint16_t> dnat_port;
+
+  std::uint64_t cookie = 0;
+
+  bool matches(const Packet& pkt) const;
+  std::string to_string() const;
+};
+
+class NatEngine {
+ public:
+  void add_rule(NatRule rule) { rules_.push_back(std::move(rule)); }
+  std::size_t remove_rules_by_cookie(std::uint64_t cookie);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Translate a packet traversing this node's IP layer. Returns true if
+  /// any translation was applied (conntrack or rule).
+  bool translate(Packet& pkt);
+
+  std::size_t conntrack_size() const { return forward_.size(); }
+  void flush_conntrack();
+
+ private:
+  static void apply(Packet& pkt, const FourTuple& to);
+
+  std::vector<NatRule> rules_;
+  std::map<FourTuple, FourTuple> forward_;  // orig -> translated
+  std::map<FourTuple, FourTuple> reverse_;  // reverse(translated) -> reverse(orig)
+};
+
+}  // namespace storm::net

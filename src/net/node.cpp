@@ -1,0 +1,152 @@
+#include "net/node.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "net/tcp.hpp"
+
+namespace storm::net {
+
+MacAddr ArpRegistry::lookup(Ipv4Addr ip) const {
+  auto it = table_.find(ip.value);
+  if (it == table_.end()) {
+    throw std::runtime_error("ARP: no entry for " + to_string(ip));
+  }
+  return it->second;
+}
+
+NetNode::NetNode(sim::Simulator& simulator, std::string name,
+                 std::shared_ptr<ArpRegistry> arp)
+    : sim_(simulator), name_(std::move(name)), arp_(std::move(arp)),
+      tcp_(std::make_unique<TcpStack>(*this)) {}
+
+NetNode::~NetNode() = default;
+
+int NetNode::add_nic(MacAddr mac, Ipv4Addr ip, Subnet subnet, Link& link,
+                     int end) {
+  int index = static_cast<int>(nics_.size());
+  nics_.push_back(Nic{mac, ip, subnet, &link, end});
+  arp_->add(ip, mac);
+  link.connect(end, [this, index](Packet pkt) { on_receive(index, pkt); });
+  return index;
+}
+
+void NetNode::set_packet_processing(sim::Cpu* cpu, sim::Duration per_packet,
+                                    double ns_per_byte) {
+  cpu_ = cpu;
+  per_packet_cost_ = per_packet;
+  ns_per_byte_ = ns_per_byte;
+}
+
+bool NetNode::has_local_ip(Ipv4Addr ip) const {
+  for (const Nic& nic : nics_) {
+    if (nic.ip == ip) return true;
+  }
+  return false;
+}
+
+Ipv4Addr NetNode::source_ip_for(Ipv4Addr dst) const {
+  int nic_index = route(dst);
+  if (nic_index < 0) nic_index = 0;
+  return nics_.at(static_cast<std::size_t>(nic_index)).ip;
+}
+
+Ipv4Addr NetNode::nic_ip(int nic_index) const {
+  return nics_.at(static_cast<std::size_t>(nic_index)).ip;
+}
+
+MacAddr NetNode::nic_mac(int nic_index) const {
+  return nics_.at(static_cast<std::size_t>(nic_index)).mac;
+}
+
+void NetNode::charge(std::size_t bytes, std::function<void()> then) {
+  sim::Duration cost =
+      per_packet_cost_ +
+      static_cast<sim::Duration>(ns_per_byte_ * static_cast<double>(bytes));
+  if (cost == 0) {
+    then();
+  } else if (cpu_ != nullptr) {
+    cpu_->run(cost, std::move(then));
+  } else {
+    sim_.after(cost, std::move(then));
+  }
+}
+
+void NetNode::on_receive(int nic_index, Packet pkt) {
+  if (down_) return;
+  const Nic& nic = nics_[static_cast<std::size_t>(nic_index)];
+  // L2 filter: accept only frames addressed to this NIC (or broadcast).
+  if (!pkt.eth.dst.is_broadcast() && pkt.eth.dst != nic.mac) return;
+  ++received_;
+  charge(pkt.wire_size(), [this, p = std::move(pkt)]() mutable {
+    if (down_) return;
+    deliver_or_forward(std::move(p));
+  });
+}
+
+void NetNode::deliver_or_forward(Packet pkt) {
+  nat_.translate(pkt);
+  if (has_local_ip(pkt.ip.dst)) {
+    tcp_->handle_segment(std::move(pkt));
+    return;
+  }
+  if (!ip_forward_) {
+    log_debug("node") << name_ << ": drop (not local, no ip_forward) "
+                      << pkt.summary();
+    return;
+  }
+  if (pkt.ip.ttl == 0) return;
+  pkt.ip.ttl -= 1;
+  ++forwarded_;
+  if (forward_hook_ && forward_hook_(pkt)) {
+    return;  // hook consumed it; it will call emit_forward()
+  }
+  route_and_send(std::move(pkt));
+}
+
+int NetNode::route(Ipv4Addr dst) const {
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    if (nics_[i].subnet.contains(dst)) return static_cast<int>(i);
+  }
+  if (default_gw_.value != 0) {
+    for (std::size_t i = 0; i < nics_.size(); ++i) {
+      if (nics_[i].subnet.contains(default_gw_)) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void NetNode::route_and_send(Packet pkt) {
+  if (down_) return;
+  int nic_index = route(pkt.ip.dst);
+  if (nic_index < 0) {
+    log_warn("node") << name_ << ": no route to " << to_string(pkt.ip.dst);
+    return;
+  }
+  Nic& nic = nics_[static_cast<std::size_t>(nic_index)];
+  Ipv4Addr next_hop =
+      nic.subnet.contains(pkt.ip.dst) ? pkt.ip.dst : default_gw_;
+  pkt.eth.src = nic.mac;
+  pkt.eth.dst = arp_->lookup(next_hop);
+  charge(pkt.wire_size(), [&nic, p = std::move(pkt), this]() mutable {
+    if (down_) return;
+    nic.link->send(nic.end, std::move(p));
+  });
+}
+
+void NetNode::send_ip(Packet pkt) {
+  if (down_) return;
+  nat_.translate(pkt);
+  // Loopback: both endpoints on this node (used by the active relay's
+  // local pseudo-server redirection).
+  if (has_local_ip(pkt.ip.dst)) {
+    sim_.post([this, p = std::move(pkt)]() mutable {
+      if (!down_) tcp_->handle_segment(std::move(p));
+    });
+    return;
+  }
+  route_and_send(std::move(pkt));
+}
+
+}  // namespace storm::net

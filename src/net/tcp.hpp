@@ -1,0 +1,185 @@
+// TCP-lite: a connection-oriented, windowed, in-order byte stream over the
+// simulated fabric.
+//
+// Modeled faithfully enough for StorM's purposes:
+//   * three-way handshake, FIN close, RST abort,
+//   * MSS segmentation,
+//   * sliding sender window = min(local cap, peer-advertised window),
+//   * cumulative ACKs generated immediately on data receipt.
+// The sender window is what makes the paper's active-relay result emerge:
+// a relay that terminates TCP and ACKs locally collapses the ACK RTT from
+// the whole VM->gateway->MBs->gateway->target path to a single hop, so the
+// source never stalls on the middle-box's processing or downstream hops.
+//
+// Not modeled: loss/retransmission/SACK (the fabric is lossless FIFO);
+// failures are whole-connection events (RST or silent node-down), which is
+// exactly how the paper injects faults (closing the iSCSI connection).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/packet.hpp"
+
+namespace storm::net {
+
+class NetNode;
+class TcpStack;
+
+inline constexpr std::size_t kTcpMss = 1460;
+inline constexpr std::uint32_t kDefaultWindow = 64 * 1024;
+
+class TcpConnection {
+ public:
+  using DataCallback = std::function<void(Bytes)>;
+  using EstablishedCallback = std::function<void()>;
+  using ClosedCallback = std::function<void(Status)>;
+
+  enum class State {
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinSent,
+    kClosed,
+  };
+
+  /// Queue bytes for transmission. No-op after close()/abort().
+  void send(Bytes data);
+
+  /// Register the in-order data sink. Bytes arriving before registration
+  /// are buffered and flushed on registration.
+  void set_on_data(DataCallback cb);
+
+  /// Fires once when the connection ends: OK for graceful FIN, an error
+  /// status for RST or local abort.
+  void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
+
+  /// Fires whenever the peer acknowledges new bytes (bytes_acked()
+  /// advanced). Used by the active relay to trim its NVRAM journal.
+  void set_on_ack(std::function<void()> cb) { on_ack_ = std::move(cb); }
+
+  /// Graceful close: FIN goes out after the send buffer drains.
+  void close();
+
+  /// Immediate RST teardown.
+  void abort();
+
+  State state() const { return state_; }
+  SocketAddr local() const { return local_; }
+  SocketAddr remote() const { return remote_; }
+  FourTuple four_tuple() const { return FourTuple{local_, remote_}; }
+
+  /// Cap on un-ACKed bytes in flight (sender side).
+  void set_send_window(std::uint32_t bytes) { send_window_cap_ = bytes; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+  /// Payload bytes the peer has cumulatively acknowledged (the SYN's
+  /// sequence slot is excluded). The active relay trims its NVRAM journal
+  /// against this watermark.
+  std::uint64_t bytes_acked() const {
+    return snd_una_ > 0 ? snd_una_ - 1 : 0;
+  }
+  std::size_t send_backlog() const { return send_buf_.size(); }
+  std::uint64_t unacked() const { return snd_nxt_ - snd_una_; }
+
+ private:
+  friend class TcpStack;
+
+  TcpConnection(TcpStack& stack, SocketAddr local, SocketAddr remote,
+                bool initiator, std::uint32_t window);
+
+  void handle_segment(const Packet& pkt);
+  void pump();
+  void emit(std::uint8_t flags, Bytes payload, std::uint64_t seq);
+  void send_ack();
+  void enter_closed(Status status);
+
+  TcpStack& stack_;
+  SocketAddr local_;
+  SocketAddr remote_;
+  State state_;
+
+  // Sender state.
+  std::uint64_t snd_una_ = 0;  // oldest unacknowledged
+  std::uint64_t snd_nxt_ = 0;  // next to send
+  std::deque<std::uint8_t> send_buf_;
+  std::uint32_t send_window_cap_;
+  std::uint32_t peer_window_;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_ = 0;
+  std::uint32_t recv_window_;
+  Bytes pending_rx_;  // buffered until set_on_data
+
+  DataCallback on_data_;
+  EstablishedCallback on_established_;
+  ClosedCallback on_closed_;
+  std::function<void()> on_ack_;
+  // Listener callback held until the handshake completes.
+  std::function<void(TcpConnection&)> accept_pending_;
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+class TcpStack {
+ public:
+  using AcceptCallback = std::function<void(TcpConnection&)>;
+
+  explicit TcpStack(NetNode& node) : node_(node) {}
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Register a listener; each established inbound connection is handed to
+  /// `on_accept` (fired after the three-way handshake completes).
+  void listen(std::uint16_t port, AcceptCallback on_accept);
+  void stop_listening(std::uint16_t port) { listeners_.erase(port); }
+
+  /// Open a connection to `remote`. `on_established` fires when the
+  /// handshake completes; `on_failed` on RST during connect.
+  TcpConnection& connect(SocketAddr remote,
+                         TcpConnection::EstablishedCallback on_established,
+                         std::uint16_t local_port = 0);
+
+  /// Demux an inbound segment (called by NetNode).
+  void handle_segment(Packet pkt);
+
+  /// Default advertised/receive and send window for new connections.
+  void set_default_window(std::uint32_t bytes) { default_window_ = bytes; }
+  std::uint32_t default_window() const { return default_window_; }
+
+  NetNode& node() { return node_; }
+
+  std::uint16_t allocate_ephemeral_port() { return next_ephemeral_++; }
+
+  /// The source port of the most recently initiated outbound connection.
+  /// StorM's connection attribution patches the iSCSI login path to report
+  /// this (paper: "modified the iSCSI Login Session code to expose TCP
+  /// connection information").
+  std::uint16_t last_connect_port() const { return last_connect_port_; }
+
+ private:
+  friend class TcpConnection;
+
+  void transmit(Packet pkt);
+
+  NetNode& node_;
+  std::map<FourTuple, std::unique_ptr<TcpConnection>> connections_;
+  std::map<std::uint16_t, AcceptCallback> listeners_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint16_t last_connect_port_ = 0;
+  std::uint32_t default_window_ = kDefaultWindow;
+};
+
+}  // namespace storm::net

@@ -1,0 +1,18 @@
+// Registers the paper's middle-box services with a StormPlatform so
+// tenant policies can reference them by type name:
+//   monitor       — storage access monitor with semantics reconstruction
+//   encryption    — AES-XTS data encryption (dm-crypt configuration)
+//   stream_cipher — ChaCha20 per-byte workload (the benchmark service)
+//   replication   — replica dispatch with read striping and failover
+#pragma once
+
+#include "core/platform.hpp"
+
+namespace storm::services {
+
+void register_builtin_services(core::StormPlatform& platform);
+
+/// Parse a hex string into bytes ("00ff..", case-insensitive).
+Result<Bytes> parse_hex_key(const std::string& hex);
+
+}  // namespace storm::services

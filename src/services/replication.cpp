@@ -1,0 +1,126 @@
+#include "services/replication.hpp"
+
+#include "common/log.hpp"
+
+namespace storm::services {
+
+ReplicationService::ReplicationService(ReplicaProvider attach_replicas,
+                                       ReplicationConfig config)
+    : attach_replicas_(std::move(attach_replicas)), config_(config) {}
+
+void ReplicationService::initialize(std::function<void(Status)> ready) {
+  attach_replicas_([this, ready](Status status,
+                                 std::vector<block::BlockDevice*> devices) {
+    if (!status.is_ok()) {
+      ready(status);
+      return;
+    }
+    for (block::BlockDevice* device : devices) {
+      replicas_.push_back(Replica{device, true});
+    }
+    ready(Status::ok());
+  });
+}
+
+std::size_t ReplicationService::live_replicas() const {
+  std::size_t live = 0;
+  for (const Replica& replica : replicas_) {
+    if (replica.alive) ++live;
+  }
+  return live;
+}
+
+void ReplicationService::mark_dead(std::size_t replica_index) {
+  if (!replicas_[replica_index].alive) return;
+  replicas_[replica_index].alive = false;
+  ++failovers_;
+  log_warn("replication") << "replica " << replica_index
+                          << " removed from rotation";
+}
+
+void ReplicationService::replicate_write(
+    const IoTracker::WriteBurst& burst) {
+  // Writes are dispatched to every live replica in arrival order; each
+  // replica's iSCSI session is a FIFO byte stream, so all copies apply
+  // the same write sequence (the consistency requirement in §V-B3).
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!replicas_[i].alive) continue;
+    replicas_[i].device->write(burst.lba, burst.data, [this, i](Status s) {
+      if (!s.is_ok()) mark_dead(i);
+    });
+  }
+  ++writes_replicated_;
+}
+
+void ReplicationService::serve_read_from_replica(std::size_t replica_index,
+                                                 const iscsi::Pdu& command,
+                                                 core::RelayApi& relay) {
+  ++reads_replica_;
+  std::uint32_t sectors = command.transfer_length / block::kSectorSize;
+  replicas_[replica_index].device->read(
+      command.lba, sectors,
+      [this, replica_index, command, &relay](Status status, Bytes data) {
+        if (!status.is_ok()) {
+          // Failover: the unfinished read is served by re-injecting the
+          // command toward the primary volume.
+          mark_dead(replica_index);
+          iscsi::Pdu retry = command;
+          retry.data.clear();
+          relay.inject_to_target(retry);
+          return;
+        }
+        std::uint32_t offset = 0;
+        while (offset < data.size()) {
+          std::uint32_t n = std::min<std::uint32_t>(
+              iscsi::kMaxDataSegment,
+              static_cast<std::uint32_t>(data.size()) - offset);
+          Bytes chunk(data.begin() + offset, data.begin() + offset + n);
+          relay.inject_to_initiator(iscsi::make_data_in(
+              command.task_tag, offset, std::move(chunk),
+              offset + n == data.size()));
+          offset += n;
+        }
+        relay.inject_to_initiator(
+            iscsi::make_scsi_response(command.task_tag, iscsi::kStatusGood));
+      });
+}
+
+core::ServiceVerdict ReplicationService::on_pdu(core::Direction dir,
+                                                iscsi::Pdu& pdu,
+                                                core::RelayApi& relay) {
+  core::ServiceVerdict verdict;
+  if (dir != core::Direction::kToTarget) return verdict;
+
+  if (pdu.opcode == iscsi::Opcode::kScsiCommand && pdu.is_read()) {
+    verdict.cpu_cost = config_.per_io;
+    // Round-robin across primary + live replicas for aggregate read
+    // throughput. Slot 0 is the primary (forward unchanged).
+    std::size_t choices = 1 + live_replicas();
+    std::size_t choice = round_robin_++ % choices;
+    if (choice == 0) {
+      ++reads_primary_;
+      tracker_.on_to_target(pdu);
+      return verdict;  // forwarded to the primary volume
+    }
+    // Map choice to the (choice-1)-th live replica.
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!replicas_[i].alive) continue;
+      if (++seen == choice) {
+        serve_read_from_replica(i, pdu, relay);
+        verdict.consume = true;
+        return verdict;
+      }
+    }
+    ++reads_primary_;
+    return verdict;  // no live replica found: primary serves
+  }
+
+  if (auto burst = tracker_.on_to_target(pdu)) {
+    verdict.cpu_cost = config_.per_io;
+    replicate_write(*burst);
+  }
+  return verdict;
+}
+
+}  // namespace storm::services

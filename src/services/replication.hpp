@@ -1,0 +1,74 @@
+// Tenant-defined replica dispatch (paper §V-B3): write I/O is copied, in
+// order, to backup volumes attached to the middle-box while the original
+// proceeds to the primary; read I/O alternates across all available
+// copies, aggregating their throughput. A copy that fails (e.g. its iSCSI
+// session is closed) is removed from rotation and its in-flight reads are
+// re-served from the remaining copies — the tenant VM never notices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/block_device.hpp"
+#include "core/service.hpp"
+#include "services/write_tracker.hpp"
+
+namespace storm::services {
+
+struct ReplicationConfig {
+  /// Per-I/O dispatch cost.
+  sim::Duration per_io = sim::microseconds(2);
+};
+
+class ReplicationService : public core::StorageService {
+ public:
+  /// `attach_replicas` is invoked at initialize() time and must deliver
+  /// the backup volumes' block devices (the platform attaches them to the
+  /// middle-box VM). The primary stays reachable only through the
+  /// forwarding path, as in the paper's Figure 12.
+  using ReplicaProvider = std::function<void(
+      std::function<void(Status, std::vector<block::BlockDevice*>)>)>;
+
+  ReplicationService(ReplicaProvider attach_replicas,
+                     ReplicationConfig config = {});
+
+  std::string name() const override { return "replication"; }
+  bool requires_active_relay() const override { return true; }
+
+  void initialize(std::function<void(Status)> ready) override;
+  core::ServiceVerdict on_pdu(core::Direction dir, iscsi::Pdu& pdu,
+                              core::RelayApi& relay) override;
+
+  std::size_t live_replicas() const;
+  std::uint64_t reads_from_primary() const { return reads_primary_; }
+  std::uint64_t reads_from_replicas() const { return reads_replica_; }
+  std::uint64_t writes_replicated() const { return writes_replicated_; }
+  std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  struct Replica {
+    block::BlockDevice* device = nullptr;
+    bool alive = true;
+  };
+
+  void replicate_write(const IoTracker::WriteBurst& burst);
+  void serve_read_from_replica(std::size_t replica_index,
+                               const iscsi::Pdu& command,
+                               core::RelayApi& relay);
+  void mark_dead(std::size_t replica_index);
+
+  ReplicaProvider attach_replicas_;
+  ReplicationConfig config_;
+  std::vector<Replica> replicas_;
+  IoTracker tracker_;
+  std::uint64_t round_robin_ = 0;
+  std::uint64_t reads_primary_ = 0;
+  std::uint64_t reads_replica_ = 0;
+  std::uint64_t writes_replicated_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace storm::services

@@ -1,0 +1,78 @@
+// Shared helper: reassemble iSCSI write bursts (command + Data-Out
+// sequence) and remember read-command geometry, so services can work at
+// whole-I/O granularity. Used by the monitor, ciphers and replication.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "iscsi/pdu.hpp"
+
+namespace storm::services {
+
+/// Tracks per-task-tag state of in-flight commands on one direction pair.
+class IoTracker {
+ public:
+  struct WriteBurst {
+    std::uint64_t lba = 0;
+    std::uint32_t expected = 0;
+    Bytes data;
+    bool complete() const { return data.size() >= expected; }
+  };
+  struct ReadInfo {
+    std::uint64_t lba = 0;
+    std::uint32_t length = 0;
+  };
+
+  /// Feed a PDU heading to the target. Returns a completed write burst
+  /// when this PDU finishes one.
+  std::optional<WriteBurst> on_to_target(const iscsi::Pdu& pdu) {
+    switch (pdu.opcode) {
+      case iscsi::Opcode::kScsiCommand:
+        if (pdu.is_read()) {
+          reads_[pdu.task_tag] = ReadInfo{pdu.lba, pdu.transfer_length};
+          return std::nullopt;
+        } else {
+          WriteBurst burst;
+          burst.lba = pdu.lba;
+          burst.expected = pdu.transfer_length;
+          burst.data = pdu.data;
+          if (burst.complete()) return burst;
+          writes_[pdu.task_tag] = std::move(burst);
+          return std::nullopt;
+        }
+      case iscsi::Opcode::kDataOut: {
+        auto it = writes_.find(pdu.task_tag);
+        if (it == writes_.end()) return std::nullopt;
+        it->second.data.insert(it->second.data.end(), pdu.data.begin(),
+                               pdu.data.end());
+        if (it->second.complete()) {
+          WriteBurst burst = std::move(it->second);
+          writes_.erase(it);
+          return burst;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Geometry of the read owning `task_tag`, if tracked.
+  std::optional<ReadInfo> read_info(std::uint32_t task_tag) const {
+    auto it = reads_.find(task_tag);
+    if (it == reads_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Call on SCSI responses to release read state.
+  void on_response(std::uint32_t task_tag) { reads_.erase(task_tag); }
+
+ private:
+  std::map<std::uint32_t, WriteBurst> writes_;
+  std::map<std::uint32_t, ReadInfo> reads_;
+};
+
+}  // namespace storm::services

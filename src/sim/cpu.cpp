@@ -1,0 +1,30 @@
+#include "sim/cpu.hpp"
+
+#include <utility>
+
+namespace storm::sim {
+
+void Cpu::run(Duration cost, std::function<void()> done) {
+  Task task{cost, std::move(done)};
+  if (free_cores_ > 0) {
+    start(std::move(task));
+  } else {
+    waiting_.push_back(std::move(task));
+  }
+}
+
+void Cpu::start(Task task) {
+  --free_cores_;
+  busy_ns_ += task.cost;
+  sim_.after(task.cost, [this, done = std::move(task.done)]() mutable {
+    ++free_cores_;
+    if (!waiting_.empty()) {
+      Task next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+    done();
+  });
+}
+
+}  // namespace storm::sim

@@ -1,0 +1,57 @@
+// CPU model: a set of cores that serialize work items. Used to account
+// CPU utilization per VM / host (paper Fig. 10) and to model compute
+// costs of services (ciphers, parsing) on the data path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace storm::sim {
+
+class Cpu {
+ public:
+  Cpu(Simulator& simulator, std::string name, unsigned cores)
+      : sim_(simulator), name_(std::move(name)), free_cores_(cores),
+        total_cores_(cores) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Execute a task costing `cost` ns of CPU time; `done` fires when the
+  /// task finishes (possibly after queueing for a free core).
+  void run(Duration cost, std::function<void()> done);
+
+  /// Convenience: account cost with no completion action.
+  void burn(Duration cost) {
+    run(cost, [] {});
+  }
+
+  /// Cumulative busy nanoseconds across all cores (credited at task
+  /// start). For utilization over a window, snapshot busy_time() at the
+  /// window start and compute (delta_busy) / (window * cores).
+  Duration busy_time() const { return busy_ns_; }
+
+  unsigned cores() const { return total_cores_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Task {
+    Duration cost;
+    std::function<void()> done;
+  };
+
+  void start(Task task);
+
+  Simulator& sim_;
+  std::string name_;
+  unsigned free_cores_;
+  unsigned total_cores_;
+  Duration busy_ns_ = 0;
+  std::deque<Task> waiting_;
+};
+
+}  // namespace storm::sim

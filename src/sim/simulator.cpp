@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace storm::sim {
+
+void Simulator::at(Time when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace storm::sim

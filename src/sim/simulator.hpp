@@ -1,0 +1,63 @@
+// Discrete-event simulation kernel. Single-threaded and deterministic:
+// events at equal timestamps run in scheduling order (FIFO tie-break).
+//
+// Every latency-bearing component (links, NICs, disks, CPUs, relays) is
+// driven by callbacks scheduled here, so a whole "cluster" executes inside
+// one OS thread and produces identical timings on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace storm::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (clamped to now).
+  void at(Time when, Callback fn);
+
+  /// Schedule `fn` `delay` ns from now.
+  void after(Duration delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at the current time, after already-pending events at
+  /// this timestamp ("post to the end of the current tick").
+  void post(Callback fn) { at(now_, std::move(fn)); }
+
+  Time now() const { return now_; }
+
+  /// Run until the event queue is empty. Returns number of events run.
+  std::size_t run();
+
+  /// Run events with time <= deadline; advances now() to deadline.
+  std::size_t run_until(Time deadline);
+
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace storm::sim

@@ -1,0 +1,55 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace storm::sim {
+
+void Stats::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Stats::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Stats::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Stats::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Stats::percentile(double p) const {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void Stats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0;
+}
+
+}  // namespace storm::sim

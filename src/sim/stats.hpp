@@ -1,0 +1,32 @@
+// Sample accumulator for benchmark metrics: mean, min/max, percentiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace storm::sim {
+
+class Stats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  double percentile(double p) const;
+
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+}  // namespace storm::sim

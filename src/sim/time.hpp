@@ -1,0 +1,23 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace storm::sim {
+
+using Time = std::uint64_t;      // absolute, nanoseconds
+using Duration = std::uint64_t;  // relative, nanoseconds
+
+constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+constexpr Duration microseconds(std::uint64_t n) { return n * 1'000ull; }
+constexpr Duration milliseconds(std::uint64_t n) { return n * 1'000'000ull; }
+constexpr Duration seconds(std::uint64_t n) { return n * 1'000'000'000ull; }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace storm::sim

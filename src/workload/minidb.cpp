@@ -1,0 +1,192 @@
+#include "workload/minidb.hpp"
+
+#include "common/log.hpp"
+
+namespace storm::workload {
+
+MiniDb::MiniDb(sim::Simulator& simulator, block::BlockDevice& device,
+               MiniDbConfig config)
+    : sim_(simulator), dev_(device), config_(config) {}
+
+void MiniDb::init(std::function<void(Status)> done) {
+  // WAL header page + zeroed record area; records are written in large
+  // batches to keep formatting fast.
+  Bytes wal(block::kSectorSize, 0);
+  wal[0] = 'W';
+  wal[1] = 'A';
+  wal[2] = 'L';
+  dev_.write(kWalLba, std::move(wal), [this, done](Status status) {
+    if (!status.is_ok()) {
+      done(status);
+      return;
+    }
+    auto step = std::make_shared<std::function<void(std::uint32_t)>>();
+    *step = [this, done, step](std::uint32_t record) {
+      if (record >= config_.records) {
+        done(Status::ok());
+        return;
+      }
+      // Format in 256-sector batches to keep initialization fast.
+      std::uint32_t n = std::min(256u, config_.records - record);
+      Bytes batch(static_cast<std::size_t>(n) * block::kSectorSize, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        batch[static_cast<std::size_t>(i) * block::kSectorSize] =
+            static_cast<std::uint8_t>((record + i) & 0xFF);
+      }
+      dev_.write(record_lba(record), std::move(batch),
+                 [done, step, record, n](Status status) {
+                   if (!status.is_ok()) {
+                     done(status);
+                     return;
+                   }
+                   (*step)(record + n);
+                 });
+    };
+    (*step)(0);
+  });
+}
+
+void MiniDb::transaction(Rng& rng, std::function<void(Status)> done) {
+  // Pick the working set.
+  auto reads = std::make_shared<std::vector<std::uint32_t>>();
+  for (unsigned i = 0; i < config_.reads_per_txn; ++i) {
+    reads->push_back(static_cast<std::uint32_t>(rng.below(config_.records)));
+  }
+  auto writes = std::make_shared<std::vector<std::uint32_t>>();
+  for (unsigned i = 0; i < config_.writes_per_txn; ++i) {
+    writes->push_back(static_cast<std::uint32_t>(rng.below(config_.records)));
+  }
+  std::uint64_t txn_id = next_txn_id_++;
+
+  // Phase 1: read the record pages.
+  auto read_step = std::make_shared<std::function<void(std::size_t)>>();
+  *read_step = [this, reads, writes, txn_id, done,
+                read_step](std::size_t index) {
+    if (index == reads->size()) {
+      // Phase 2: WAL append (one sector describing the transaction).
+      Bytes wal(block::kSectorSize, 0);
+      for (int i = 0; i < 8; ++i) {
+        wal[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(txn_id >> (8 * i));
+      }
+      dev_.write(kWalLba, std::move(wal),
+                 [this, writes, txn_id, done](Status status) {
+                   if (!status.is_ok()) {
+                     done(status);
+                     return;
+                   }
+                   // Phase 3: update the data pages.
+                   auto write_step =
+                       std::make_shared<std::function<void(std::size_t)>>();
+                   *write_step = [this, writes, txn_id, done,
+                                  write_step](std::size_t windex) {
+                     if (windex == writes->size()) {
+                       ++committed_;
+                       done(Status::ok());
+                       return;
+                     }
+                     Bytes page(block::kSectorSize, 0);
+                     for (int i = 0; i < 8; ++i) {
+                       page[static_cast<std::size_t>(i)] =
+                           static_cast<std::uint8_t>(txn_id >> (8 * i));
+                     }
+                     dev_.write(record_lba((*writes)[windex]),
+                                std::move(page),
+                                [done, write_step, windex](Status s) {
+                                  if (!s.is_ok()) {
+                                    done(s);
+                                    return;
+                                  }
+                                  (*write_step)(windex + 1);
+                                });
+                   };
+                   (*write_step)(0);
+                 });
+      return;
+    }
+    dev_.read(record_lba((*reads)[index]), 1,
+              [done, read_step, index](Status status, Bytes) {
+                if (!status.is_ok()) {
+                  done(status);
+                  return;
+                }
+                (*read_step)(index + 1);
+              });
+  };
+  (*read_step)(0);
+}
+
+// ---------------------------------------------------------------- DbServer
+
+DbServer::DbServer(cloud::Vm& vm, MiniDb& db, std::uint16_t port)
+    : vm_(vm), db_(db), port_(port) {}
+
+void DbServer::start() {
+  vm_.node().tcp().listen(port_, [this](net::TcpConnection& conn) {
+    auto pending = std::make_shared<std::size_t>(0);
+    conn.set_on_data([this, &conn, pending](Bytes data) {
+      // Each newline is one transaction request.
+      for (std::uint8_t byte : data) {
+        if (byte != '\n') continue;
+        ++*pending;
+      }
+      // Execute queued requests sequentially (one server worker per
+      // connection, like a MySQL session thread).
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [this, &conn, pending, step] {
+        if (*pending == 0) return;
+        --*pending;
+        // Small query-parse/plan cost on the DB VM's CPU.
+        vm_.cpu().run(sim::microseconds(30), [this, &conn, step] {
+          db_.transaction(rng_, [this, &conn, step](Status status) {
+            ++served_;
+            conn.send(to_bytes(status.is_ok() ? "OK\n" : "ERR\n"));
+            (*step)();
+          });
+        });
+      };
+      (*step)();
+    });
+  });
+}
+
+// --------------------------------------------------------------- OltpClient
+
+OltpClient::OltpClient(cloud::Vm& vm, net::SocketAddr server,
+                       unsigned threads)
+    : vm_(vm), server_(server), threads_(threads) {}
+
+void OltpClient::start(sim::Time deadline, std::function<void()> done) {
+  deadline_ = deadline;
+  done_ = std::move(done);
+  running_ = threads_;
+  for (unsigned i = 0; i < threads_; ++i) {
+    auto& conn = vm_.node().tcp().connect(server_, [] {});
+    thread_loop(&conn);
+  }
+}
+
+void OltpClient::thread_loop(net::TcpConnection* conn) {
+  auto& sim = vm_.node().simulator();
+  if (sim.now() >= deadline_) {
+    conn->close();
+    if (--running_ == 0 && done_) done_();
+    return;
+  }
+  conn->send(to_bytes("TXN\n"));
+  // One outstanding request per thread: wait for the reply line.
+  conn->set_on_data([this, conn](Bytes reply) {
+    auto& sim2 = vm_.node().simulator();
+    for (std::uint8_t byte : reply) {
+      if (byte != '\n') continue;
+      std::size_t bucket = static_cast<std::size_t>(
+          sim2.now() / sim::seconds(1));
+      if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+      ++buckets_[bucket];
+      ++total_;
+    }
+    thread_loop(conn);
+  });
+}
+
+}  // namespace storm::workload

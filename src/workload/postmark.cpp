@@ -1,0 +1,157 @@
+#include "workload/postmark.hpp"
+
+namespace storm::workload {
+
+PostmarkRunner::PostmarkRunner(sim::Simulator& simulator,
+                               fs::SimExt& filesystem, PostmarkConfig config)
+    : sim_(simulator), fs_(filesystem), config_(config), rng_(config.seed) {}
+
+void PostmarkRunner::run(std::function<void(PostmarkResult)> done) {
+  done_ = std::move(done);
+  setup_dirs(0);
+}
+
+void PostmarkRunner::setup_dirs(unsigned index) {
+  if (index == config_.directories) {
+    create_initial(0);
+    return;
+  }
+  fs_.mkdir("/d" + std::to_string(index), [this, index](Status status) {
+    if (!status.is_ok()) ++errors_;
+    setup_dirs(index + 1);
+  });
+}
+
+std::string PostmarkRunner::fresh_name() {
+  unsigned dir = static_cast<unsigned>(next_file_id_ % config_.directories);
+  return "/d" + std::to_string(dir) + "/f" + std::to_string(next_file_id_++);
+}
+
+std::string PostmarkRunner::random_existing() {
+  return files_[rng_.below(files_.size())];
+}
+
+void PostmarkRunner::create_initial(unsigned index) {
+  if (index == config_.initial_files) {
+    phase_start_ = sim_.now();
+    transaction(0);
+    return;
+  }
+  std::string name = fresh_name();
+  std::uint32_t size = static_cast<std::uint32_t>(
+      rng_.between(config_.min_file_bytes, config_.max_file_bytes));
+  fs_.create(name, [this, index, name, size](Status status) {
+    if (!status.is_ok()) {
+      ++errors_;
+      create_initial(index + 1);
+      return;
+    }
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng_.next_u32());
+    fs_.write_file(name, 0, std::move(data),
+                   [this, index, name](Status write_status) {
+                     if (!write_status.is_ok()) ++errors_;
+                     files_.push_back(name);
+                     create_initial(index + 1);
+                   });
+  });
+}
+
+void PostmarkRunner::transaction(unsigned index) {
+  if (index == config_.transactions || files_.empty()) {
+    finish();
+    return;
+  }
+  auto next = [this, index](Status status) {
+    if (!status.is_ok()) ++errors_;
+    transaction(index + 1);
+  };
+
+  switch (rng_.below(4)) {
+    case 0: {  // whole-file read
+      std::string name = random_existing();
+      fs_.read_file(name, 0, config_.max_file_bytes,
+                    [this, next](Status status, Bytes data) {
+                      ++reads_;
+                      bytes_read_ += data.size();
+                      next(status);
+                    });
+      return;
+    }
+    case 1: {  // append
+      std::string name = random_existing();
+      fs_.stat(name, [this, name, next](Status status, fs::StatInfo info) {
+        if (!status.is_ok()) {
+          next(status);
+          return;
+        }
+        Bytes data(config_.append_bytes);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng_.next_u32());
+        bytes_written_ += data.size();
+        fs_.write_file(name, info.size, std::move(data),
+                       [this, next](Status write_status) {
+                         ++appends_;
+                         next(write_status);
+                       });
+      });
+      return;
+    }
+    case 2: {  // create (with a small body, as PostMark does)
+      std::string name = fresh_name();
+      fs_.create(name, [this, name, next](Status status) {
+        if (!status.is_ok()) {
+          next(status);
+          return;
+        }
+        std::uint32_t size = static_cast<std::uint32_t>(rng_.between(
+            config_.min_file_bytes, config_.max_file_bytes));
+        Bytes data(size);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng_.next_u32());
+        bytes_written_ += data.size();
+        fs_.write_file(name, 0, std::move(data),
+                       [this, name, next](Status write_status) {
+                         ++creates_;
+                         files_.push_back(name);
+                         next(write_status);
+                       });
+      });
+      return;
+    }
+    default: {  // delete
+      if (files_.size() <= 2) {
+        transaction(index + 1);
+        return;
+      }
+      std::size_t victim = rng_.below(files_.size());
+      std::string name = files_[victim];
+      files_.erase(files_.begin() + static_cast<std::ptrdiff_t>(victim));
+      fs_.unlink(name, [this, next](Status status) {
+        ++deletes_;
+        next(status);
+      });
+      return;
+    }
+  }
+}
+
+void PostmarkRunner::finish() {
+  PostmarkResult result;
+  result.elapsed_s = sim::to_seconds(sim_.now() - phase_start_);
+  if (result.elapsed_s > 0) {
+    result.read_ops_per_s = static_cast<double>(reads_) / result.elapsed_s;
+    result.append_ops_per_s =
+        static_cast<double>(appends_) / result.elapsed_s;
+    result.create_ops_per_s =
+        static_cast<double>(creates_) / result.elapsed_s;
+    result.delete_ops_per_s =
+        static_cast<double>(deletes_) / result.elapsed_s;
+    result.read_mb_per_s = static_cast<double>(bytes_read_) /
+                           (1024.0 * 1024.0) / result.elapsed_s;
+    result.write_mb_per_s = static_cast<double>(bytes_written_) /
+                            (1024.0 * 1024.0) / result.elapsed_s;
+  }
+  result.errors = errors_;
+  done_(result);
+}
+
+}  // namespace storm::workload

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "block/block_device.hpp"
+#include "block/sim_disk.hpp"
+#include "block/volume.hpp"
+#include "sim/simulator.hpp"
+#include "testutil.hpp"
+
+namespace storm::block {
+namespace {
+
+TEST(MemDisk, ReadsBackWrites) {
+  MemDisk disk(100);
+  Bytes data = testutil::pattern_bytes(2 * kSectorSize);
+  bool wrote = false;
+  disk.write(10, data, [&](Status s) {
+    wrote = true;
+    EXPECT_TRUE(s.is_ok());
+  });
+  EXPECT_TRUE(wrote);
+  bool read = false;
+  disk.read(10, 2, [&](Status s, Bytes got) {
+    read = true;
+    ASSERT_TRUE(s.is_ok());
+    EXPECT_EQ(got, data);
+  });
+  EXPECT_TRUE(read);
+}
+
+TEST(MemDisk, FreshDiskIsZeroed) {
+  MemDisk disk(10);
+  Bytes got = disk.read_sync(0, 10);
+  EXPECT_EQ(got, Bytes(10 * kSectorSize, 0));
+}
+
+TEST(MemDisk, RejectsOutOfRange) {
+  MemDisk disk(10);
+  Status status = Status::ok();
+  disk.read(8, 5, [&](Status s, Bytes) { status = s; });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+
+  disk.write(9, Bytes(3 * kSectorSize), [&](Status s) { status = s; });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemDisk, RejectsUnalignedWrite) {
+  MemDisk disk(10);
+  Status status = Status::ok();
+  disk.write(0, Bytes(100), [&](Status s) { status = s; });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SimDisk, CompletionIsDelayedByServiceTime) {
+  sim::Simulator sim;
+  DiskProfile profile;
+  profile.base_latency = sim::microseconds(100);
+  profile.bytes_per_second = 512 * 1000 * 1000;  // 512B in ~1us
+  profile.queue_depth = 1;
+  SimDisk disk(sim, 100, profile);
+  sim::Time done_at = 0;
+  disk.write(0, Bytes(kSectorSize, 1), [&](Status s) {
+    EXPECT_TRUE(s.is_ok());
+    done_at = sim.now();
+  });
+  EXPECT_EQ(done_at, 0u) << "completion must be asynchronous";
+  sim.run();
+  EXPECT_EQ(done_at, sim::microseconds(101));
+}
+
+TEST(SimDisk, QueueDepthLimitsConcurrency) {
+  sim::Simulator sim;
+  DiskProfile profile;
+  profile.base_latency = sim::microseconds(100);
+  profile.bytes_per_second = 1'000'000'000ull;
+  profile.queue_depth = 2;
+  SimDisk disk(sim, 1000, profile);
+  std::vector<sim::Time> completions;
+  for (int i = 0; i < 4; ++i) {
+    disk.read(0, 1, [&](Status, Bytes) { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 4u);
+  // Two in service at once: completions pair up at ~t and ~2t.
+  EXPECT_EQ(completions[0], completions[1]);
+  EXPECT_EQ(completions[2], completions[3]);
+  EXPECT_GT(completions[2], completions[0]);
+}
+
+TEST(SimDisk, DataPersistsThroughStore) {
+  sim::Simulator sim;
+  SimDisk disk(sim, 100);
+  Bytes data = testutil::pattern_bytes(kSectorSize);
+  disk.write(5, data, [](Status s) { ASSERT_TRUE(s.is_ok()); });
+  sim.run();
+  EXPECT_EQ(disk.store().read_sync(5, 1), data);
+  EXPECT_EQ(disk.writes(), 1u);
+}
+
+TEST(VolumeManager, CreatesVolumesWithUniqueIqns) {
+  sim::Simulator sim;
+  VolumeManager mgr(sim, "storage1", 1'000'000);
+  auto v1 = mgr.create("vol1", 1000);
+  auto v2 = mgr.create("vol2", 1000);
+  ASSERT_TRUE(v1.is_ok());
+  ASSERT_TRUE(v2.is_ok());
+  EXPECT_NE(v1.value()->iqn(), v2.value()->iqn());
+  EXPECT_TRUE(v1.value()->iqn().starts_with("iqn.2016-01.org.storm:storage1:"));
+  EXPECT_EQ(mgr.volume_count(), 2u);
+}
+
+TEST(VolumeManager, FindsByIqnAndName) {
+  sim::Simulator sim;
+  VolumeManager mgr(sim, "s", 10'000);
+  auto created = mgr.create("data", 100);
+  ASSERT_TRUE(created.is_ok());
+  EXPECT_TRUE(mgr.find_by_name("data").is_ok());
+  EXPECT_TRUE(mgr.find_by_iqn(created.value()->iqn()).is_ok());
+  EXPECT_EQ(mgr.find_by_name("nope").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(mgr.find_by_iqn("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(VolumeManager, RejectsDuplicatesAndExhaustion) {
+  sim::Simulator sim;
+  VolumeManager mgr(sim, "s", 1000);
+  ASSERT_TRUE(mgr.create("a", 600).is_ok());
+  EXPECT_EQ(mgr.create("a", 100).status().code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(mgr.create("b", 600).status().code(), ErrorCode::kOutOfSpace);
+  EXPECT_EQ(mgr.create("c", 0).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr.free_sectors(), 400u);
+}
+
+TEST(VolumeManager, DestroyRespectsAttachment) {
+  sim::Simulator sim;
+  VolumeManager mgr(sim, "s", 1000);
+  auto v = mgr.create("a", 100);
+  ASSERT_TRUE(v.is_ok());
+  v.value()->set_attached(true);
+  EXPECT_EQ(mgr.destroy("a").code(), ErrorCode::kFailedPrecondition);
+  v.value()->set_attached(false);
+  EXPECT_TRUE(mgr.destroy("a").is_ok());
+  EXPECT_EQ(mgr.free_sectors(), 1000u);
+  EXPECT_EQ(mgr.destroy("a").code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace storm::block

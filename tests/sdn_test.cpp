@@ -1,0 +1,153 @@
+// Unit tests for the SDN controller's steering-rule computation (paper
+// Fig. 3): rule counts per chain shape, cookie-scoped removal, and
+// reprogramming for on-demand scaling.
+#include <gtest/gtest.h>
+
+#include "core/sdn_controller.hpp"
+#include "core/splicer.hpp"
+#include "services/registry.hpp"
+#include "testutil.hpp"
+
+namespace storm::core {
+namespace {
+
+class SdnTest : public ::testing::Test {
+ protected:
+  SdnTest() : cloud_(sim_, cloud::CloudConfig{}), splicer_(cloud_),
+              sdn_(cloud_) {}
+
+  SpliceContext make_context(std::vector<RelayMode> relays) {
+    SpliceContext ctx;
+    ctx.cookie = next_cookie_++;
+    ctx.vm_port = 40000;
+    ctx.host_storage_ip = cloud_.compute(0).storage_ip();
+    ctx.target_ip = cloud_.storage(0).storage_ip();
+    ctx.gateways = splicer_.tenant_gateways("t");
+    for (std::size_t i = 0; i < relays.size(); ++i) {
+      cloud::Vm& mb = cloud_.create_middlebox_vm(
+          "mb" + std::to_string(mb_id_++), "t",
+          static_cast<unsigned>(i % cloud_.compute_count()));
+      ctx.chain.push_back(Hop{&mb, relays[i]});
+    }
+    return ctx;
+  }
+
+  std::size_t total_rules() {
+    std::size_t count = 0;
+    for (net::FlowSwitch* fs : cloud_.flow_switches()) {
+      count += fs->rule_count();
+    }
+    return count;
+  }
+
+  sim::Simulator sim_;
+  cloud::Cloud cloud_;
+  NetworkSplicer splicer_;
+  SdnController sdn_;
+  std::uint64_t next_cookie_ = 1;
+  int mb_id_ = 0;
+};
+
+TEST_F(SdnTest, SinglePacketLevelHopInstallsForwardAndReverse) {
+  // One forward/passive hop: 1 forward steering rule + 1 reverse rule,
+  // on every flow switch (5 switches: backbone + 4 OVSes).
+  SpliceContext ctx = make_context({RelayMode::kForward});
+  sdn_.install_chain_rules(ctx);
+  EXPECT_EQ(total_rules(), 2u * cloud_.flow_switches().size());
+}
+
+TEST_F(SdnTest, ActiveHopNeedsNoReverseSteering) {
+  // An active relay terminates TCP: replies address the relay's own IP,
+  // so only the forward mod_dst_mac rule is needed.
+  SpliceContext ctx = make_context({RelayMode::kActive});
+  sdn_.install_chain_rules(ctx);
+  EXPECT_EQ(total_rules(), 1u * cloud_.flow_switches().size());
+}
+
+TEST_F(SdnTest, MixedChainRuleCount) {
+  // passive, active, passive: forward needs 3 rules (one per hop);
+  // reverse needs 1 per passive hop inside each TCP segment = 2.
+  SpliceContext ctx = make_context(
+      {RelayMode::kPassive, RelayMode::kActive, RelayMode::kPassive});
+  sdn_.install_chain_rules(ctx);
+  EXPECT_EQ(total_rules(), 5u * cloud_.flow_switches().size());
+}
+
+TEST_F(SdnTest, EmptyChainInstallsNothing) {
+  SpliceContext ctx = make_context({});
+  sdn_.install_chain_rules(ctx);
+  EXPECT_EQ(total_rules(), 0u);
+}
+
+TEST_F(SdnTest, RemovalIsCookieScoped) {
+  SpliceContext a = make_context({RelayMode::kForward});
+  SpliceContext b = make_context({RelayMode::kForward, RelayMode::kForward});
+  sdn_.install_chain_rules(a);
+  sdn_.install_chain_rules(b);
+  std::size_t switches = cloud_.flow_switches().size();
+  EXPECT_EQ(total_rules(), (2u + 4u) * switches);
+
+  EXPECT_EQ(sdn_.remove_chain_rules(a.cookie), 2u * switches);
+  EXPECT_EQ(total_rules(), 4u * switches) << "b's rules must survive";
+  EXPECT_EQ(sdn_.remove_chain_rules(a.cookie), 0u) << "idempotent";
+  EXPECT_EQ(sdn_.remove_chain_rules(b.cookie), 4u * switches);
+  EXPECT_EQ(total_rules(), 0u);
+}
+
+TEST_F(SdnTest, ReprogramReplacesRules) {
+  SpliceContext ctx = make_context({RelayMode::kForward});
+  sdn_.install_chain_rules(ctx);
+  std::size_t switches = cloud_.flow_switches().size();
+  EXPECT_EQ(total_rules(), 2u * switches);
+
+  // Grow the chain by a second packet-level hop and reprogram.
+  cloud::Vm& mb = cloud_.create_middlebox_vm("mb-extra", "t", 1);
+  ctx.chain.push_back(Hop{&mb, RelayMode::kPassive});
+  sdn_.reprogram_chain(ctx);
+  EXPECT_EQ(total_rules(), 4u * switches)
+      << "old rules removed, two-hop rules installed";
+}
+
+TEST_F(SdnTest, RulesMatchFlowPortAndRewriteMac) {
+  SpliceContext ctx = make_context({RelayMode::kForward});
+  sdn_.install_chain_rules(ctx);
+  // Inspect the backbone's copy of the forward rule.
+  const auto& rules = cloud_.instance_backbone().rules();
+  ASSERT_EQ(rules.size(), 2u);
+  bool found_forward = false;
+  for (const auto& rule : rules) {
+    if (rule.match.src_port == ctx.vm_port) {
+      found_forward = true;
+      ASSERT_EQ(rule.actions.size(), 2u);
+      EXPECT_EQ(rule.actions[0].type, net::FlowActionType::kSetDstMac);
+      EXPECT_EQ(rule.actions[0].mac, ctx.chain[0].vm->mac());
+      EXPECT_EQ(rule.actions[1].type, net::FlowActionType::kNormal);
+      ASSERT_TRUE(rule.match.dst_ip.has_value());
+      EXPECT_EQ(*rule.match.dst_ip, ctx.gateways.egress_instance_ip());
+    }
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST_F(SdnTest, GatewayPairsAreReusedPerTenant) {
+  GatewayPair& first = splicer_.tenant_gateways("t");
+  GatewayPair& again = splicer_.tenant_gateways("t");
+  EXPECT_EQ(first.ingress, again.ingress);
+  GatewayPair& other = splicer_.tenant_gateways("other");
+  EXPECT_NE(first.ingress, other.ingress);
+  EXPECT_NE(first.ingress_instance_ip(), other.ingress_instance_ip());
+}
+
+TEST_F(SdnTest, CaptureRulesFollowActiveChainSegments) {
+  // igw -> active mb1 -> active mb2: mb1 captures from the ingress
+  // gateway's address, mb2 from mb1's.
+  SpliceContext ctx = make_context({RelayMode::kActive, RelayMode::kActive});
+  splicer_.install_capture_rules(ctx);
+  EXPECT_EQ(ctx.chain[0].vm->node().nat().rule_count(), 1u);
+  EXPECT_EQ(ctx.chain[1].vm->node().nat().rule_count(), 1u);
+  EXPECT_EQ(splicer_.remove_all_rules(ctx), 2u);
+  EXPECT_EQ(ctx.chain[0].vm->node().nat().rule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace storm::core

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace storm::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] {
+    ++fired;
+    sim.after(9, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  int fired = 0;
+  sim.at(5, [&] { ++fired; });  // in the past; must still run
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000u);
+  EXPECT_EQ(milliseconds(1), 1'000'000u);
+  EXPECT_EQ(seconds(2), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(7)), 7.0);
+}
+
+TEST(Cpu, SingleCoreSerializesTasks) {
+  Simulator sim;
+  Cpu cpu(sim, "c", 1);
+  std::vector<Time> done_at;
+  cpu.run(100, [&] { done_at.push_back(sim.now()); });
+  cpu.run(100, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_EQ(done_at[0], 100u);
+  EXPECT_EQ(done_at[1], 200u);  // queued behind the first
+  EXPECT_EQ(cpu.busy_time(), 200u);
+}
+
+TEST(Cpu, MultiCoreRunsInParallel) {
+  Simulator sim;
+  Cpu cpu(sim, "c", 2);
+  std::vector<Time> done_at;
+  cpu.run(100, [&] { done_at.push_back(sim.now()); });
+  cpu.run(100, [&] { done_at.push_back(sim.now()); });
+  cpu.run(100, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_EQ(done_at[0], 100u);
+  EXPECT_EQ(done_at[1], 100u);
+  EXPECT_EQ(done_at[2], 200u);
+}
+
+TEST(Cpu, BusyTimeAccumulates) {
+  Simulator sim;
+  Cpu cpu(sim, "c", 4);
+  cpu.burn(50);
+  cpu.burn(70);
+  sim.run();
+  EXPECT_EQ(cpu.busy_time(), 120u);
+}
+
+TEST(Stats, MeanMinMax) {
+  Stats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(Stats, PercentileRejectsOutOfRange) {
+  Stats s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Stats, ClearResets) {
+  Stats s;
+  s.add(5.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+#include "testutil.hpp"
+
+namespace storm::net {
+namespace {
+
+using testutil::ip;
+using testutil::TwoNodeNet;
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  TwoNodeNet net;
+  bool server_accepted = false, client_established = false;
+  TcpConnection* server_conn = nullptr;
+  net.b.tcp().listen(3260, [&](TcpConnection& conn) {
+    server_accepted = true;
+    server_conn = &conn;
+  });
+  TcpConnection& client = net.a.tcp().connect(
+      SocketAddr{ip("10.0.0.2"), 3260}, [&] { client_established = true; });
+  net.sim.run();
+  EXPECT_TRUE(client_established);
+  EXPECT_TRUE(server_accepted);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(client.state(), TcpConnection::State::kEstablished);
+  EXPECT_EQ(server_conn->state(), TcpConnection::State::kEstablished);
+  EXPECT_EQ(server_conn->remote().port, client.local().port);
+}
+
+TEST(Tcp, SynToClosedPortGetsRst) {
+  TwoNodeNet net;
+  bool established = false;
+  TcpConnection& client = net.a.tcp().connect(
+      SocketAddr{ip("10.0.0.2"), 9999}, [&] { established = true; });
+  Status closed_status = Status::ok();
+  bool closed = false;
+  client.set_on_closed([&](Status s) {
+    closed = true;
+    closed_status = s;
+  });
+  net.sim.run();
+  EXPECT_FALSE(established);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(closed_status.code(), ErrorCode::kConnectionFailed);
+}
+
+TEST(Tcp, TransfersDataBothWays) {
+  TwoNodeNet net;
+  Bytes server_got, client_got;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&server_got, &conn](Bytes data) {
+      server_got.insert(server_got.end(), data.begin(), data.end());
+      conn.send(to_bytes("pong"));
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.set_on_data([&](Bytes data) {
+    client_got.insert(client_got.end(), data.begin(), data.end());
+  });
+  client.send(to_bytes("ping"));
+  net.sim.run();
+  EXPECT_EQ(std::string(server_got.begin(), server_got.end()), "ping");
+  EXPECT_EQ(std::string(client_got.begin(), client_got.end()), "pong");
+}
+
+TEST(Tcp, LargeTransferPreservesBytes) {
+  TwoNodeNet net;
+  const Bytes payload = testutil::pattern_bytes(1'000'000);
+  Bytes received;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(payload);
+  net.sim.run();
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(crypto::sha256(received), crypto::sha256(payload));
+}
+
+TEST(Tcp, SendBeforeEstablishedIsBuffered) {
+  TwoNodeNet net;
+  Bytes received;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(to_bytes("early"));  // handshake not done yet
+  net.sim.run();
+  EXPECT_EQ(std::string(received.begin(), received.end()), "early");
+}
+
+TEST(Tcp, WindowLimitsInFlightBytes) {
+  // With a 64 KB window and 1 ms RTT, a 1 MB transfer cannot finish faster
+  // than ~16 round trips. Throughput must be window-bound, not line-rate.
+  TwoNodeNet net(1'000'000'000ull, sim::microseconds(500));  // 1ms RTT
+  const std::size_t total = 1'000'000;
+  Bytes received;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(testutil::pattern_bytes(total));
+  net.sim.run();
+  ASSERT_EQ(received.size(), total);
+  double elapsed = sim::to_seconds(net.sim.now());
+  double min_round_trips = static_cast<double>(total) / kDefaultWindow;
+  EXPECT_GT(elapsed, min_round_trips * 0.001 * 0.9)
+      << "transfer finished faster than the window bound allows";
+}
+
+TEST(Tcp, BiggerWindowIsFaster) {
+  auto run_with_window = [](std::uint32_t window) {
+    TwoNodeNet net(1'000'000'000ull, sim::microseconds(500));
+    net.a.tcp().set_default_window(window);
+    net.b.tcp().set_default_window(window);
+    std::size_t received = 0;
+    net.b.tcp().listen(80, [&](TcpConnection& conn) {
+      conn.set_on_data([&](Bytes data) { received += data.size(); });
+    });
+    TcpConnection& client =
+        net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+    client.send(testutil::pattern_bytes(2'000'000));
+    net.sim.run();
+    EXPECT_EQ(received, 2'000'000u);
+    return net.sim.now();
+  };
+  auto slow = run_with_window(16 * 1024);
+  auto fast = run_with_window(256 * 1024);
+  EXPECT_LT(fast, slow / 2);
+}
+
+TEST(Tcp, AdvertisedWindowCapsSender) {
+  // Server advertises a small window; client caps in-flight accordingly
+  // even though its own cap is large.
+  TwoNodeNet net(1'000'000'000ull, sim::microseconds(500));
+  net.b.tcp().set_default_window(8 * 1024);    // receiver advertises 8 KB
+  net.a.tcp().set_default_window(1024 * 1024); // sender cap huge
+  std::size_t received = 0;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) { received += data.size(); });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(testutil::pattern_bytes(200'000));
+  // Sample in-flight bytes during the transfer.
+  std::uint64_t max_unacked = 0;
+  for (int t = 1; t < 400; ++t) {
+    net.sim.run_until(sim::milliseconds(static_cast<std::uint64_t>(t)));
+    max_unacked = std::max(max_unacked, client.unacked());
+  }
+  net.sim.run();
+  EXPECT_EQ(received, 200'000u);
+  EXPECT_LE(max_unacked, 8u * 1024u + kTcpMss);
+}
+
+TEST(Tcp, GracefulCloseDeliversFinAfterData) {
+  TwoNodeNet net;
+  Bytes received;
+  bool server_closed = false;
+  Status server_status = error(ErrorCode::kIoError, "unset");
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+    conn.set_on_closed([&](Status s) {
+      server_closed = true;
+      server_status = s;
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(testutil::pattern_bytes(100'000));
+  client.close();
+  net.sim.run();
+  EXPECT_EQ(received.size(), 100'000u);
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(server_status.is_ok()) << server_status.to_string();
+  EXPECT_EQ(client.state(), TcpConnection::State::kClosed);
+}
+
+TEST(Tcp, AbortSendsRstToPeer) {
+  TwoNodeNet net;
+  TcpConnection* server_conn = nullptr;
+  bool server_closed = false;
+  Status server_status = Status::ok();
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.set_on_closed([&](Status s) {
+      server_closed = true;
+      server_status = s;
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  net.sim.run();
+  ASSERT_NE(server_conn, nullptr);
+  client.abort();
+  net.sim.run();
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(server_status.code(), ErrorCode::kConnectionFailed);
+}
+
+TEST(Tcp, SendAfterCloseIsIgnored) {
+  TwoNodeNet net;
+  Bytes received;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    conn.set_on_data([&](Bytes data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(to_bytes("ok"));
+  client.close();
+  client.send(to_bytes("dropped"));
+  net.sim.run();
+  EXPECT_EQ(std::string(received.begin(), received.end()), "ok");
+}
+
+TEST(Tcp, ManyConcurrentConnections) {
+  TwoNodeNet net;
+  int accepted = 0;
+  std::size_t total_received = 0;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    ++accepted;
+    conn.set_on_data([&](Bytes data) { total_received += data.size(); });
+  });
+  constexpr int kConns = 20;
+  for (int i = 0; i < kConns; ++i) {
+    TcpConnection& c =
+        net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+    c.send(testutil::pattern_bytes(1000, static_cast<std::uint8_t>(i + 1)));
+  }
+  net.sim.run();
+  EXPECT_EQ(accepted, kConns);
+  EXPECT_EQ(total_received, static_cast<std::size_t>(kConns) * 1000u);
+}
+
+TEST(Tcp, LastConnectPortIsExposed) {
+  // StorM's connection attribution reads this (modified iSCSI login).
+  TwoNodeNet net;
+  net.b.tcp().listen(3260, [](TcpConnection&) {});
+  TcpConnection& c =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 3260}, [] {});
+  EXPECT_EQ(net.a.tcp().last_connect_port(), c.local().port);
+}
+
+}  // namespace
+}  // namespace storm::net
