@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_encryption.dir/fig10_cpu_encryption.cpp.o"
+  "CMakeFiles/fig10_cpu_encryption.dir/fig10_cpu_encryption.cpp.o.d"
+  "fig10_cpu_encryption"
+  "fig10_cpu_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

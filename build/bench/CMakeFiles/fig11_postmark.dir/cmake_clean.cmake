@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_postmark.dir/fig11_postmark.cpp.o"
+  "CMakeFiles/fig11_postmark.dir/fig11_postmark.cpp.o.d"
+  "fig11_postmark"
+  "fig11_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

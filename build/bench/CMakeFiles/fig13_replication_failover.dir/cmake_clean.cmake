@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_replication_failover.dir/fig13_replication_failover.cpp.o"
+  "CMakeFiles/fig13_replication_failover.dir/fig13_replication_failover.cpp.o.d"
+  "fig13_replication_failover"
+  "fig13_replication_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_replication_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

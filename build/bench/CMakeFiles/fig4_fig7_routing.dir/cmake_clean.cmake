@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fig7_routing.dir/fig4_fig7_routing.cpp.o"
+  "CMakeFiles/fig4_fig7_routing.dir/fig4_fig7_routing.cpp.o.d"
+  "fig4_fig7_routing"
+  "fig4_fig7_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fig7_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

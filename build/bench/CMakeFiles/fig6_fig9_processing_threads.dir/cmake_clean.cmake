@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fig9_processing_threads.dir/fig6_fig9_processing_threads.cpp.o"
+  "CMakeFiles/fig6_fig9_processing_threads.dir/fig6_fig9_processing_threads.cpp.o.d"
+  "fig6_fig9_processing_threads"
+  "fig6_fig9_processing_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig9_processing_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

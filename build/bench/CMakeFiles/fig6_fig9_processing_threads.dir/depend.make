@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fig9_processing_threads.
+# This may be replaced when dependencies are built.

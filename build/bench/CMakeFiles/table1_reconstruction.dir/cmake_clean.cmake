@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_reconstruction.dir/table1_reconstruction.cpp.o"
+  "CMakeFiles/table1_reconstruction.dir/table1_reconstruction.cpp.o.d"
+  "table1_reconstruction"
+  "table1_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_volumes.dir/encrypted_volumes.cpp.o"
+  "CMakeFiles/encrypted_volumes.dir/encrypted_volumes.cpp.o.d"
+  "encrypted_volumes"
+  "encrypted_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

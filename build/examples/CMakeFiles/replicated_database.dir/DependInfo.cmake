@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/replicated_database.cpp" "examples/CMakeFiles/replicated_database.dir/replicated_database.cpp.o" "gcc" "examples/CMakeFiles/replicated_database.dir/replicated_database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/storm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/storm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/storm_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/storm_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/storm_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/storm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/storm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/storm_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/storm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

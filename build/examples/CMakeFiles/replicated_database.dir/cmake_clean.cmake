@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_database.dir/replicated_database.cpp.o"
+  "CMakeFiles/replicated_database.dir/replicated_database.cpp.o.d"
+  "replicated_database"
+  "replicated_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

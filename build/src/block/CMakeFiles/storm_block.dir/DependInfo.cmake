@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block_device.cpp" "src/block/CMakeFiles/storm_block.dir/block_device.cpp.o" "gcc" "src/block/CMakeFiles/storm_block.dir/block_device.cpp.o.d"
+  "/root/repo/src/block/sim_disk.cpp" "src/block/CMakeFiles/storm_block.dir/sim_disk.cpp.o" "gcc" "src/block/CMakeFiles/storm_block.dir/sim_disk.cpp.o.d"
+  "/root/repo/src/block/volume.cpp" "src/block/CMakeFiles/storm_block.dir/volume.cpp.o" "gcc" "src/block/CMakeFiles/storm_block.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/storm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_block.dir/block_device.cpp.o"
+  "CMakeFiles/storm_block.dir/block_device.cpp.o.d"
+  "CMakeFiles/storm_block.dir/sim_disk.cpp.o"
+  "CMakeFiles/storm_block.dir/sim_disk.cpp.o.d"
+  "CMakeFiles/storm_block.dir/volume.cpp.o"
+  "CMakeFiles/storm_block.dir/volume.cpp.o.d"
+  "libstorm_block.a"
+  "libstorm_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/storm_cloud.dir/cloud.cpp.o.d"
+  "libstorm_cloud.a"
+  "libstorm_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

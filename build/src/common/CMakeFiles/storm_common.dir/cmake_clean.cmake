@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_common.dir/bytes.cpp.o"
+  "CMakeFiles/storm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/storm_common.dir/hash.cpp.o"
+  "CMakeFiles/storm_common.dir/hash.cpp.o.d"
+  "CMakeFiles/storm_common.dir/log.cpp.o"
+  "CMakeFiles/storm_common.dir/log.cpp.o.d"
+  "libstorm_common.a"
+  "libstorm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

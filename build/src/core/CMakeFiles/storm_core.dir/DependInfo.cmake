@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_relay.cpp" "src/core/CMakeFiles/storm_core.dir/active_relay.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/active_relay.cpp.o.d"
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/storm_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/passive_relay.cpp" "src/core/CMakeFiles/storm_core.dir/passive_relay.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/passive_relay.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/storm_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/storm_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/reconstruction.cpp" "src/core/CMakeFiles/storm_core.dir/reconstruction.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/reconstruction.cpp.o.d"
+  "/root/repo/src/core/sdn_controller.cpp" "src/core/CMakeFiles/storm_core.dir/sdn_controller.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/sdn_controller.cpp.o.d"
+  "/root/repo/src/core/splicer.cpp" "src/core/CMakeFiles/storm_core.dir/splicer.cpp.o" "gcc" "src/core/CMakeFiles/storm_core.dir/splicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/storm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/storm_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/storm_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/storm_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/storm_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_core.dir/active_relay.cpp.o"
+  "CMakeFiles/storm_core.dir/active_relay.cpp.o.d"
+  "CMakeFiles/storm_core.dir/attribution.cpp.o"
+  "CMakeFiles/storm_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/storm_core.dir/passive_relay.cpp.o"
+  "CMakeFiles/storm_core.dir/passive_relay.cpp.o.d"
+  "CMakeFiles/storm_core.dir/platform.cpp.o"
+  "CMakeFiles/storm_core.dir/platform.cpp.o.d"
+  "CMakeFiles/storm_core.dir/policy.cpp.o"
+  "CMakeFiles/storm_core.dir/policy.cpp.o.d"
+  "CMakeFiles/storm_core.dir/reconstruction.cpp.o"
+  "CMakeFiles/storm_core.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/storm_core.dir/sdn_controller.cpp.o"
+  "CMakeFiles/storm_core.dir/sdn_controller.cpp.o.d"
+  "CMakeFiles/storm_core.dir/splicer.cpp.o"
+  "CMakeFiles/storm_core.dir/splicer.cpp.o.d"
+  "libstorm_core.a"
+  "libstorm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_crypto.dir/aes.cpp.o"
+  "CMakeFiles/storm_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/storm_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/storm_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/storm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/storm_crypto.dir/sha256.cpp.o.d"
+  "libstorm_crypto.a"
+  "libstorm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

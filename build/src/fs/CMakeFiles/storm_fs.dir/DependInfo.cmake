@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/layout.cpp" "src/fs/CMakeFiles/storm_fs.dir/layout.cpp.o" "gcc" "src/fs/CMakeFiles/storm_fs.dir/layout.cpp.o.d"
+  "/root/repo/src/fs/simext.cpp" "src/fs/CMakeFiles/storm_fs.dir/simext.cpp.o" "gcc" "src/fs/CMakeFiles/storm_fs.dir/simext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/storm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/storm_block.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

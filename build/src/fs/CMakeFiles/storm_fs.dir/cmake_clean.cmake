@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_fs.dir/layout.cpp.o"
+  "CMakeFiles/storm_fs.dir/layout.cpp.o.d"
+  "CMakeFiles/storm_fs.dir/simext.cpp.o"
+  "CMakeFiles/storm_fs.dir/simext.cpp.o.d"
+  "libstorm_fs.a"
+  "libstorm_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

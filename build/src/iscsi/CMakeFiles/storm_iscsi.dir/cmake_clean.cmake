@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_iscsi.dir/initiator.cpp.o"
+  "CMakeFiles/storm_iscsi.dir/initiator.cpp.o.d"
+  "CMakeFiles/storm_iscsi.dir/pdu.cpp.o"
+  "CMakeFiles/storm_iscsi.dir/pdu.cpp.o.d"
+  "CMakeFiles/storm_iscsi.dir/target.cpp.o"
+  "CMakeFiles/storm_iscsi.dir/target.cpp.o.d"
+  "libstorm_iscsi.a"
+  "libstorm_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

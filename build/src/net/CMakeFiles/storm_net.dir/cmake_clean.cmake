@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_net.dir/addr.cpp.o"
+  "CMakeFiles/storm_net.dir/addr.cpp.o.d"
+  "CMakeFiles/storm_net.dir/flow_switch.cpp.o"
+  "CMakeFiles/storm_net.dir/flow_switch.cpp.o.d"
+  "CMakeFiles/storm_net.dir/link.cpp.o"
+  "CMakeFiles/storm_net.dir/link.cpp.o.d"
+  "CMakeFiles/storm_net.dir/nat.cpp.o"
+  "CMakeFiles/storm_net.dir/nat.cpp.o.d"
+  "CMakeFiles/storm_net.dir/node.cpp.o"
+  "CMakeFiles/storm_net.dir/node.cpp.o.d"
+  "CMakeFiles/storm_net.dir/packet.cpp.o"
+  "CMakeFiles/storm_net.dir/packet.cpp.o.d"
+  "CMakeFiles/storm_net.dir/switch.cpp.o"
+  "CMakeFiles/storm_net.dir/switch.cpp.o.d"
+  "CMakeFiles/storm_net.dir/tcp.cpp.o"
+  "CMakeFiles/storm_net.dir/tcp.cpp.o.d"
+  "libstorm_net.a"
+  "libstorm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

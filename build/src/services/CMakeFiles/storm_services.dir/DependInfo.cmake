@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/encrypted_disk.cpp" "src/services/CMakeFiles/storm_services.dir/encrypted_disk.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/encrypted_disk.cpp.o.d"
+  "/root/repo/src/services/encryption.cpp" "src/services/CMakeFiles/storm_services.dir/encryption.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/encryption.cpp.o.d"
+  "/root/repo/src/services/monitor.cpp" "src/services/CMakeFiles/storm_services.dir/monitor.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/monitor.cpp.o.d"
+  "/root/repo/src/services/registry.cpp" "src/services/CMakeFiles/storm_services.dir/registry.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/registry.cpp.o.d"
+  "/root/repo/src/services/replication.cpp" "src/services/CMakeFiles/storm_services.dir/replication.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/replication.cpp.o.d"
+  "/root/repo/src/services/stream_cipher.cpp" "src/services/CMakeFiles/storm_services.dir/stream_cipher.cpp.o" "gcc" "src/services/CMakeFiles/storm_services.dir/stream_cipher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/storm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/storm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/storm_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/storm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/storm_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/storm_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/storm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_services.dir/encrypted_disk.cpp.o"
+  "CMakeFiles/storm_services.dir/encrypted_disk.cpp.o.d"
+  "CMakeFiles/storm_services.dir/encryption.cpp.o"
+  "CMakeFiles/storm_services.dir/encryption.cpp.o.d"
+  "CMakeFiles/storm_services.dir/monitor.cpp.o"
+  "CMakeFiles/storm_services.dir/monitor.cpp.o.d"
+  "CMakeFiles/storm_services.dir/registry.cpp.o"
+  "CMakeFiles/storm_services.dir/registry.cpp.o.d"
+  "CMakeFiles/storm_services.dir/replication.cpp.o"
+  "CMakeFiles/storm_services.dir/replication.cpp.o.d"
+  "CMakeFiles/storm_services.dir/stream_cipher.cpp.o"
+  "CMakeFiles/storm_services.dir/stream_cipher.cpp.o.d"
+  "libstorm_services.a"
+  "libstorm_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_sim.dir/cpu.cpp.o"
+  "CMakeFiles/storm_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/storm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/storm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/storm_sim.dir/stats.cpp.o"
+  "CMakeFiles/storm_sim.dir/stats.cpp.o.d"
+  "libstorm_sim.a"
+  "libstorm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_workload.dir/fio.cpp.o"
+  "CMakeFiles/storm_workload.dir/fio.cpp.o.d"
+  "CMakeFiles/storm_workload.dir/ftp.cpp.o"
+  "CMakeFiles/storm_workload.dir/ftp.cpp.o.d"
+  "CMakeFiles/storm_workload.dir/minidb.cpp.o"
+  "CMakeFiles/storm_workload.dir/minidb.cpp.o.d"
+  "CMakeFiles/storm_workload.dir/postmark.cpp.o"
+  "CMakeFiles/storm_workload.dir/postmark.cpp.o.d"
+  "libstorm_workload.a"
+  "libstorm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
