@@ -50,6 +50,9 @@ ComputeHost::ComputeHost(Cloud& cloud, unsigned index)
   node_->tcp().set_default_window(cloud.config().tcp_window);
   cloud.instance_backbone().attach(*uplink_, 1);
   ovs_->attach(*uplink_, 0);
+  cloud.register_link(*storage_link_,
+                      "host" + std::to_string(index) + ".storage");
+  cloud.register_link(*uplink_, "host" + std::to_string(index) + ".uplink");
 }
 
 StorageHost::StorageHost(Cloud& cloud, unsigned index)
@@ -73,6 +76,8 @@ StorageHost::StorageHost(Cloud& cloud, unsigned index)
                  *storage_link_, 0);
   node_->set_packet_processing(cpu_.get(), sim::microseconds(1), 0.1);
   node_->tcp().set_default_window(cloud.config().tcp_window);
+  cloud.register_link(*storage_link_,
+                      "storage" + std::to_string(index) + ".storage");
   target_->start();
 }
 
@@ -130,6 +135,7 @@ Vm& Cloud::create_vm(const std::string& name, const std::string& tenant,
   ref.node_->set_packet_processing(ref.cpu_.get(), config_.vm_packet_cost,
                                    config_.vm_ns_per_byte);
   ref.node_->tcp().set_default_window(config_.tcp_window);
+  register_link(*ref.link_, "vm." + ref.name_);
   vms_.push_back(std::move(vm));
   return ref;
 }
@@ -148,6 +154,7 @@ Vm& Cloud::create_middlebox_vm(const std::string& name,
                                    config_.mb_ns_per_byte);
   ref.node_->tcp().set_default_window(config_.tcp_window);
   ref.node_->set_ip_forward(true);
+  register_link(*ref.link_, "vm." + ref.name_);
   vms_.push_back(std::move(vm));
   return ref;
 }
@@ -292,8 +299,33 @@ net::NetNode& Cloud::create_gateway(const std::string& name) {
   // guest's virtio path.
   gateway.node->set_packet_processing(nullptr, sim::microseconds(1), 0.05);
   net::NetNode& ref = *gateway.node;
+  register_link(*gateway.storage_link, name + ".storage");
+  register_link(*gateway.instance_link, name + ".instance");
   gateways_.push_back(std::move(gateway));
   return ref;
+}
+
+void Cloud::register_link(net::Link& link, std::string label) {
+  if (fault_plan_ != nullptr) {
+    link.set_fault(fault_plan_, fault_profile_, label);
+  }
+  links_.emplace_back(&link, std::move(label));
+}
+
+void Cloud::set_fault_plan(sim::FaultPlan* plan,
+                           sim::PacketFaultProfile profile) {
+  fault_plan_ = plan;
+  fault_profile_ = profile;
+  for (auto& [link, label] : links_) {
+    link->set_fault(plan, profile, label);
+  }
+}
+
+net::Link* Cloud::find_link(const std::string& label) {
+  for (auto& [link, link_label] : links_) {
+    if (link_label == label) return link;
+  }
+  return nullptr;
 }
 
 }  // namespace storm::cloud

@@ -28,6 +28,7 @@
 #include "net/flow_switch.hpp"
 #include "net/node.hpp"
 #include "sim/cpu.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace storm::cloud {
@@ -228,6 +229,15 @@ class Cloud {
   /// one NIC on the storage network, one on the instance backbone.
   net::NetNode& create_gateway(const std::string& name);
 
+  /// Arm packet fault injection on every link in the cloud — existing and
+  /// any created later. Pass nullptr to disarm. Labels in the plan's event
+  /// trace name the link ("host0.storage", "vm.web1", "gw-t1.instance").
+  void set_fault_plan(sim::FaultPlan* plan,
+                      sim::PacketFaultProfile profile = {});
+
+  /// Look up a registered link by its fault label (for targeted flaps).
+  net::Link* find_link(const std::string& label);
+
   net::MacAddr next_mac() { return net::MacAddr{next_mac_++}; }
 
  private:
@@ -236,6 +246,9 @@ class Cloud {
   friend class StorageHost;
 
   void run_attach_queue(unsigned host_index);
+
+  /// Track a link under `label` and apply the current fault plan to it.
+  void register_link(net::Link& link, std::string label);
 
   sim::Simulator& sim_;
   CloudConfig config_;
@@ -252,6 +265,10 @@ class Cloud {
     std::unique_ptr<net::Link> instance_link;
   };
   std::vector<GatewayNode> gateways_;
+
+  sim::FaultPlan* fault_plan_ = nullptr;
+  sim::PacketFaultProfile fault_profile_;
+  std::vector<std::pair<net::Link*, std::string>> links_;
 
   std::vector<Attachment> attachments_;
   struct PendingAttach {

@@ -49,25 +49,53 @@ void ActiveRelay::start() {
 }
 
 void ActiveRelay::on_accept(net::TcpConnection& conn) {
+  // A reconnecting initiator re-uses its pinned source port (it must, or
+  // the conntrack-steered path would break). If a session with that port
+  // lost its downstream to a crash, adopt the new connection into it so
+  // the journal and the already re-dialed upstream are reused instead of
+  // creating a duplicate session.
+  for (auto& existing : sessions_) {
+    if (existing->bind_port == conn.remote().port &&
+        existing->downstream == nullptr) {
+      bind_downstream(*existing, conn);
+      // If the upstream leg is dead too (its loss is what tore the
+      // initiator's side down in the first place), resume fully: re-dial
+      // and replay the journal. Otherwise the initiator's re-login would
+      // pile up in the backlog with nobody ever draining it.
+      if (existing->upstream == nullptr) {
+        resume_session(*existing);
+      }
+      return;
+    }
+  }
+
   auto session = std::make_unique<Session>();
   Session* raw = session.get();
-  session->downstream = &conn;
   session->bind_port = conn.remote().port;
   session->api = std::make_unique<SessionApi>(*this, *raw);
   sessions_.push_back(std::move(session));
 
+  bind_downstream(*raw, conn);
+  dial_upstream(*raw);
+}
+
+void ActiveRelay::bind_downstream(Session& session,
+                                  net::TcpConnection& conn) {
+  Session* raw = &session;
+  net::TcpConnection* cp = &conn;
+  session.downstream = cp;
   conn.set_on_data([this, raw](Bytes bytes) {
     on_stream_data(*raw, Direction::kToTarget, std::move(bytes));
   });
-  conn.set_on_ack([raw] {
-    raw->to_initiator.journal.trim(raw->downstream->bytes_acked());
+  conn.set_on_ack([raw, cp] {
+    raw->to_initiator.journal.trim(cp->bytes_acked());
   });
-  conn.set_on_closed([this, raw](Status status) {
+  conn.set_on_closed([this, raw, cp](Status status) {
+    if (raw->downstream == cp) raw->downstream = nullptr;
+    if (raw->failed) return;  // induced teardown: recovery handles it
     for (StorageService* service : services_) service->on_flow_closed(status);
     if (raw->upstream != nullptr) raw->upstream->abort();
   });
-
-  dial_upstream(*raw);
 }
 
 void ActiveRelay::dial_upstream(Session& session) {
@@ -93,6 +121,7 @@ void ActiveRelay::dial_upstream(Session& session) {
   });
   session.upstream->set_on_closed([this, &session](Status status) {
     session.upstream_ready = false;
+    session.upstream = nullptr;  // object is gone; adoption checks this
     if (!session.failed) {
       // Unplanned upstream loss: surface to services and drop the tenant
       // side as well (the initiator re-attaches; journal preserved).
@@ -142,8 +171,13 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
       static_cast<sim::Duration>(costs_.ns_per_byte *
                                  static_cast<double>(pdu.data.size()));
 
-  auto continue_processing = [this, &session, dir,
+  const std::uint64_t epoch = session.epoch;
+  auto continue_processing = [this, &session, dir, epoch,
                               pdu = std::move(pdu)]() mutable {
+    // A crash/resume reset the session while this was queued on the CPU:
+    // the PDU belongs to the dead incarnation (the journal already holds
+    // everything that must survive). Drop it.
+    if (session.epoch != epoch) return;
     DirectionState& st2 = state(session, dir);
     if (pdu.opcode == iscsi::Opcode::kLoginRequest) {
       session.login_pdu = pdu;  // kept for session re-establishment
@@ -169,8 +203,9 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
         }
       }
     }
-    auto finish = [this, &session, dir, consume,
+    auto finish = [this, &session, dir, consume, epoch,
                    pdu = std::move(pdu)]() mutable {
+      if (session.epoch != epoch) return;
       if (!consume) {
         forward(session, dir, pdu);
         ++pdus_relayed_;
@@ -242,26 +277,71 @@ void ActiveRelay::fail_upstream() {
 void ActiveRelay::recover_upstream() {
   for (auto& session : sessions_) {
     if (!session->failed) continue;
-    session->failed = false;
-    // Collect unacknowledged PDUs before resetting the counters. The
-    // backlog is stale (those bytes are all in the journal).
-    std::vector<Bytes> replay = session->to_target.journal.unacknowledged();
-    session->to_target = DirectionState{};
-    session->to_initiator = DirectionState{};
-    session->upstream_backlog.clear();
+    resume_session(*session);
+  }
+}
+
+void ActiveRelay::resume_session(Session& session) {
+  session.failed = false;
+  ++session.epoch;  // invalidate CPU work queued before the reset
+  // Collect unacknowledged PDUs before resetting the counters. The
+  // backlog is stale (those bytes are all in the journal).
+  std::vector<Bytes> replay = session.to_target.journal.unacknowledged();
+  session.to_target = DirectionState{};
+  session.to_initiator = DirectionState{};
+  session.upstream_backlog.clear();
+  session.upstream_ready = false;
+  ++journal_replays_;
+  dial_upstream(session);
+  // Re-login first, then the unacknowledged tail.
+  if (session.login_pdu) {
+    forward(session, Direction::kToTarget, *session.login_pdu);
+  }
+  for (const Bytes& wire : replay) {
+    session.to_target.enqueued_bytes += wire.size();
+    session.to_target.journal.append(wire, session.to_target.enqueued_bytes);
+    send_upstream(session, wire);
+  }
+}
+
+void ActiveRelay::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  vm_.node().set_down(true);
+  // Null the connection pointers before wiping the stack: the objects are
+  // about to be destroyed, and a crashed node fires no close callbacks.
+  for (auto& session : sessions_) {
+    session->failed = true;
     session->upstream_ready = false;
-    dial_upstream(*session);
-    // Re-login first, then the unacknowledged tail.
-    if (session->login_pdu) {
-      forward(*session, Direction::kToTarget, *session->login_pdu);
-    }
-    for (const Bytes& wire : replay) {
-      // Skip the stored login if it is the journal head (already sent).
-      session->to_target.enqueued_bytes += wire.size();
-      session->to_target.journal.append(wire,
-                                        session->to_target.enqueued_bytes);
-      send_upstream(*session, wire);
-    }
+    session->downstream = nullptr;
+    session->upstream = nullptr;
+    ++session->epoch;  // invalidate CPU work queued by the dead incarnation
+  }
+  vm_.node().tcp().reset();
+}
+
+void ActiveRelay::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  vm_.node().set_down(false);
+  start();  // re-listen for the initiator's reconnection
+  for (auto& session : sessions_) {
+    if (session->failed) resume_session(*session);
+  }
+}
+
+void ActiveRelay::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  vm_.node().tcp().stop_listening(iscsi::kIscsiPort);
+  for (auto& session : sessions_) {
+    session->failed = true;  // suppress cross-abort close handlers
+    net::TcpConnection* down = session->downstream;
+    net::TcpConnection* up = session->upstream;
+    session->downstream = nullptr;
+    session->upstream = nullptr;
+    if (down != nullptr) down->abort();
+    if (up != nullptr) up->abort();
   }
 }
 

@@ -73,6 +73,8 @@ class ActiveRelay {
   ActiveRelay(const ActiveRelay&) = delete;
   ActiveRelay& operator=(const ActiveRelay&) = delete;
 
+  ~ActiveRelay() { shutdown(); }
+
   /// Start the pseudo-server (listens on the iSCSI port).
   void start();
 
@@ -83,9 +85,24 @@ class ActiveRelay {
   /// (the stored login PDU is replayed first to re-establish the session).
   void recover_upstream();
 
+  /// Power-fail the middle-box VM: node down, TCP state wiped with no
+  /// goodbyes, in-flight parser/queue state lost. Only the NVRAM journals
+  /// and the stored login PDUs survive (paper §III-B).
+  void crash();
+  /// Power the VM back on: re-listen, re-dial upstream for every crashed
+  /// session and replay the journal. The initiator's reconnection (same
+  /// pinned source port) is adopted back into its session by on_accept.
+  void restart();
+  bool crashed() const { return crashed_; }
+
+  /// Orderly teardown for chain rollback: stop listening and abort every
+  /// session's connections.
+  void shutdown();
+
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t journal_bytes() const;
   std::uint64_t pdus_relayed() const { return pdus_relayed_; }
+  std::uint64_t journal_replays() const { return journal_replays_; }
 
  private:
   struct Session;
@@ -122,10 +139,16 @@ class ActiveRelay {
     std::optional<iscsi::Pdu> login_pdu;  // kept for session re-establishment
     std::uint16_t bind_port = 0;
     bool failed = false;
+    // Bumped on every crash/resume. CPU-scheduled PDU callbacks from
+    // before the reset compare epochs and drop themselves, so stale work
+    // cannot pollute the resumed session's journal or backlog.
+    std::uint64_t epoch = 0;
   };
 
   void on_accept(net::TcpConnection& conn);
+  void bind_downstream(Session& session, net::TcpConnection& conn);
   void dial_upstream(Session& session);
+  void resume_session(Session& session);
   void on_stream_data(Session& session, Direction dir, Bytes bytes);
   void pump_queue(Session& session, Direction dir);
   void forward(Session& session, Direction dir, const iscsi::Pdu& pdu);
@@ -142,6 +165,9 @@ class ActiveRelay {
   ActiveRelayCosts costs_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::uint64_t pdus_relayed_ = 0;
+  std::uint64_t journal_replays_ = 0;
+  bool crashed_ = false;
+  bool shut_down_ = false;
 };
 
 }  // namespace storm::core

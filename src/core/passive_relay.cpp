@@ -20,6 +20,12 @@ PassiveRelay::PassiveRelay(cloud::Vm& mb_vm,
   }
 }
 
+PassiveRelay::~PassiveRelay() {
+  // Pending pump callbacks capture `this`; clear the hook so no new
+  // packets are captured after teardown (chain rollback destroys boxes).
+  vm_.node().set_forward_hook(nullptr);
+}
+
 void PassiveRelay::start() {
   vm_.node().set_forward_hook(
       [this](net::Packet& pkt) { return on_packet(pkt); });
@@ -127,6 +133,9 @@ void PassiveRelay::drain(StreamState& state) {
         state.transformed.begin(),
         state.transformed.begin() +
             static_cast<std::ptrdiff_t>(pkt.payload.size()));
+    // The payload just changed under the TCP checksum: recompute it, or
+    // every transformed segment would be discarded as corrupt downstream.
+    pkt.tcp.checksum = net::tcp_checksum(pkt);
     vm_.node().emit_forward(std::move(pkt));
   }
 }

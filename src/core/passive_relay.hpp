@@ -36,6 +36,8 @@ class PassiveRelay {
   PassiveRelay(const PassiveRelay&) = delete;
   PassiveRelay& operator=(const PassiveRelay&) = delete;
 
+  ~PassiveRelay();
+
   /// Install the FORWARD-chain hook on the middle-box VM.
   void start();
 

@@ -148,6 +148,7 @@ void StormPlatform::attach_with_chain(
   auto first_error = std::make_shared<Status>(Status::ok());
   auto proceed = [this, dep, vm, done, first_error]() {
     if (!first_error->is_ok()) {
+      rollback_deployment(dep);
       done(*first_error, nullptr);
       return;
     }
@@ -167,9 +168,12 @@ void StormPlatform::attach_with_chain(
       splicer_.remove_host_redirect(host, dep->splice);
     };
     cloud_.attach_volume(*vm, dep->volume,
-                         [dep, done](Status status,
-                                     cloud::Attachment attachment) {
+                         [this, dep, done](Status status,
+                                           cloud::Attachment attachment) {
                            if (!status.is_ok()) {
+                             // The attach failed after rules were
+                             // installed: leave nothing half-spliced.
+                             rollback_deployment(dep);
                              done(status, nullptr);
                              return;
                            }
@@ -216,6 +220,54 @@ void StormPlatform::apply_policy(const TenantPolicy& policy,
                       });
   };
   (*step)(0);
+}
+
+void StormPlatform::rollback_deployment(Deployment* dep) {
+  splicer_.remove_all_rules(dep->splice);
+  sdn_.remove_chain_rules(dep->splice.cookie);
+  // The host redirect is cookie-tagged too; normally the after_login hook
+  // removed it already, but a failure before that point must not leak it.
+  cloud::Vm* vm = cloud_.find_vm(dep->vm);
+  if (vm != nullptr) {
+    cloud_.compute(vm->host_index())
+        .node()
+        .nat()
+        .remove_rules_by_cookie(dep->splice.cookie);
+  }
+  for (auto it = deployments_.begin(); it != deployments_.end(); ++it) {
+    if (it->get() == dep) {
+      deployments_.erase(it);  // destroys relays (ActiveRelay::shutdown)
+      break;
+    }
+  }
+}
+
+Status StormPlatform::crash_middlebox(Deployment& deployment,
+                                      std::size_t position) {
+  MiddleboxInstance* box = deployment.box(position);
+  if (box == nullptr) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  if (box->active_relay) {
+    box->active_relay->crash();
+  } else {
+    box->vm->node().set_down(true);
+  }
+  return Status::ok();
+}
+
+Status StormPlatform::restart_middlebox(Deployment& deployment,
+                                        std::size_t position) {
+  MiddleboxInstance* box = deployment.box(position);
+  if (box == nullptr) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  if (box->active_relay) {
+    box->active_relay->restart();
+  } else {
+    box->vm->node().set_down(false);
+  }
+  return Status::ok();
 }
 
 Deployment* StormPlatform::find_deployment(const std::string& vm,

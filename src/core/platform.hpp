@@ -95,6 +95,15 @@ class StormPlatform {
   /// Remove the packet-level middle-box at `position`.
   Status remove_middlebox(Deployment& deployment, std::size_t position);
 
+  // --- fault injection (chaos tests / bench) ---
+  /// Power-fail the middle-box VM at `position`: an active relay crashes
+  /// with journal intact (see ActiveRelay::crash); other relay modes just
+  /// take the VM's node down.
+  Status crash_middlebox(Deployment& deployment, std::size_t position);
+  /// Power the crashed middle-box back on; an active relay re-dials the
+  /// target and replays its journal.
+  Status restart_middlebox(Deployment& deployment, std::size_t position);
+
   Deployment* find_deployment(const std::string& vm,
                               const std::string& volume);
 
@@ -110,6 +119,10 @@ class StormPlatform {
       const ServiceSpec& spec, const std::string& label,
       const std::string& tenant, unsigned vm_host, block::Volume* volume);
   void wire_relays(Deployment& deployment);
+  /// Undo a failed attach: remove every NAT rule and SDN flow tagged with
+  /// the deployment's cookie and drop the deployment (tearing down its
+  /// relays). No half-spliced state may survive a failed attach.
+  void rollback_deployment(Deployment* dep);
 
   cloud::Cloud& cloud_;
   ConnectionAttribution attribution_;

@@ -1,5 +1,7 @@
 #include "iscsi/initiator.hpp"
 
+#include <algorithm>
+
 #include "block/block_device.hpp"
 #include "common/log.hpp"
 #include "net/node.hpp"
@@ -13,29 +15,50 @@ Initiator::Initiator(net::NetNode& node, net::SocketAddr target,
 
 void Initiator::login(LoginCallback done) {
   login_cb_ = std::move(done);
+  dial();
+}
+
+void Initiator::dial() {
   conn_ = &node_.tcp().connect(target_, [this] {
     send_pdu(make_login_request(iqn_));
   }, local_port_);
   source_port_ = conn_->local().port;
+  // Pin the ephemeral port we got: a recovery dial must reuse the exact
+  // four-tuple or conntrack-steered NAT paths stop matching the flow.
+  local_port_ = source_port_;
   conn_->set_on_data([this](Bytes bytes) { on_data(bytes); });
   conn_->set_on_closed([this](Status status) { on_closed(status); });
+  // Watch the login round-trip too: a recovery dial that connects but
+  // never gets a login response (peer restarted again, response lost on a
+  // dead path) must not hang the queued commands forever.
+  arm_watchdog();
+}
+
+void Initiator::reconnect() {
+  if (failed_ || logging_out_ || logged_in_) return;
+  dial();
 }
 
 void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
                      ReadCallback done) {
-  if (failed_ || !logged_in_) {
+  if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
     done(error(ErrorCode::kFailedPrecondition, "session not established"), {});
     return;
   }
   std::uint32_t tag = next_tag_++;
   std::uint32_t bytes = sectors * block::kSectorSize;
-  pending_reads_[tag] = PendingRead{{}, bytes, std::move(done)};
+  pending_reads_[tag] = PendingRead{lba, {}, bytes, std::move(done)};
   ++reads_;
-  send_pdu(make_read_command(tag, lba, bytes));
+  // While disconnected (recovery pending) the command just queues; the
+  // re-login path re-issues everything outstanding.
+  if (logged_in_) {
+    send_pdu(make_read_command(tag, lba, bytes));
+    arm_watchdog();
+  }
 }
 
 void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
-  if (failed_ || !logged_in_) {
+  if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
     done(error(ErrorCode::kFailedPrecondition, "session not established"));
     return;
   }
@@ -44,14 +67,22 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
     return;
   }
   std::uint32_t tag = next_tag_++;
-  pending_writes_[tag] = PendingWrite{std::move(done)};
+  auto [it, inserted] = pending_writes_.emplace(
+      tag, PendingWrite{lba, std::move(data), std::move(done)});
   ++writes_;
+  if (logged_in_) {
+    issue_write(tag, it->second);
+    arm_watchdog();
+  }
+}
 
+void Initiator::issue_write(std::uint32_t tag, const PendingWrite& pending) {
+  const Bytes& data = pending.data;
   const std::uint32_t total = static_cast<std::uint32_t>(data.size());
   // Command PDU carries the first segment as immediate data; the rest
   // streams as Data-Out PDUs.
   std::uint32_t first = std::min(kMaxDataSegment, total);
-  Pdu cmd = make_write_command(tag, lba, total);
+  Pdu cmd = make_write_command(tag, pending.lba, total);
   cmd.data = Bytes(data.begin(), data.begin() + first);
   if (first == total) cmd.flags |= kFlagFinal;
   send_pdu(cmd);
@@ -65,11 +96,47 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
   }
 }
 
+void Initiator::reissue_pending() {
+  // Re-issue in original tag order so the replayed command stream matches
+  // what the journal-replaying relay and the target expect.
+  std::vector<std::uint32_t> tags;
+  tags.reserve(pending_reads_.size() + pending_writes_.size());
+  for (const auto& [tag, pending] : pending_reads_) tags.push_back(tag);
+  for (const auto& [tag, pending] : pending_writes_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  for (std::uint32_t tag : tags) {
+    if (auto it = pending_reads_.find(tag); it != pending_reads_.end()) {
+      it->second.data.clear();  // partial Data-In from before the drop
+      send_pdu(make_read_command(tag, it->second.lba, it->second.expected));
+    } else if (auto wit = pending_writes_.find(tag);
+               wit != pending_writes_.end()) {
+      issue_write(tag, wit->second);
+    }
+  }
+}
+
 void Initiator::logout() {
+  logging_out_ = true;  // a deliberate teardown must not trigger recovery
   if (conn_ == nullptr || failed_) return;
   Pdu pdu;
   pdu.opcode = Opcode::kLogoutRequest;
   send_pdu(pdu);
+}
+
+void Initiator::arm_watchdog() {
+  watchdog_.cancel();
+  if (!recovery_.enabled || logging_out_ || failed_) return;
+  watchdog_ = node_.simulator().after_cancellable(
+      recovery_.response_timeout, [this] { on_watchdog(); });
+}
+
+void Initiator::on_watchdog() {
+  if (pending_reads_.empty() && pending_writes_.empty()) return;
+  if (conn_ == nullptr) return;
+  log_info("iscsi-init") << iqn_ << ": command timeout after "
+                         << recovery_.response_timeout
+                         << "ns; dropping session for recovery";
+  conn_->abort();  // enter on_closed -> recovery reconnect path
 }
 
 void Initiator::on_data(Bytes bytes) {
@@ -81,12 +148,29 @@ void Initiator::on_data(Bytes bytes) {
     return;
   }
   for (auto& pdu : pdus) handle_pdu(std::move(pdu));
+  // Any inbound PDU is progress: push the command watchdog out, or stop
+  // it entirely once nothing is outstanding.
+  if (pending_reads_.empty() && pending_writes_.empty()) {
+    watchdog_.cancel();
+  } else {
+    arm_watchdog();
+  }
 }
 
 void Initiator::handle_pdu(Pdu pdu) {
   switch (pdu.opcode) {
     case Opcode::kLoginResponse: {
       logged_in_ = pdu.status == kStatusGood;
+      if (logged_in_) {
+        attempts_ = 0;
+        if (recovering_) {
+          recovering_ = false;
+          ++recoveries_;
+          log_info("iscsi-init") << iqn_ << ": session recovered (port="
+                                 << source_port_ << ")";
+        }
+        reissue_pending();
+      }
       if (login_cb_) {
         auto cb = std::move(login_cb_);
         login_cb_ = nullptr;
@@ -141,8 +225,22 @@ void Initiator::handle_pdu(Pdu pdu) {
 
 void Initiator::on_closed(Status status) {
   if (failed_) return;
-  failed_ = true;
   logged_in_ = false;
+  conn_ = nullptr;
+  watchdog_.cancel();
+  if (recovery_.enabled && !logging_out_ &&
+      attempts_ < recovery_.max_attempts) {
+    ++attempts_;
+    recovering_ = true;
+    parser_ = StreamParser{};  // mid-PDU bytes from the old stream are gone
+    log_info("iscsi-init") << iqn_ << ": session dropped ("
+                           << status.to_string() << "); reconnect attempt "
+                           << attempts_ << "/" << recovery_.max_attempts;
+    node_.simulator().after(recovery_.reconnect_delay,
+                            [this] { reconnect(); });
+    return;
+  }
+  failed_ = true;
   Status failure = status.is_ok()
                        ? error(ErrorCode::kConnectionFailed, "session closed")
                        : status;

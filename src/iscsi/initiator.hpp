@@ -16,6 +16,25 @@
 
 namespace storm::iscsi {
 
+/// Opt-in session recovery (open-iscsi's replacement_timeout behaviour):
+/// when the TCP session drops, re-dial from the *same* source port,
+/// re-login, and re-issue every outstanding command instead of failing
+/// them. Reads and sector writes are idempotent, so at-least-once
+/// re-execution is safe.
+struct RecoveryPolicy {
+  bool enabled = false;
+  /// Consecutive failed reconnect attempts before giving up for good.
+  unsigned max_attempts = 8;
+  /// Wait between a drop and the next dial.
+  sim::Duration reconnect_delay = sim::milliseconds(10);
+  /// Command watchdog (open-iscsi's NOP/replacement timeout): if commands
+  /// are outstanding and no PDU arrives for this long, the session is
+  /// declared dead and torn down so recovery can re-dial. Without it, a
+  /// peer that crashed with nothing in flight at the TCP level is
+  /// undetectable — TCP only notices loss when it has unacked data.
+  sim::Duration response_timeout = sim::milliseconds(500);
+};
+
 class Initiator {
  public:
   using LoginCallback = std::function<void(Status)>;
@@ -45,28 +64,45 @@ class Initiator {
 
   void logout();
 
+  /// Enable/configure session recovery. With recovery on, commands issued
+  /// while disconnected are queued and sent after the next re-login.
+  void set_recovery(RecoveryPolicy policy) { recovery_ = policy; }
+
   /// Fired when the session drops with commands outstanding (all pending
-  /// callbacks also fire with errors).
+  /// callbacks also fire with errors). With recovery enabled, only fires
+  /// once reconnection attempts are exhausted.
   void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
 
   /// TCP source port of this session — the attribution hook.
   std::uint16_t source_port() const { return source_port_; }
   const std::string& iqn() const { return iqn_; }
   bool logged_in() const { return logged_in_; }
+  bool recovering() const { return recovering_; }
 
   std::uint64_t reads_issued() const { return reads_; }
   std::uint64_t writes_issued() const { return writes_; }
+  /// Successful session re-establishments.
+  std::uint64_t recoveries() const { return recoveries_; }
 
  private:
   struct PendingRead {
+    std::uint64_t lba;
     Bytes data;
     std::uint32_t expected;
     ReadCallback done;
   };
   struct PendingWrite {
+    std::uint64_t lba;
+    Bytes data;  // retained for re-issue after recovery
     WriteCallback done;
   };
 
+  void dial();
+  void reconnect();
+  void arm_watchdog();
+  void on_watchdog();
+  void issue_write(std::uint32_t tag, const PendingWrite& pending);
+  void reissue_pending();
   void on_data(Bytes bytes);
   void handle_pdu(Pdu pdu);
   void on_closed(Status status);
@@ -80,8 +116,13 @@ class Initiator {
   StreamParser parser_;
   bool logged_in_ = false;
   bool failed_ = false;
+  bool logging_out_ = false;
+  bool recovering_ = false;
   std::uint16_t source_port_ = 0;
   std::uint32_t next_tag_ = 1;
+  RecoveryPolicy recovery_;
+  unsigned attempts_ = 0;  // consecutive failed recovery attempts
+  sim::CancelToken watchdog_;
 
   LoginCallback login_cb_;
   FailureCallback on_failure_;
@@ -90,6 +131,7 @@ class Initiator {
 
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace storm::iscsi

@@ -50,6 +50,10 @@ Bytes serialize(const Pdu& pdu) {
   w.u32(static_cast<std::uint32_t>(pdu.data.size()));
   w.raw(pdu.data);
   w.u32(pdu.data.empty() ? 0 : crc32(pdu.data));
+  // Trailing digest over the whole body (headers + text + data), so any
+  // single bit flip anywhere in the PDU is detected at parse time — the
+  // data_digest above only covers the data segment.
+  w.u32(crc32(body));
 
   Bytes framed;
   ByteWriter frame(framed);
@@ -60,7 +64,18 @@ Bytes serialize(const Pdu& pdu) {
 
 Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
   try {
-    ByteReader r(body);
+    if (body.size() < 4) {
+      return error(ErrorCode::kParseError, "truncated PDU body");
+    }
+    // Verify the trailing whole-body digest before trusting any field.
+    std::span<const std::uint8_t> inner = body.first(body.size() - 4);
+    {
+      ByteReader tail(body.subspan(body.size() - 4));
+      if (tail.u32() != crc32(inner)) {
+        return error(ErrorCode::kParseError, "pdu digest mismatch");
+      }
+    }
+    ByteReader r(inner);
     Pdu pdu;
     pdu.opcode = static_cast<Opcode>(r.u8());
     pdu.flags = r.u8();

@@ -10,21 +10,47 @@ void Link::send(int from_end, Packet pkt) {
   auto& receiver = receivers_.at(static_cast<std::size_t>(to_end));
   if (!receiver) return;
 
-  const std::uint64_t bits = pkt.wire_size() * 8ull;
-  const auto ser = static_cast<sim::Duration>(bits * 1'000'000'000ull / bps_);
+  sim::PacketFaultDecision fault;
+  if (fault_ && fault_profile_.enabled()) {
+    fault = fault_->decide(fault_profile_, fault_label_);
+    if (fault.drop) {
+      ++faults_;
+      return;
+    }
+    if (fault.corrupt) {
+      ++faults_;
+      if (!pkt.payload.empty()) {
+        fault_->flip_random_bit(pkt.payload);
+      } else {
+        // Header-only segment: flip a bit in a checksum-covered field so
+        // the corruption is detectable, as on a real wire.
+        pkt.tcp.seq ^= 1ull << fault_->rng().below(64);
+      }
+    }
+    if (fault.duplicate || fault.extra_delay > 0) ++faults_;
+  }
 
-  // FIFO through the per-direction serializer.
-  auto& next_free = next_free_[static_cast<std::size_t>(from_end)];
-  sim::Time start = std::max(sim_.now(), next_free);
-  next_free = start + ser;
-  sim::Time deliver_at = next_free + prop_;
+  const int copies = fault.duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    const std::uint64_t bits = pkt.wire_size() * 8ull;
+    const auto ser =
+        static_cast<sim::Duration>(bits * 1'000'000'000ull / bps_);
 
-  packets_ += 1;
-  bytes_ += pkt.wire_size();
-  sim_.at(deliver_at, [this, to_end, p = std::move(pkt)]() mutable {
-    if (down_) return;  // went down while in flight
-    receivers_[static_cast<std::size_t>(to_end)](std::move(p));
-  });
+    // FIFO through the per-direction serializer (a duplicate occupies a
+    // second slot, like a real dupe on the wire).
+    auto& next_free = next_free_[static_cast<std::size_t>(from_end)];
+    sim::Time start = std::max(sim_.now(), next_free);
+    next_free = start + ser;
+    sim::Time deliver_at = next_free + prop_ + fault.extra_delay;
+
+    packets_ += 1;
+    bytes_ += pkt.wire_size();
+    Packet p = (copy + 1 < copies) ? pkt : std::move(pkt);
+    sim_.at(deliver_at, [this, to_end, p = std::move(p)]() mutable {
+      if (down_) return;  // went down while in flight
+      receivers_[static_cast<std::size_t>(to_end)](std::move(p));
+    });
+  }
 }
 
 }  // namespace storm::net

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace storm::net {
@@ -35,8 +36,20 @@ class Link {
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
 
+  /// Attach a fault plan: every packet crossing this link consults it with
+  /// `profile`. `label` names the link in the plan's event trace. Pass
+  /// nullptr to detach.
+  void set_fault(sim::FaultPlan* plan, sim::PacketFaultProfile profile,
+                 std::string label) {
+    fault_ = plan;
+    fault_profile_ = profile;
+    fault_label_ = std::move(label);
+  }
+  const std::string& fault_label() const { return fault_label_; }
+
   std::uint64_t packets_delivered() const { return packets_; }
   std::uint64_t bytes_delivered() const { return bytes_; }
+  std::uint64_t faults_injected() const { return faults_; }
 
  private:
   sim::Simulator& sim_;
@@ -47,6 +60,10 @@ class Link {
   std::array<sim::Time, 2> next_free_{};  // per-direction serializer
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t faults_ = 0;
+  sim::FaultPlan* fault_ = nullptr;
+  sim::PacketFaultProfile fault_profile_;
+  std::string fault_label_;
 };
 
 }  // namespace storm::net

@@ -2,7 +2,25 @@
 
 #include <sstream>
 
+#include "common/hash.hpp"
+
 namespace storm::net {
+
+std::uint32_t tcp_checksum(const Packet& pkt) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ull;
+    h ^= h >> 32;
+  };
+  mix(pkt.tcp.seq);
+  mix(pkt.tcp.ack);
+  mix(pkt.tcp.flags);
+  mix(pkt.tcp.window);
+  mix(pkt.payload.size());
+  if (!pkt.payload.empty()) mix(crc32(pkt.payload));
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
 
 std::string Packet::summary() const {
   std::ostringstream out;
@@ -48,7 +66,7 @@ Bytes serialize(const Packet& pkt) {
   w.u8(0x50);  // data offset = 5 words
   w.u8(pkt.tcp.flags);
   w.u32(pkt.tcp.window);
-  w.u16(0);  // checksum (not modeled)
+  w.u32(pkt.tcp.checksum);
   w.u16(0);  // urgent
   w.raw(pkt.payload);
   return out;
@@ -81,7 +99,8 @@ Packet parse_packet(std::span<const std::uint8_t> wire) {
   r.skip(1);
   pkt.tcp.flags = r.u8();
   pkt.tcp.window = r.u32();
-  r.skip(4);
+  pkt.tcp.checksum = r.u32();
+  r.skip(2);
 
   std::size_t payload_len =
       total_len - Ipv4Header::kWireSize - TcpHeader::kCodecSize;

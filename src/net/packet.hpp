@@ -48,9 +48,14 @@ struct TcpHeader {
   std::uint64_t ack = 0;
   std::uint8_t flags = 0;
   std::uint32_t window = 0;  // receive window in bytes (no scaling games)
+  // Segment checksum (CRC-based, see tcp_checksum). Covers only fields NAT
+  // never rewrites — seq/ack/flags/window/payload — so address and port
+  // translation doesn't have to recompute it (and therefore can't mask
+  // in-flight corruption).
+  std::uint32_t checksum = 0;
 
   static constexpr std::size_t kWireSize = 20;       // timing model
-  static constexpr std::size_t kCodecSize = 30;      // serialized bytes
+  static constexpr std::size_t kCodecSize = 32;      // serialized bytes
 };
 
 struct Packet {
@@ -75,5 +80,10 @@ struct Packet {
 /// std::out_of_range on truncated buffers.
 Bytes serialize(const Packet& pkt);
 Packet parse_packet(std::span<const std::uint8_t> wire);
+
+/// Checksum over the NAT-invariant TCP fields (seq, ack, flags, window)
+/// and the payload. Computed by TcpStack::transmit, validated on receive;
+/// any middle-box that rewrites the payload must recompute it.
+std::uint32_t tcp_checksum(const Packet& pkt);
 
 }  // namespace storm::net

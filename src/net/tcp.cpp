@@ -29,32 +29,46 @@ TcpConnection& TcpStack::connect(
   TcpConnection& ref = *conn;
   connections_[FourTuple{local, remote}] = std::move(conn);
 
-  Packet syn;
-  syn.ip.src = local.ip;
-  syn.ip.dst = remote.ip;
-  syn.tcp.src_port = local.port;
-  syn.tcp.dst_port = remote.port;
-  syn.tcp.flags = kTcpSyn;
-  syn.tcp.seq = 0;
-  syn.tcp.window = default_window_;
-  transmit(std::move(syn));
+  ref.send_syn();
+  ref.arm_rto();
   return ref;
 }
 
 void TcpStack::handle_segment(Packet pkt) {
+  // Corrupted in flight? Discard before any state can be touched — a
+  // flipped bit must never tear down a connection (e.g. by forging RST).
+  if (pkt.tcp.checksum != tcp_checksum(pkt)) {
+    ++checksum_drops_;
+    log_debug("tcp") << "checksum mismatch, dropping " << pkt.summary();
+    return;
+  }
+
   const FourTuple key{{pkt.ip.dst, pkt.tcp.dst_port},
                       {pkt.ip.src, pkt.tcp.src_port}};
   auto it = connections_.find(key);
   if (it != connections_.end()) {
-    // A SYN re-using the 4-tuple of a closed connection starts a new one
-    // (port reuse after RST — the active relay's recovery path does this).
-    bool is_fresh_syn = (pkt.tcp.flags & kTcpSyn) && !(pkt.tcp.flags & kTcpAck) &&
-                        it->second->state() == TcpConnection::State::kClosed;
-    if (!is_fresh_syn) {
-      it->second->handle_segment(pkt);
+    TcpConnection& existing = *it->second;
+    const bool fresh_syn =
+        (pkt.tcp.flags & kTcpSyn) && !(pkt.tcp.flags & kTcpAck);
+    // A retransmitted or duplicated copy of the SYN that created the
+    // current incarnation: let the connection handle (ignore/re-ACK) it.
+    const bool dup_of_current =
+        fresh_syn && existing.state() != TcpConnection::State::kClosed &&
+        pkt.tcp.seq + 1 == existing.rcv_nxt_;
+    if (!fresh_syn || dup_of_current) {
+      existing.handle_segment(pkt);
       return;
     }
-    connections_.erase(it);
+    // A genuinely new SYN re-using the 4-tuple supersedes the old
+    // connection: port reuse after RST, or a peer that crashed without
+    // saying goodbye and is now re-dialing (the active relay's recovery
+    // path does both). The close callback may touch this stack, so
+    // re-look-up by key before erasing.
+    if (existing.state() != TcpConnection::State::kClosed) {
+      existing.enter_closed(error(ErrorCode::kConnectionFailed,
+                                  "superseded by new connection"));
+    }
+    connections_.erase(key);
   }
   auto lit = listeners_.end();
   if ((pkt.tcp.flags & kTcpSyn) && !(pkt.tcp.flags & kTcpAck)) {
@@ -69,17 +83,9 @@ void TcpStack::handle_segment(Packet pkt) {
     ref.rcv_nxt_ = pkt.tcp.seq + 1;  // consume the SYN
     connections_[key] = std::move(conn);
 
-    Packet synack;
-    synack.ip.src = key.src.ip;
-    synack.ip.dst = key.dst.ip;
-    synack.tcp.src_port = key.src.port;
-    synack.tcp.dst_port = key.dst.port;
-    synack.tcp.flags = kTcpSyn | kTcpAck;
-    synack.tcp.seq = 0;
-    synack.tcp.ack = ref.rcv_nxt_;
-    synack.tcp.window = ref.recv_window_;
     ref.accept_pending_ = lit->second;
-    transmit(std::move(synack));
+    ref.send_synack();
+    ref.arm_rto();
     return;
   }
   // Segment for an unknown connection: answer with RST (unless it is one).
@@ -94,7 +100,16 @@ void TcpStack::handle_segment(Packet pkt) {
   }
 }
 
-void TcpStack::transmit(Packet pkt) { node_.send_ip(std::move(pkt)); }
+void TcpStack::reset() {
+  // Destructors cancel pending retransmission timers; no callbacks fire.
+  connections_.clear();
+  listeners_.clear();
+}
+
+void TcpStack::transmit(Packet pkt) {
+  pkt.tcp.checksum = tcp_checksum(pkt);
+  node_.send_ip(std::move(pkt));
+}
 
 // ----------------------------------------------------------- TcpConnection
 
@@ -152,17 +167,26 @@ void TcpConnection::send_ack() { emit(kTcpAck, {}, snd_nxt_); }
 void TcpConnection::pump() {
   if (state_ != State::kEstablished && state_ != State::kFinSent) return;
   const std::uint32_t window = std::min(send_window_cap_, peer_window_);
-  while (!send_buf_.empty() && snd_nxt_ - snd_una_ < window) {
-    std::size_t allowed = window - static_cast<std::size_t>(snd_nxt_ - snd_una_);
-    std::size_t len = std::min({kTcpMss, send_buf_.size(), allowed});
+  while (true) {
+    const std::uint64_t in_flight = snd_nxt_ - snd_una_;
+    if (in_flight >= window) break;
+    if (in_flight >= send_buf_.size()) break;  // nothing unsent
+    const std::size_t offset = static_cast<std::size_t>(in_flight);
+    const std::size_t len =
+        std::min({kTcpMss, send_buf_.size() - offset,
+                  static_cast<std::size_t>(window - in_flight)});
     if (len == 0) break;
-    Bytes payload(send_buf_.begin(),
-                  send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
-    send_buf_.erase(send_buf_.begin(),
-                    send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
+    Bytes payload(send_buf_.begin() + static_cast<std::ptrdiff_t>(offset),
+                  send_buf_.begin() + static_cast<std::ptrdiff_t>(offset + len));
     emit(kTcpAck, std::move(payload), snd_nxt_);
     snd_nxt_ += len;
-    bytes_sent_ += len;
+    if (snd_nxt_ > max_seq_sent_) {
+      // Count only never-before-sent bytes; retransmissions don't inflate
+      // the throughput accounting.
+      bytes_sent_ += snd_nxt_ - std::max(max_seq_sent_, snd_nxt_ - len);
+      max_seq_sent_ = snd_nxt_;
+    }
+    arm_rto();
   }
   if (fin_pending_ && !fin_sent_ && send_buf_.empty() &&
       snd_una_ == snd_nxt_) {
@@ -170,11 +194,70 @@ void TcpConnection::pump() {
     snd_nxt_ += 1;  // FIN consumes a sequence number
     fin_sent_ = true;
     state_ = State::kFinSent;
+    arm_rto();
   }
 }
 
-void TcpConnection::handle_segment(const Packet& pkt) {
+void TcpConnection::arm_rto() {
+  if (rto_token_.armed()) return;
+  rto_token_ = stack_.node().simulator().after_cancellable(
+      rto_, [this] { on_rto(); });
+}
+
+void TcpConnection::restart_rto() {
+  cancel_rto();
+  arm_rto();
+}
+
+void TcpConnection::on_rto() {
+  rto_token_.cancel();  // the fired token would otherwise read as armed
   if (state_ == State::kClosed) return;
+  const bool outstanding = snd_nxt_ > snd_una_ ||
+                           state_ == State::kSynSent ||
+                           state_ == State::kSynReceived;
+  if (!outstanding) return;
+  if (retries_ >= kTcpMaxRetries) {
+    enter_closed(error(ErrorCode::kConnectionFailed,
+                       "retransmission timeout"));
+    return;
+  }
+  ++retries_;
+  ++retransmits_;
+  ++stack_.retransmits_;
+  rto_ = std::min<sim::Duration>(rto_ * 2, kTcpMaxRto);
+  rewind_and_resend();
+  arm_rto();
+}
+
+void TcpConnection::rewind_and_resend() {
+  switch (state_) {
+    case State::kSynSent:
+      send_syn();
+      return;
+    case State::kSynReceived:
+      send_synack();
+      return;
+    default:
+      break;
+  }
+  // Go-back-N: rewind to the oldest unacknowledged byte and let pump()
+  // resend the window (and the FIN, if it was already out).
+  snd_nxt_ = snd_una_;
+  fin_sent_ = false;
+  pump();
+}
+
+void TcpConnection::handle_segment(const Packet& pkt) {
+  if (state_ == State::kClosed) {
+    if (pkt.tcp.flags & kTcpRst) return;
+    if ((pkt.tcp.flags & kTcpFin) && pkt.tcp.seq < rcv_nxt_) {
+      // Retransmitted FIN we already consumed — our final ACK was lost.
+      emit(kTcpAck, {}, snd_nxt_);
+      return;
+    }
+    emit(kTcpRst, {}, snd_nxt_);
+    return;
+  }
 
   if (pkt.tcp.flags & kTcpRst) {
     enter_closed(error(ErrorCode::kConnectionFailed, "connection reset"));
@@ -189,6 +272,9 @@ void TcpConnection::handle_segment(const Packet& pkt) {
       rcv_nxt_ = pkt.tcp.seq + 1;
       snd_una_ = snd_nxt_ = pkt.tcp.ack;  // our SYN consumed seq 0
       state_ = State::kEstablished;
+      retries_ = 0;
+      rto_ = kTcpInitialRto;
+      cancel_rto();
       send_ack();
       if (on_established_) on_established_();
       pump();
@@ -199,61 +285,105 @@ void TcpConnection::handle_segment(const Packet& pkt) {
     if (pkt.tcp.flags & kTcpAck) {
       snd_una_ = snd_nxt_ = pkt.tcp.ack;
       state_ = State::kEstablished;
+      retries_ = 0;
+      rto_ = kTcpInitialRto;
+      cancel_rto();
       if (accept_pending_) {
         auto cb = std::move(accept_pending_);
         accept_pending_ = nullptr;
         cb(*this);
       }
-      // Fall through: the handshake ACK may carry data (none in this
-      // stack, but harmless).
+      // Fall through: the handshake ACK may carry data (a client that
+      // sends immediately after establishing).
     } else {
-      return;
+      return;  // duplicate SYN: our SYN-ACK retransmission covers it
     }
+  }
+
+  // A retransmitted SYN-ACK after we're established means our handshake
+  // ACK was lost: re-ACK so the server completes too.
+  if (pkt.tcp.flags & kTcpSyn) {
+    send_ack();
+    return;
   }
 
   // ACK processing.
   if (pkt.tcp.flags & kTcpAck) {
     if (pkt.tcp.ack > snd_una_) {
-      snd_una_ = std::min(pkt.tcp.ack, snd_nxt_);
+      const std::uint64_t limit = std::min(pkt.tcp.ack, snd_nxt_);
+      const std::size_t pop = std::min<std::uint64_t>(
+          limit - snd_una_, send_buf_.size());
+      send_buf_.erase(send_buf_.begin(),
+                      send_buf_.begin() + static_cast<std::ptrdiff_t>(pop));
+      snd_una_ = limit;
+      dup_acks_ = 0;
+      retries_ = 0;
+      rto_ = kTcpInitialRto;
+      if (snd_una_ == snd_nxt_) {
+        cancel_rto();
+      } else {
+        restart_rto();
+      }
       if (on_ack_) on_ack_();
+    } else if (pkt.tcp.ack == snd_una_ && snd_nxt_ > snd_una_ &&
+               pkt.payload.empty() && !(pkt.tcp.flags & kTcpFin)) {
+      // Duplicate ACK: the receiver saw a gap. Three in a row trigger
+      // fast retransmit without waiting for the RTO — but at most once
+      // per loss event: further duplicates (echoes of our own resent
+      // window) are ignored until the ACK passes the recovery point.
+      if (++dup_acks_ >= 3) {
+        dup_acks_ = 0;
+        if (snd_una_ >= fast_recovery_until_) {
+          fast_recovery_until_ = snd_nxt_;
+          ++retransmits_;
+          ++stack_.retransmits_;
+          rewind_and_resend();
+          restart_rto();
+        }
+      }
     }
   }
+  if (state_ == State::kClosed) return;  // on_ack_ may have aborted us
 
-  bool advanced = false;
+  bool should_ack = false;
 
-  // In-order data.
+  // Data. Every payload-bearing segment triggers an ACK: a cumulative one
+  // when it advances rcv_nxt_, a duplicate ACK when it's a repeat or a
+  // gap (go-back-N sender interprets the duplicates as loss).
   if (!pkt.payload.empty()) {
+    should_ack = true;
     if (pkt.tcp.seq == rcv_nxt_) {
       rcv_nxt_ += pkt.payload.size();
       bytes_received_ += pkt.payload.size();
-      advanced = true;
       if (on_data_) {
         on_data_(pkt.payload);
       } else {
         pending_rx_.insert(pending_rx_.end(), pkt.payload.begin(),
                            pkt.payload.end());
       }
+      if (state_ == State::kClosed) return;  // on_data_ may have closed us
     } else if (pkt.tcp.seq + pkt.payload.size() <= rcv_nxt_) {
-      advanced = true;  // duplicate: re-ACK
+      // Fully duplicate segment: re-ACK only.
     } else {
-      log_warn("tcp") << "out-of-order segment dropped (seq=" << pkt.tcp.seq
-                      << " expected=" << rcv_nxt_ << ")";
+      log_debug("tcp") << "out-of-order segment (seq=" << pkt.tcp.seq
+                       << " expected=" << rcv_nxt_ << "), dup-ACKing";
     }
   }
 
-  // FIN processing.
+  // FIN processing: consumed only when it lands exactly at rcv_nxt_
+  // (after any in-segment payload); an out-of-order FIN is re-ACKed so
+  // the peer retransmits the missing bytes first.
   if (pkt.tcp.flags & kTcpFin) {
-    if (pkt.tcp.seq == rcv_nxt_ ||
-        (!pkt.payload.empty() && advanced)) {
+    if (pkt.tcp.seq + pkt.payload.size() == rcv_nxt_) {
       rcv_nxt_ += 1;
-      advanced = true;
       send_ack();
       enter_closed(Status::ok());
       return;
     }
+    should_ack = true;
   }
 
-  if (advanced) send_ack();
+  if (should_ack) send_ack();
   if (state_ == State::kEstablished || state_ == State::kFinSent) pump();
 
   // Our FIN fully acknowledged: done.
@@ -265,6 +395,7 @@ void TcpConnection::handle_segment(const Packet& pkt) {
 void TcpConnection::enter_closed(Status status) {
   if (state_ == State::kClosed) return;
   state_ = State::kClosed;
+  cancel_rto();
   if (on_closed_) on_closed_(status);
 }
 

@@ -5,15 +5,21 @@
 //   * three-way handshake, FIN close, RST abort,
 //   * MSS segmentation,
 //   * sliding sender window = min(local cap, peer-advertised window),
-//   * cumulative ACKs generated immediately on data receipt.
+//   * cumulative ACKs generated immediately on data receipt,
+//   * loss recovery: retransmission timeout with exponential backoff,
+//     go-back-N resend, fast retransmit on three duplicate ACKs,
+//   * checksum-based rejection of corrupted segments (see tcp_checksum).
 // The sender window is what makes the paper's active-relay result emerge:
 // a relay that terminates TCP and ACKs locally collapses the ACK RTT from
 // the whole VM->gateway->MBs->gateway->target path to a single hop, so the
 // source never stalls on the middle-box's processing or downstream hops.
 //
-// Not modeled: loss/retransmission/SACK (the fabric is lossless FIFO);
-// failures are whole-connection events (RST or silent node-down), which is
-// exactly how the paper injects faults (closing the iSCSI connection).
+// Loss, corruption, duplication and reordering are injected by the fault
+// subsystem (sim::FaultPlan consulted per packet by net::Link); a segment
+// that keeps failing retransmission eventually fails the connection with
+// kConnectionFailed, which is how node-down blackholes become visible to
+// the iSCSI layer. SACK is not modeled — go-back-N is enough at the loss
+// rates the chaos tests inject.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "net/packet.hpp"
+#include "sim/simulator.hpp"
 
 namespace storm::net {
 
@@ -34,6 +41,14 @@ class TcpStack;
 
 inline constexpr std::size_t kTcpMss = 1460;
 inline constexpr std::uint32_t kDefaultWindow = 64 * 1024;
+
+// Retransmission timing. The initial RTO is deliberately generous (the
+// simulated fabric has sub-millisecond RTTs) so spurious retransmission
+// never happens on a clean path; backoff doubles up to the cap, then the
+// connection is declared dead after kTcpMaxRetries consecutive timeouts.
+inline constexpr sim::Duration kTcpInitialRto = sim::milliseconds(200);
+inline constexpr sim::Duration kTcpMaxRto = sim::seconds(10);
+inline constexpr unsigned kTcpMaxRetries = 8;
 
 class TcpConnection {
  public:
@@ -49,6 +64,8 @@ class TcpConnection {
     kClosed,
   };
 
+  ~TcpConnection() { cancel_rto(); }
+
   /// Queue bytes for transmission. No-op after close()/abort().
   void send(Bytes data);
 
@@ -57,7 +74,7 @@ class TcpConnection {
   void set_on_data(DataCallback cb);
 
   /// Fires once when the connection ends: OK for graceful FIN, an error
-  /// status for RST or local abort.
+  /// status for RST, local abort or retransmission timeout.
   void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
 
   /// Fires whenever the peer acknowledges new bytes (bytes_acked()
@@ -80,6 +97,7 @@ class TcpConnection {
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t retransmits() const { return retransmits_; }
 
   /// Payload bytes the peer has cumulatively acknowledged (the SYN's
   /// sequence slot is excluded). The active relay trims its NVRAM journal
@@ -87,6 +105,7 @@ class TcpConnection {
   std::uint64_t bytes_acked() const {
     return snd_una_ > 0 ? snd_una_ - 1 : 0;
   }
+  /// Bytes queued locally and not yet acknowledged (sent or unsent).
   std::size_t send_backlog() const { return send_buf_.size(); }
   std::uint64_t unacked() const { return snd_nxt_ - snd_una_; }
 
@@ -100,14 +119,25 @@ class TcpConnection {
   void pump();
   void emit(std::uint8_t flags, Bytes payload, std::uint64_t seq);
   void send_ack();
+  void send_syn() { emit(kTcpSyn, {}, 0); }
+  void send_synack() { emit(kTcpSyn | kTcpAck, {}, 0); }
   void enter_closed(Status status);
+
+  // Loss recovery.
+  void arm_rto();
+  void cancel_rto() { rto_token_.cancel(); }
+  void restart_rto();
+  void on_rto();
+  void rewind_and_resend();
 
   TcpStack& stack_;
   SocketAddr local_;
   SocketAddr remote_;
   State state_;
 
-  // Sender state.
+  // Sender state. send_buf_ holds every payload byte from snd_una_ on —
+  // both unsent bytes and sent-but-unacknowledged bytes (the
+  // retransmission buffer); the sent prefix has length snd_nxt_ - snd_una_.
   std::uint64_t snd_una_ = 0;  // oldest unacknowledged
   std::uint64_t snd_nxt_ = 0;  // next to send
   std::deque<std::uint8_t> send_buf_;
@@ -115,6 +145,20 @@ class TcpConnection {
   std::uint32_t peer_window_;
   bool fin_pending_ = false;
   bool fin_sent_ = false;
+
+  // Retransmission state.
+  std::uint64_t max_seq_sent_ = 0;  // highest seq ever emitted (new data)
+  int dup_acks_ = 0;
+  // Fast-retransmit recovery point: no further dup-ACK-triggered resends
+  // until the cumulative ACK passes it. Without this, every retransmitted
+  // window spawns a fresh burst of duplicate ACKs which each trigger
+  // another full-window resend — an amplification loop that melts the
+  // link under loss + reordering (go-back-N's classic failure mode).
+  std::uint64_t fast_recovery_until_ = 0;
+  sim::Duration rto_ = kTcpInitialRto;
+  unsigned retries_ = 0;
+  sim::CancelToken rto_token_;
+  std::uint64_t retransmits_ = 0;
 
   // Receiver state.
   std::uint64_t rcv_nxt_ = 0;
@@ -155,6 +199,12 @@ class TcpStack {
   /// Demux an inbound segment (called by NetNode).
   void handle_segment(Packet pkt);
 
+  /// Power-off semantics: destroy every connection and listener without
+  /// firing callbacks or emitting RSTs — a crashed node cannot say
+  /// goodbye. Peers discover the loss via retransmission timeout or via
+  /// the RSTs this stack sends for unknown segments after restart.
+  void reset();
+
   /// Default advertised/receive and send window for new connections.
   void set_default_window(std::uint32_t bytes) { default_window_ = bytes; }
   std::uint32_t default_window() const { return default_window_; }
@@ -169,6 +219,12 @@ class TcpStack {
   /// connection information").
   std::uint16_t last_connect_port() const { return last_connect_port_; }
 
+  /// Segments discarded because their checksum didn't match (in-flight
+  /// corruption injected by the fault subsystem).
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+  /// Total segments retransmitted by connections of this stack.
+  std::uint64_t retransmits() const { return retransmits_; }
+
  private:
   friend class TcpConnection;
 
@@ -180,6 +236,8 @@ class TcpStack {
   std::uint16_t next_ephemeral_ = 49152;
   std::uint16_t last_connect_port_ = 0;
   std::uint32_t default_window_ = kDefaultWindow;
+  std::uint64_t checksum_drops_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace storm::net

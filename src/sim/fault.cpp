@@ -1,0 +1,67 @@
+#include "sim/fault.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace storm::sim {
+
+PacketFaultDecision FaultPlan::decide(const PacketFaultProfile& profile,
+                                      const std::string& label) {
+  PacketFaultDecision d;
+  if (profile.drop_rate > 0 && rng_.chance(profile.drop_rate)) {
+    d.drop = true;
+    ++dropped_;
+    record("drop " + label);
+    return d;  // a dropped packet can't also be corrupted or duplicated
+  }
+  if (profile.corrupt_rate > 0 && rng_.chance(profile.corrupt_rate)) {
+    d.corrupt = true;
+    ++corrupted_;
+    record("corrupt " + label);
+  }
+  if (profile.duplicate_rate > 0 && rng_.chance(profile.duplicate_rate)) {
+    d.duplicate = true;
+    ++duplicated_;
+    record("duplicate " + label);
+  }
+  if (profile.delay_rate > 0 && rng_.chance(profile.delay_rate)) {
+    // Jitter in [jitter/2, 3*jitter/2): enough spread that back-to-back
+    // delayed packets land at distinct times.
+    Duration base = profile.delay_jitter;
+    d.extra_delay = base / 2 + static_cast<Duration>(
+                                   rng_.below(static_cast<std::uint64_t>(
+                                       base > 0 ? base : 1)));
+    ++delayed_;
+    record("delay " + label);
+  }
+  return d;
+}
+
+void FaultPlan::flip_random_bit(Bytes& buf) {
+  if (buf.empty()) return;
+  std::uint64_t bit = rng_.below(buf.size() * 8);
+  buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void FaultPlan::schedule(Time when, std::string label,
+                         std::function<void()> action) {
+  sim_.at(when, [this, label = std::move(label),
+                 action = std::move(action)]() {
+    record(label);
+    action();
+  });
+}
+
+void FaultPlan::record(const std::string& label) {
+  trace_.push_back(FaultEvent{sim_.now(), label});
+}
+
+std::string FaultPlan::trace_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& ev : trace_) {
+    os << ev.at << " " << ev.label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace storm::sim

@@ -6,7 +6,14 @@ namespace storm::sim {
 
 void Simulator::at(Time when, Callback fn) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+}
+
+CancelToken Simulator::at_cancellable(Time when, Callback fn) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  return CancelToken{std::move(alive)};
 }
 
 std::size_t Simulator::run() {
@@ -15,6 +22,7 @@ std::size_t Simulator::run() {
     // Copy out before pop: the callback may schedule new events.
     Event ev = queue_.top();
     queue_.pop();
+    if (ev.alive && !*ev.alive) continue;  // cancelled: don't advance now_
     now_ = ev.when;
     ev.fn();
     ++count;
@@ -27,6 +35,7 @@ std::size_t Simulator::run_until(Time deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
+    if (ev.alive && !*ev.alive) continue;
     now_ = ev.when;
     ev.fn();
     ++count;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -15,12 +16,40 @@
 
 namespace storm::sim {
 
+/// Handle for a cancellable event. Cancelling marks the event dead; the
+/// run loop discards dead events without advancing now(), so abandoned
+/// timers (e.g. a TCP retransmission timer disarmed by an ACK) leave no
+/// trace in the simulated clock.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+    alive_.reset();
+  }
+  bool armed() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit CancelToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
 
   /// Schedule `fn` at absolute time `when` (clamped to now).
   void at(Time when, Callback fn);
+
+  /// Schedule `fn` at `when`; the returned token can cancel it before it
+  /// fires. A cancelled event is skipped without advancing now().
+  CancelToken at_cancellable(Time when, Callback fn);
+
+  CancelToken after_cancellable(Duration delay, Callback fn) {
+    return at_cancellable(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` `delay` ns from now.
   void after(Duration delay, Callback fn) { at(now_ + delay, std::move(fn)); }
@@ -47,6 +76,7 @@ class Simulator {
     Time when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     Callback fn;
+    std::shared_ptr<bool> alive;  // null for non-cancellable events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -22,6 +22,8 @@ Packet make_packet(Ipv4Addr src, std::uint16_t sport, Ipv4Addr dst,
   pkt.tcp.src_port = sport;
   pkt.tcp.dst_port = dport;
   pkt.payload = Bytes(payload, 0x5A);
+  // Raw injected packets need a valid checksum or every stack drops them.
+  pkt.tcp.checksum = tcp_checksum(pkt);
   return pkt;
 }
 
