@@ -18,7 +18,7 @@ int main() {
   options.service = "noop";
   Testbed testbed(PathMode::kActive, options);
   auto& sim = testbed.simulator();
-  core::ActiveRelay& relay = *testbed.deployment()->box(0)->active_relay;
+  core::ActiveRelay& relay = *testbed.deployment().active_relay(0);
 
   // Phase 1: steady-state journal footprint under load.
   workload::FioConfig config;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -75,7 +76,7 @@ class Testbed {
   sim::Simulator& simulator() { return sim_; }
   cloud::Cloud& cloud() { return cloud_; }
   core::StormPlatform& platform() { return platform_; }
-  core::Deployment* deployment() { return deployment_; }
+  core::DeploymentHandle deployment() { return deployment_; }
   block::Volume* volume() { return volume_; }
 
   workload::FioResult run_fio(workload::FioConfig config) {
@@ -120,11 +121,12 @@ class Testbed {
     }
     spec.host_index = options_.mb_host;
     Status status = error(ErrorCode::kIoError, "attach never finished");
-    platform_.attach_with_chain("tenant-vm", "vol1", {spec},
-                                [&](Status s, core::Deployment* d) {
-                                  status = s;
-                                  deployment_ = d;
-                                });
+    platform_.attach_with_chain(
+        "tenant-vm", "vol1", {spec},
+        [&](Result<core::DeploymentHandle> r) {
+          status = r.status();
+          if (r.is_ok()) deployment_ = r.value();
+        });
     sim_.run();
     if (!status.is_ok()) throw std::runtime_error(status.to_string());
   }
@@ -136,7 +138,7 @@ class Testbed {
   core::StormPlatform platform_;
   cloud::Vm* vm_ = nullptr;
   block::Volume* volume_ = nullptr;
-  core::Deployment* deployment_ = nullptr;
+  core::DeploymentHandle deployment_;
 };
 
 /// Run one fio data point on a fresh testbed.
@@ -155,6 +157,15 @@ inline workload::FioResult fio_point(PathMode mode,
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Dump a simulation's telemetry registry as JSON. Benches write these
+/// next to their stdout tables; CI uploads telemetry/*.json as run
+/// artifacts. Identically seeded runs produce byte-identical files.
+inline void write_telemetry_json(sim::Simulator& sim, const std::string& path,
+                                 bool include_spans = false) {
+  std::ofstream out(path);
+  out << sim.telemetry().to_json(include_spans) << "\n";
 }
 
 }  // namespace storm::bench

@@ -81,15 +81,15 @@ Outcome run_scenario(const Scenario& scenario, std::uint64_t seed) {
   spec.type = "noop";
   spec.relay = core::RelayMode::kActive;
   Status status = error(ErrorCode::kIoError, "unset");
-  core::Deployment* dep = nullptr;
+  core::DeploymentHandle dep;
   platform.attach_with_chain("vm", "vol", {spec},
-                             [&](Status s, core::Deployment* d) {
-                               status = s;
-                               dep = d;
+                             [&](Result<core::DeploymentHandle> r) {
+                               status = r.status();
+                               if (r.is_ok()) dep = r.value();
                              });
   sim.run();
-  if (!status.is_ok() || dep == nullptr) std::abort();
-  dep->attachment.initiator->set_recovery({.enabled = true});
+  if (!status.is_ok() || !dep.valid()) std::abort();
+  dep.attachment()->initiator->set_recovery({.enabled = true});
 
   // Faults arm only after the clean attach.
   cloud.set_fault_plan(&plan, scenario.profile);
@@ -108,12 +108,12 @@ Outcome run_scenario(const Scenario& scenario, std::uint64_t seed) {
 
   if (scenario.crash) {
     plan.schedule(sim::milliseconds(2), "crash mb0",
-                  [&] { (void)platform.crash_middlebox(*dep, 0); });
+                  [&] { (void)dep.crash_middlebox(0); });
     plan.schedule(sim::milliseconds(22), "restart mb0",
-                  [&] { (void)platform.restart_middlebox(*dep, 0); });
+                  [&] { (void)dep.restart_middlebox(0); });
   }
   if (scenario.flap) {
-    net::Link* mb_link = cloud.find_link("vm." + dep->box(0)->vm->name());
+    net::Link* mb_link = cloud.find_link("vm." + dep.mb_vm(0)->name());
     // Windows are hundreds of milliseconds so they straddle RTO cycles —
     // a blink shorter than the retransmission timer can land in an idle
     // gap and perturb nothing.
@@ -137,13 +137,13 @@ Outcome run_scenario(const Scenario& scenario, std::uint64_t seed) {
   out.dropped = plan.dropped();
   out.corrupted = plan.corrupted();
   out.duplicated = plan.duplicated();
-  out.replays = dep->box(0)->active_relay->journal_replays();
-  out.recoveries = dep->attachment.initiator->recoveries();
+  out.replays = dep.active_relay(0)->journal_replays();
+  out.recoveries = dep.attachment()->initiator->recoveries();
   out.retransmits = cloud.compute(0).node().tcp().retransmits() +
-                    dep->box(0)->vm->node().tcp().retransmits() +
+                    dep.mb_vm(0)->node().tcp().retransmits() +
                     cloud.storage(0).node().tcp().retransmits();
   out.checksum_drops = cloud.compute(0).node().tcp().checksum_drops() +
-                       dep->box(0)->vm->node().tcp().checksum_drops() +
+                       dep.mb_vm(0)->node().tcp().checksum_drops() +
                        cloud.storage(0).node().tcp().checksum_drops();
 
   auto volume = cloud.storage(0).volumes().find_by_name("vol");

@@ -81,7 +81,7 @@ CpuSample run_case(bool tenant_side) {
   sim::Cpu* mb_cpu = nullptr;
   std::uint64_t mb_busy0 = 0;
   if (!tenant_side) {
-    mb_cpu = &testbed.deployment()->box(0)->vm->cpu();
+    mb_cpu = &testbed.deployment().mb_vm(0)->cpu();
     mb_busy0 = mb_cpu->busy_time();
   }
   auto target_busy0 = cloud.storage(0).cpu().busy_time();

@@ -45,7 +45,7 @@ RunResult run_case(unsigned replicas, bool inject_failure,
     replica_names += (i ? "," : "") + name;
   }
 
-  core::Deployment* deployment = nullptr;
+  core::DeploymentHandle deployment;
   if (replicas > 0) {
     core::ServiceSpec spec;
     spec.type = "replication";
@@ -53,9 +53,9 @@ RunResult run_case(unsigned replicas, bool inject_failure,
     spec.params["replicas"] = replica_names;
     Status status = error(ErrorCode::kIoError, "unset");
     platform.attach_with_chain("mysql", "dbvol", {spec},
-                               [&](Status s, core::Deployment* d) {
-                                 status = s;
-                                 deployment = d;
+                               [&](Result<core::DeploymentHandle> r) {
+                                 status = r.status();
+                                 if (r.is_ok()) deployment = r.value();
                                });
     sim.run();
     if (!status.is_ok()) std::abort();
@@ -91,8 +91,8 @@ RunResult run_case(unsigned replicas, bool inject_failure,
 
   if (inject_failure && replicas > 0) {
     sim.after(sim::seconds(60), [&] {
-      auto attachment = cloud.find_attachment(
-          deployment->box(0)->vm->name(), "dbvol-r0");
+      auto attachment =
+          cloud.find_attachment(deployment.mb_vm(0)->name(), "dbvol-r0");
       if (attachment) {
         cloud.storage(0).target().close_sessions_for(attachment->iqn);
       }

@@ -43,15 +43,15 @@ int main() {
   core::ServiceSpec spec;
   spec.type = "monitor";
   spec.relay = core::RelayMode::kActive;
-  core::Deployment* deployment = nullptr;
+  core::DeploymentHandle deployment;
   platform.attach_with_chain("tenant-vm", "vol1", {spec},
-                             [&](Status s, core::Deployment* d) {
-                               if (!s.is_ok()) std::abort();
-                               deployment = d;
+                             [&](Result<core::DeploymentHandle> r) {
+                               if (!r.is_ok()) std::abort();
+                               deployment = r.value();
                              });
   simulator.run();
-  auto* monitor = static_cast<services::MonitorService*>(
-      deployment->box(0)->service.get());
+  auto* monitor =
+      static_cast<services::MonitorService*>(deployment.service(0));
 
   // Guest filesystem with write-back caching (the paper points out the
   // block-level write sequence trails the file-op sequence).

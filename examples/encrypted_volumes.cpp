@@ -34,7 +34,11 @@ volume db-vm pii-vol
     return 1;
   }
   Status deployed = error(ErrorCode::kIoError, "pending");
-  platform.apply_policy(policy.value(), [&](Status s) { deployed = s; });
+  platform.apply_policy(
+      policy.value(),
+      [&](Result<std::vector<core::DeploymentHandle>> r) {
+        deployed = r.status();
+      });
   sim.run();
   if (!deployed.is_ok()) {
     std::fprintf(stderr, "%s\n", deployed.to_string().c_str());

@@ -4,11 +4,13 @@
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <fstream>
 
 #include "cloud/cloud.hpp"
 #include "common/log.hpp"
 #include "core/platform.hpp"
 #include "fs/simext.hpp"
+#include "obs/registry.hpp"
 #include "services/monitor.hpp"
 #include "services/registry.hpp"
 
@@ -44,8 +46,11 @@ volume app-vm data-vol
     return 1;
   }
   Status deployed = error(ErrorCode::kIoError, "pending");
-  storm_platform.apply_policy(policy.value(),
-                              [&](Status s) { deployed = s; });
+  storm_platform.apply_policy(
+      policy.value(),
+      [&](Result<std::vector<core::DeploymentHandle>> r) {
+        deployed = r.status();
+      });
   sim.run();
   std::printf("policy deployed: %s\n", deployed.to_string().c_str());
   if (!deployed.is_ok()) return 1;
@@ -80,9 +85,10 @@ volume app-vm data-vol
   });
 
   // 5. Ask the middle-box what it observed.
-  auto* deployment = storm_platform.find_deployment("app-vm", "data-vol");
-  auto* monitor = static_cast<services::MonitorService*>(
-      deployment->box(0)->service.get());
+  core::DeploymentHandle deployment =
+      storm_platform.find_deployment("app-vm", "data-vol");
+  auto* monitor =
+      static_cast<services::MonitorService*>(deployment.service(0));
 
   std::printf("\nmonitor log (%zu entries), file-level ops reconstructed "
               "from block traffic:\n", monitor->log().size());
@@ -94,5 +100,11 @@ volume app-vm data-vol
   for (const auto& alert : monitor->alerts()) {
     std::printf("  ALERT: %s\n", alert.op.to_string().c_str());
   }
+
+  // 6. Everything above was also recorded by the telemetry subsystem;
+  // dump it for inspection (CI smoke-checks this file with jq).
+  std::ofstream("quickstart_telemetry.json")
+      << sim.telemetry().to_json() << "\n";
+  std::printf("\ntelemetry written to quickstart_telemetry.json\n");
   return monitor->alerts().empty() ? 1 : 0;
 }

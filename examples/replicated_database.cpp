@@ -30,15 +30,20 @@ volume mysql-vm db-vol
   service replication relay=active replicas=db-vol-r1,db-vol-r2
 )");
   Status deployed = error(ErrorCode::kIoError, "pending");
-  platform.apply_policy(policy.value(), [&](Status s) { deployed = s; });
+  platform.apply_policy(
+      policy.value(),
+      [&](Result<std::vector<core::DeploymentHandle>> r) {
+        deployed = r.status();
+      });
   sim.run();
   if (!deployed.is_ok()) {
     std::fprintf(stderr, "%s\n", deployed.to_string().c_str());
     return 1;
   }
-  auto* deployment = platform.find_deployment("mysql-vm", "db-vol");
-  auto* replication = static_cast<services::ReplicationService*>(
-      deployment->box(0)->service.get());
+  core::DeploymentHandle deployment =
+      platform.find_deployment("mysql-vm", "db-vol");
+  auto* replication =
+      static_cast<services::ReplicationService*>(deployment.service(0));
 
   // A database server on the VM, four OLTP clients on other hosts.
   cloud::Vm& db_vm = *cloud.find_vm("mysql-vm");
@@ -62,8 +67,8 @@ volume mysql-vm db-vol
 
   // Kill replica r1's iSCSI session at t=10 s (as the paper does).
   sim.after(sim::seconds(10), [&] {
-    auto attachment = cloud.find_attachment(
-        deployment->box(0)->vm->name(), "db-vol-r1");
+    auto attachment =
+        cloud.find_attachment(deployment.mb_vm(0)->name(), "db-vol-r1");
     if (attachment) {
       std::printf("t=10s: closing iSCSI session of db-vol-r1\n");
       cloud.storage(0).target().close_sessions_for(attachment->iqn);

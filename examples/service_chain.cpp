@@ -34,16 +34,21 @@ volume audit-vm audit-vol
   service encryption relay=active     # then everything is encrypted
 )");
   Status deployed = error(ErrorCode::kIoError, "pending");
-  platform.apply_policy(policy.value(), [&](Status s) { deployed = s; });
+  platform.apply_policy(
+      policy.value(),
+      [&](Result<std::vector<core::DeploymentHandle>> r) {
+        deployed = r.status();
+      });
   sim.run();
   if (!deployed.is_ok()) {
     std::fprintf(stderr, "%s\n", deployed.to_string().c_str());
     return 1;
   }
-  auto* deployment = platform.find_deployment("audit-vm", "audit-vol");
+  core::DeploymentHandle deployment =
+      platform.find_deployment("audit-vm", "audit-vol");
   std::printf("chain deployed: VM -> %s -> %s -> storage\n",
-              deployment->box(0)->spec.type.c_str(),
-              deployment->box(1)->spec.type.c_str());
+              deployment.spec(0)->type.c_str(),
+              deployment.spec(1)->type.c_str());
 
   cloud::Vm& vm = *cloud.find_vm("audit-vm");
   bool ok = false;
@@ -52,8 +57,8 @@ volume audit-vm audit-vol
   sim.run();
   std::printf("write through the chain: %s\n", ok ? "OK" : "FAIL");
 
-  auto* monitor = static_cast<services::MonitorService*>(
-      deployment->box(0)->service.get());
+  auto* monitor =
+      static_cast<services::MonitorService*>(deployment.service(0));
   std::printf("monitor (box 1) logged %zu accesses — in plaintext order\n",
               monitor->log().size());
   Bytes at_rest = volume.value()->disk().store().read_sync(2000, 8);
@@ -64,7 +69,7 @@ volume audit-vm audit-vol
   core::ServiceSpec extra;
   extra.type = "noop";
   extra.relay = core::RelayMode::kForward;
-  Status scaled = platform.add_middlebox(*deployment, extra, 1);
+  Status scaled = deployment.add_middlebox(extra, 1);
   std::printf("\ninserted a forwarding box mid-chain on the live flow: %s\n",
               scaled.to_string().c_str());
   ok = false;
@@ -73,9 +78,9 @@ volume audit-vm audit-vol
   std::printf("write through the 3-box chain: %s "
               "(packets via new box: %llu)\n", ok ? "OK" : "FAIL",
               static_cast<unsigned long long>(
-                  deployment->box(1)->vm->node().packets_forwarded()));
+                  deployment.mb_vm(1)->node().packets_forwarded()));
 
-  Status removed = platform.remove_middlebox(*deployment, 1);
+  Status removed = deployment.remove_middlebox(1);
   std::printf("removed it again: %s\n", removed.to_string().c_str());
   ok = false;
   vm.disk()->write(4000, record, [&](Status s) { ok = s.is_ok(); });

@@ -309,6 +309,7 @@ void Cloud::register_link(net::Link& link, std::string label) {
   if (fault_plan_ != nullptr) {
     link.set_fault(fault_plan_, fault_profile_, label);
   }
+  link.set_label(label);  // per-link telemetry under the same name
   links_.emplace_back(&link, std::move(label));
 }
 

@@ -1,5 +1,7 @@
 #include "core/active_relay.hpp"
 
+#include <sstream>
+
 #include "common/log.hpp"
 #include "net/node.hpp"
 
@@ -38,9 +40,14 @@ std::vector<Bytes> RelayJournal::unacknowledged() const {
 
 ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
                          std::vector<StorageService*> services,
-                         ActiveRelayCosts costs)
+                         std::string volume, ActiveRelayCosts costs)
     : vm_(mb_vm), upstream_(upstream), services_(std::move(services)),
-      costs_(costs) {}
+      volume_(std::move(volume)), costs_(costs),
+      scope_(telemetry().scope("relay." + vm_.name() + ".")) {}
+
+obs::Registry& ActiveRelay::telemetry() {
+  return vm_.node().simulator().telemetry();
+}
 
 void ActiveRelay::start() {
   vm_.node().tcp().listen(iscsi::kIscsiPort, [this](net::TcpConnection& conn) {
@@ -72,8 +79,9 @@ void ActiveRelay::on_accept(net::TcpConnection& conn) {
   auto session = std::make_unique<Session>();
   Session* raw = session.get();
   session->bind_port = conn.remote().port;
-  session->api = std::make_unique<SessionApi>(*this, *raw);
+  session->ctx = std::make_unique<SessionContext>(*this, *raw);
   sessions_.push_back(std::move(session));
+  scope_.counter("sessions_accepted").add();
 
   bind_downstream(*raw, conn);
   dial_upstream(*raw);
@@ -87,8 +95,9 @@ void ActiveRelay::bind_downstream(Session& session,
   conn.set_on_data([this, raw](Bytes bytes) {
     on_stream_data(*raw, Direction::kToTarget, std::move(bytes));
   });
-  conn.set_on_ack([raw, cp] {
+  conn.set_on_ack([this, raw, cp] {
     raw->to_initiator.journal.trim(cp->bytes_acked());
+    update_journal_gauge();
   });
   conn.set_on_closed([this, raw, cp](Status status) {
     if (raw->downstream == cp) raw->downstream = nullptr;
@@ -116,8 +125,9 @@ void ActiveRelay::dial_upstream(Session& session) {
   session.upstream->set_on_data([this, &session](Bytes bytes) {
     on_stream_data(session, Direction::kToInitiator, std::move(bytes));
   });
-  session.upstream->set_on_ack([&session] {
+  session.upstream->set_on_ack([this, &session] {
     session.to_target.journal.trim(session.upstream->bytes_acked());
+    update_journal_gauge();
   });
   session.upstream->set_on_closed([this, &session](Status status) {
     session.upstream_ready = false;
@@ -125,6 +135,9 @@ void ActiveRelay::dial_upstream(Session& session) {
     if (!session.failed) {
       // Unplanned upstream loss: surface to services and drop the tenant
       // side as well (the initiator re-attaches; journal preserved).
+      telemetry().record_event("relay " + vm_.name() +
+                               ": unplanned upstream loss (" +
+                               status.to_string() + ")");
       for (StorageService* service : services_) {
         service->on_flow_closed(status);
       }
@@ -141,6 +154,8 @@ void ActiveRelay::on_stream_data(Session& session, Direction dir,
   if (!status.is_ok()) {
     log_warn("active-relay") << vm_.name()
                              << ": parse error: " << status.to_string();
+    telemetry().record_event("relay " + vm_.name() +
+                             ": parse error: " + status.to_string());
     session.downstream->abort();
     if (session.upstream != nullptr) session.upstream->abort();
     return;
@@ -152,16 +167,57 @@ void ActiveRelay::on_stream_data(Session& session, Direction dir,
   if (session.downstream != nullptr) {
     session.to_initiator.journal.trim(session.downstream->bytes_acked());
   }
-  for (auto& pdu : pdus) st.queue.push_back(std::move(pdu));
+  update_journal_gauge();
+  const sim::Time now = vm_.node().simulator().now();
+  for (auto& pdu : pdus) {
+    trace_pdu(session, dir, pdu, st.queue.size());
+    st.queue.push_back(QueuedPdu{now, std::move(pdu)});
+  }
   pump_queue(session, dir);
+}
+
+// Stamp the command's trace: an event on the root command span (value =
+// relay queue depth at arrival) at every hop, a child span "relay.<vm>"
+// opened when the command enters and closed when its final response
+// leaves toward the initiator.
+void ActiveRelay::trace_pdu(Session& session, Direction dir,
+                            const iscsi::Pdu& pdu, std::size_t queue_depth) {
+  if (pdu.opcode != iscsi::Opcode::kScsiCommand &&
+      pdu.opcode != iscsi::Opcode::kScsiResponse) {
+    return;
+  }
+  obs::Registry& reg = telemetry();
+  const std::string key =
+      obs::command_trace_key(session.bind_port, pdu.task_tag);
+  const obs::SpanId root = reg.lookup(key);
+  if (root == 0) return;
+  if (dir == Direction::kToTarget &&
+      pdu.opcode == iscsi::Opcode::kScsiCommand) {
+    reg.add_event(root, "mb." + vm_.name() + ".cmd", queue_depth);
+    cmd_spans_[key] = reg.begin_span("relay." + vm_.name(), root);
+  } else if (dir == Direction::kToInitiator &&
+             pdu.opcode == iscsi::Opcode::kScsiResponse && pdu.is_final()) {
+    reg.add_event(root, "mb." + vm_.name() + ".rsp", queue_depth);
+    auto it = cmd_spans_.find(key);
+    if (it != cmd_spans_.end()) {
+      reg.end_span(it->second);
+      cmd_spans_.erase(it);
+    }
+  }
+}
+
+void ActiveRelay::update_journal_gauge() {
+  scope_.gauge("journal_bytes").set(static_cast<std::int64_t>(journal_bytes()));
 }
 
 void ActiveRelay::pump_queue(Session& session, Direction dir) {
   DirectionState& st = state(session, dir);
   if (st.processing || st.queue.empty()) return;
   st.processing = true;
-  iscsi::Pdu pdu = std::move(st.queue.front());
+  QueuedPdu entry = std::move(st.queue.front());
   st.queue.pop_front();
+  iscsi::Pdu pdu = std::move(entry.pdu);
+  const sim::Time enqueued = entry.enqueued;
 
   // Relay cost: parse/dispatch plus batched copy, then service costs —
   // all charged to the middle-box vCPUs. The source's TCP was already
@@ -170,15 +226,17 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
       costs_.per_pdu +
       static_cast<sim::Duration>(costs_.ns_per_byte *
                                  static_cast<double>(pdu.data.size()));
+  // One user/kernel crossing in, one out: the payload is copied twice
+  // through the relay (socket -> user parse buffer -> socket).
+  scope_.counter("copied_bytes").add(2 * pdu.data.size());
 
   const std::uint64_t epoch = session.epoch;
-  auto continue_processing = [this, &session, dir, epoch,
+  auto continue_processing = [this, &session, dir, epoch, enqueued,
                               pdu = std::move(pdu)]() mutable {
     // A crash/resume reset the session while this was queued on the CPU:
     // the PDU belongs to the dead incarnation (the journal already holds
     // everything that must survive). Drop it.
     if (session.epoch != epoch) return;
-    DirectionState& st2 = state(session, dir);
     if (pdu.opcode == iscsi::Opcode::kLoginRequest) {
       session.login_pdu = pdu;  // kept for session re-establishment
     }
@@ -186,7 +244,7 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
     sim::Duration service_cost = 0;
     if (dir == Direction::kToTarget) {
       for (StorageService* service : services_) {
-        ServiceVerdict verdict = service->on_pdu(dir, pdu, *session.api);
+        ServiceVerdict verdict = service->on_pdu(*session.ctx, dir, pdu);
         service_cost += verdict.cpu_cost;
         if (verdict.consume) {
           consume = true;
@@ -195,7 +253,7 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
       }
     } else {
       for (auto it = services_.rbegin(); it != services_.rend(); ++it) {
-        ServiceVerdict verdict = (*it)->on_pdu(dir, pdu, *session.api);
+        ServiceVerdict verdict = (*it)->on_pdu(*session.ctx, dir, pdu);
         service_cost += verdict.cpu_cost;
         if (verdict.consume) {
           consume = true;
@@ -203,13 +261,18 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
         }
       }
     }
-    auto finish = [this, &session, dir, consume, epoch,
+    auto finish = [this, &session, dir, consume, epoch, enqueued,
                    pdu = std::move(pdu)]() mutable {
       if (session.epoch != epoch) return;
       if (!consume) {
         forward(session, dir, pdu);
         ++pdus_relayed_;
+        scope_.counter("pdus_relayed").add();
+      } else {
+        scope_.counter("pdus_consumed").add();
       }
+      scope_.histogram("pdu_ns").record(static_cast<std::int64_t>(
+          vm_.node().simulator().now() - enqueued));
       DirectionState& st3 = state(session, dir);
       st3.processing = false;
       pump_queue(session, dir);
@@ -219,7 +282,6 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
     } else {
       finish();
     }
-    (void)st2;
   };
   vm_.cpu().run(cost, std::move(continue_processing));
 }
@@ -232,6 +294,7 @@ void ActiveRelay::forward(Session& session, Direction dir,
   // A PDU without the final flag is mid-burst (a write command whose
   // Data-Out tail follows): not a safe replay point.
   st.journal.append(wire, st.enqueued_bytes, pdu.is_final());
+  update_journal_gauge();
   if (dir == Direction::kToTarget) {
     send_upstream(session, wire);
   } else {
@@ -252,15 +315,17 @@ void ActiveRelay::send_downstream(Session& session, const Bytes& wire) {
   if (session.downstream != nullptr) session.downstream->send(wire);
 }
 
-void ActiveRelay::SessionApi::inject_to_target(iscsi::Pdu pdu) {
+void ActiveRelay::SessionContext::inject_to_target(iscsi::Pdu pdu) {
+  relay_.scope_.counter("pdus_injected").add();
   relay_.forward(session_, Direction::kToTarget, pdu);
 }
 
-void ActiveRelay::SessionApi::inject_to_initiator(iscsi::Pdu pdu) {
+void ActiveRelay::SessionContext::inject_to_initiator(iscsi::Pdu pdu) {
+  relay_.scope_.counter("pdus_injected").add();
   relay_.forward(session_, Direction::kToInitiator, pdu);
 }
 
-sim::Simulator& ActiveRelay::SessionApi::simulator() {
+sim::Simulator& ActiveRelay::SessionContext::simulator() {
   return relay_.vm_.node().simulator();
 }
 
@@ -292,6 +357,9 @@ void ActiveRelay::resume_session(Session& session) {
   session.upstream_backlog.clear();
   session.upstream_ready = false;
   ++journal_replays_;
+  scope_.counter("journal_replays").add();
+  telemetry().record_event("relay " + vm_.name() + ": journal replay (" +
+                           std::to_string(replay.size()) + " pdus)");
   dial_upstream(session);
   // Re-login first, then the unacknowledged tail.
   if (session.login_pdu) {
@@ -302,12 +370,22 @@ void ActiveRelay::resume_session(Session& session) {
     session.to_target.journal.append(wire, session.to_target.enqueued_bytes);
     send_upstream(session, wire);
   }
+  update_journal_gauge();
 }
 
 void ActiveRelay::crash() {
   if (crashed_) return;
   crashed_ = true;
   vm_.node().set_down(true);
+  telemetry().record_event("relay " + vm_.name() + ": CRASH (" +
+                           std::to_string(sessions_.size()) + " sessions, " +
+                           std::to_string(journal_bytes()) +
+                           " journal bytes survive)");
+  // Post-mortem aid: dump the recent-event ring so the lead-up to the
+  // crash is visible in the log even when no telemetry JSON is written.
+  std::ostringstream dump;
+  telemetry().recorder().dump(dump);
+  log_warn("active-relay") << vm_.name() << ": crashed\n" << dump.str();
   // Null the connection pointers before wiping the stack: the objects are
   // about to be destroyed, and a crashed node fires no close callbacks.
   for (auto& session : sessions_) {
@@ -324,6 +402,7 @@ void ActiveRelay::restart() {
   if (!crashed_) return;
   crashed_ = false;
   vm_.node().set_down(false);
+  telemetry().record_event("relay " + vm_.name() + ": restart");
   start();  // re-listen for the initiator's reconnection
   for (auto& session : sessions_) {
     if (session->failed) resume_session(*session);

@@ -12,12 +12,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cloud/cloud.hpp"
 #include "core/service.hpp"
 #include "iscsi/pdu.hpp"
 #include "net/tcp.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::core {
 
@@ -65,9 +67,11 @@ class ActiveRelay {
   /// `upstream` is the next hop's address (the egress gateway; capture
   /// rules on later active boxes may redirect it). Services are applied
   /// in order for PDUs toward the target and in reverse order for PDUs
-  /// toward the initiator (the chain unwinds on the way back).
+  /// toward the initiator (the chain unwinds on the way back). `volume`
+  /// names the protected volume this relay splices; it is surfaced to
+  /// services through their ServiceContext.
   ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
-              std::vector<StorageService*> services,
+              std::vector<StorageService*> services, std::string volume = {},
               ActiveRelayCosts costs = {});
 
   ActiveRelay(const ActiveRelay&) = delete;
@@ -87,7 +91,8 @@ class ActiveRelay {
 
   /// Power-fail the middle-box VM: node down, TCP state wiped with no
   /// goodbyes, in-flight parser/queue state lost. Only the NVRAM journals
-  /// and the stored login PDUs survive (paper §III-B).
+  /// and the stored login PDUs survive (paper §III-B). Dumps the flight
+  /// recorder so post-mortems see the lead-up.
   void crash();
   /// Power the VM back on: re-listen, re-dial upstream for every crashed
   /// session and replay the journal. The initiator's reconnection (same
@@ -104,25 +109,35 @@ class ActiveRelay {
   std::uint64_t pdus_relayed() const { return pdus_relayed_; }
   std::uint64_t journal_replays() const { return journal_replays_; }
 
+  const obs::Scope& scope() const { return scope_; }
+  const std::string& volume() const { return volume_; }
+
  private:
   struct Session;
 
-  class SessionApi : public RelayApi {
+  class SessionContext : public ServiceContext {
    public:
-    SessionApi(ActiveRelay& relay, Session& session)
+    SessionContext(ActiveRelay& relay, Session& session)
         : relay_(relay), session_(session) {}
     void inject_to_target(iscsi::Pdu pdu) override;
     void inject_to_initiator(iscsi::Pdu pdu) override;
     sim::Simulator& simulator() override;
+    const obs::Scope& scope() override { return relay_.scope_; }
+    const std::string& volume() const override { return relay_.volume_; }
 
    private:
     ActiveRelay& relay_;
     Session& session_;
   };
 
+  struct QueuedPdu {
+    sim::Time enqueued;  // arrival into the processing queue
+    iscsi::Pdu pdu;
+  };
+
   struct DirectionState {
     iscsi::StreamParser parser;
-    std::deque<iscsi::Pdu> queue;  // PDUs awaiting processing, in order
+    std::deque<QueuedPdu> queue;  // PDUs awaiting processing, in order
     bool processing = false;
     RelayJournal journal;
     std::uint64_t enqueued_bytes = 0;  // cumulative payload sent downstream
@@ -135,7 +150,7 @@ class ActiveRelay {
     Bytes upstream_backlog;  // bytes to send once upstream establishes
     DirectionState to_target;
     DirectionState to_initiator;
-    std::unique_ptr<SessionApi> api;
+    std::unique_ptr<SessionContext> ctx;
     std::optional<iscsi::Pdu> login_pdu;  // kept for session re-establishment
     std::uint16_t bind_port = 0;
     bool failed = false;
@@ -154,6 +169,10 @@ class ActiveRelay {
   void forward(Session& session, Direction dir, const iscsi::Pdu& pdu);
   void send_downstream(Session& session, const Bytes& wire);
   void send_upstream(Session& session, const Bytes& wire);
+  void trace_pdu(Session& session, Direction dir, const iscsi::Pdu& pdu,
+                 std::size_t queue_depth);
+  void update_journal_gauge();
+  obs::Registry& telemetry();
   DirectionState& state(Session& session, Direction dir) {
     return dir == Direction::kToTarget ? session.to_target
                                        : session.to_initiator;
@@ -162,8 +181,14 @@ class ActiveRelay {
   cloud::Vm& vm_;
   net::SocketAddr upstream_;
   std::vector<StorageService*> services_;
+  std::string volume_;
   ActiveRelayCosts costs_;
+  obs::Scope scope_;  // "relay.<mb-vm>."
   std::vector<std::unique_ptr<Session>> sessions_;
+  // Open per-command child spans ("relay.<mb-vm>"), keyed by the
+  // command's trace key; closed when the final SCSI response passes
+  // back through toward the initiator.
+  std::map<std::string, obs::SpanId> cmd_spans_;
   std::uint64_t pdus_relayed_ = 0;
   std::uint64_t journal_replays_ = 0;
   bool crashed_ = false;

@@ -9,15 +9,22 @@ namespace storm::core {
 
 PassiveRelay::PassiveRelay(cloud::Vm& mb_vm,
                            std::vector<StorageService*> services,
-                           PassiveRelayCosts costs)
-    : vm_(mb_vm), services_(std::move(services)), costs_(costs),
-      api_(std::make_unique<NullApi>(mb_vm.node().simulator())) {
+                           std::string volume, PassiveRelayCosts costs)
+    : vm_(mb_vm), services_(std::move(services)),
+      volume_(std::move(volume)), costs_(costs),
+      scope_(mb_vm.node().simulator().telemetry().scope("relay." +
+                                                        mb_vm.name() + ".")),
+      ctx_(std::make_unique<HookContext>(*this)) {
   for (StorageService* service : services_) {
     if (service->requires_active_relay()) {
       throw std::invalid_argument(
           "service '" + service->name() + "' requires an active relay");
     }
   }
+}
+
+sim::Simulator& PassiveRelay::HookContext::simulator() {
+  return relay_.vm_.node().simulator();
 }
 
 PassiveRelay::~PassiveRelay() {
@@ -33,6 +40,8 @@ void PassiveRelay::start() {
 
 bool PassiveRelay::on_packet(net::Packet& pkt) {
   ++packets_;
+  scope_.counter("packets_hooked").add();
+  scope_.counter("copied_bytes").add(2 * pkt.payload.size());
   // Pure ACKs / control segments: pay the hook cost, then continue on
   // their way. Reordering a bare ACK ahead of held data is harmless.
   if (pkt.payload.empty()) {
@@ -88,14 +97,16 @@ void PassiveRelay::pump(const net::FourTuple& key) {
     sim::Duration service_cost = 0;
     for (auto& pdu : pdus) {
       ++pdus_;
+      scope_.counter("pdus_processed").add();
+      trace_pdu(key, dir, pdu);
       std::size_t before = iscsi::serialize(pdu).size();
       if (dir == Direction::kToTarget) {
         for (StorageService* service : services_) {
-          service_cost += service->on_pdu(dir, pdu, *api_).cpu_cost;
+          service_cost += service->on_pdu(*ctx_, dir, pdu).cpu_cost;
         }
       } else {
         for (auto rit = services_.rbegin(); rit != services_.rend(); ++rit) {
-          service_cost += (*rit)->on_pdu(dir, pdu, *api_).cpu_cost;
+          service_cost += (*rit)->on_pdu(*ctx_, dir, pdu).cpu_cost;
         }
       }
       Bytes wire = iscsi::serialize(pdu);
@@ -117,6 +128,38 @@ void PassiveRelay::pump(const net::FourTuple& key) {
       finish();
     }
   });
+}
+
+// Stamp the command's trace exactly like the active relay does: an event
+// on the root command span per hop plus a "relay.<vm>" child span
+// covering the command's dwell inside this box. The flow's preserved
+// source port sits on the initiator side of the four-tuple.
+void PassiveRelay::trace_pdu(const net::FourTuple& key, Direction dir,
+                             const iscsi::Pdu& pdu) {
+  if (pdu.opcode != iscsi::Opcode::kScsiCommand &&
+      pdu.opcode != iscsi::Opcode::kScsiResponse) {
+    return;
+  }
+  obs::Registry& reg = vm_.node().simulator().telemetry();
+  const std::uint16_t source_port =
+      dir == Direction::kToTarget ? key.src.port : key.dst.port;
+  const std::string trace_key =
+      obs::command_trace_key(source_port, pdu.task_tag);
+  const obs::SpanId root = reg.lookup(trace_key);
+  if (root == 0) return;
+  if (dir == Direction::kToTarget &&
+      pdu.opcode == iscsi::Opcode::kScsiCommand) {
+    reg.add_event(root, "mb." + vm_.name() + ".cmd", streams_.size());
+    cmd_spans_[trace_key] = reg.begin_span("relay." + vm_.name(), root);
+  } else if (dir == Direction::kToInitiator &&
+             pdu.opcode == iscsi::Opcode::kScsiResponse && pdu.is_final()) {
+    reg.add_event(root, "mb." + vm_.name() + ".rsp", streams_.size());
+    auto it = cmd_spans_.find(trace_key);
+    if (it != cmd_spans_.end()) {
+      reg.end_span(it->second);
+      cmd_spans_.erase(it);
+    }
+  }
 }
 
 void PassiveRelay::drain(StreamState& state) {

@@ -12,12 +12,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "cloud/cloud.hpp"
 #include "core/service.hpp"
 #include "iscsi/pdu.hpp"
 #include "net/packet.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::core {
 
@@ -31,7 +33,7 @@ struct PassiveRelayCosts {
 class PassiveRelay {
  public:
   PassiveRelay(cloud::Vm& mb_vm, std::vector<StorageService*> services,
-               PassiveRelayCosts costs = {});
+               std::string volume = {}, PassiveRelayCosts costs = {});
 
   PassiveRelay(const PassiveRelay&) = delete;
   PassiveRelay& operator=(const PassiveRelay&) = delete;
@@ -44,6 +46,9 @@ class PassiveRelay {
   std::uint64_t packets_hooked() const { return packets_; }
   std::uint64_t pdus_processed() const { return pdus_; }
 
+  const obs::Scope& scope() const { return scope_; }
+  const std::string& volume() const { return volume_; }
+
  private:
   /// Per flow-direction reassembly/transform state.
   struct StreamState {
@@ -54,30 +59,42 @@ class PassiveRelay {
     bool busy = false;             // one payload in processing at a time
   };
 
-  class NullApi : public RelayApi {
+  // Injection needs a terminated TCP stream; the passive relay only
+  // rewrites packets in flight, so services that inject were already
+  // rejected at construction — reaching these throws is a logic error.
+  class HookContext : public ServiceContext {
    public:
-    explicit NullApi(sim::Simulator& simulator) : sim_(simulator) {}
+    explicit HookContext(PassiveRelay& relay) : relay_(relay) {}
     void inject_to_target(iscsi::Pdu) override {
       throw std::logic_error("passive relay cannot inject PDUs");
     }
     void inject_to_initiator(iscsi::Pdu) override {
       throw std::logic_error("passive relay cannot inject PDUs");
     }
-    sim::Simulator& simulator() override { return sim_; }
+    sim::Simulator& simulator() override;
+    const obs::Scope& scope() override { return relay_.scope_; }
+    const std::string& volume() const override { return relay_.volume_; }
 
    private:
-    sim::Simulator& sim_;
+    PassiveRelay& relay_;
   };
 
   bool on_packet(net::Packet& pkt);
   void pump(const net::FourTuple& key);
   void drain(StreamState& state);
+  void trace_pdu(const net::FourTuple& key, Direction dir,
+                 const iscsi::Pdu& pdu);
 
   cloud::Vm& vm_;
   std::vector<StorageService*> services_;
+  std::string volume_;
   PassiveRelayCosts costs_;
+  obs::Scope scope_;  // "relay.<mb-vm>."
   std::map<net::FourTuple, StreamState> streams_;
-  std::unique_ptr<NullApi> api_;
+  // Open per-command child spans, keyed by trace key; closed when the
+  // final SCSI response is rewritten on its way back to the initiator.
+  std::map<std::string, obs::SpanId> cmd_spans_;
+  std::unique_ptr<HookContext> ctx_;
   std::uint64_t packets_ = 0;
   std::uint64_t pdus_ = 0;
 };

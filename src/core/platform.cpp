@@ -11,12 +11,113 @@ namespace {
 class NoopService : public StorageService {
  public:
   std::string name() const override { return "noop"; }
-  ServiceVerdict on_pdu(Direction, iscsi::Pdu&, RelayApi&) override {
+  ServiceVerdict on_pdu(ServiceContext&, Direction, iscsi::Pdu&) override {
     return {};
   }
 };
 
 }  // namespace
+
+// -------------------------------------------------------- DeploymentHandle
+
+Deployment* DeploymentHandle::resolve() const {
+  if (platform_ == nullptr || cookie_ == 0) return nullptr;
+  return platform_->deployment_by_cookie(cookie_);
+}
+
+MiddleboxInstance* DeploymentHandle::resolve_box(std::size_t position) const {
+  Deployment* dep = resolve();
+  if (dep == nullptr || position >= dep->boxes.size()) return nullptr;
+  return dep->boxes[position].get();
+}
+
+bool DeploymentHandle::valid() const { return resolve() != nullptr; }
+
+const std::string& DeploymentHandle::vm() const {
+  static const std::string empty;
+  Deployment* dep = resolve();
+  return dep != nullptr ? dep->vm : empty;
+}
+
+const std::string& DeploymentHandle::volume() const {
+  static const std::string empty;
+  Deployment* dep = resolve();
+  return dep != nullptr ? dep->volume : empty;
+}
+
+std::size_t DeploymentHandle::chain_length() const {
+  Deployment* dep = resolve();
+  return dep != nullptr ? dep->boxes.size() : 0;
+}
+
+const SpliceContext* DeploymentHandle::splice() const {
+  Deployment* dep = resolve();
+  return dep != nullptr ? &dep->splice : nullptr;
+}
+
+const cloud::Attachment* DeploymentHandle::attachment() const {
+  Deployment* dep = resolve();
+  return dep != nullptr ? &dep->attachment : nullptr;
+}
+
+ActiveRelay* DeploymentHandle::active_relay(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr ? box->active_relay.get() : nullptr;
+}
+
+PassiveRelay* DeploymentHandle::passive_relay(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr ? box->passive_relay.get() : nullptr;
+}
+
+StorageService* DeploymentHandle::service(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr ? box->service.get() : nullptr;
+}
+
+cloud::Vm* DeploymentHandle::mb_vm(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr ? box->vm : nullptr;
+}
+
+const ServiceSpec* DeploymentHandle::spec(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr ? &box->spec : nullptr;
+}
+
+Status DeploymentHandle::add_middlebox(const ServiceSpec& spec,
+                                       std::size_t position) {
+  Deployment* dep = resolve();
+  if (dep == nullptr) return error(ErrorCode::kNotFound, "stale deployment");
+  return platform_->add_middlebox(*dep, spec, position);
+}
+
+Status DeploymentHandle::remove_middlebox(std::size_t position) {
+  Deployment* dep = resolve();
+  if (dep == nullptr) return error(ErrorCode::kNotFound, "stale deployment");
+  return platform_->remove_middlebox(*dep, position);
+}
+
+Status DeploymentHandle::crash_middlebox(std::size_t position) {
+  Deployment* dep = resolve();
+  if (dep == nullptr) return error(ErrorCode::kNotFound, "stale deployment");
+  return platform_->crash_middlebox(*dep, position);
+}
+
+Status DeploymentHandle::restart_middlebox(std::size_t position) {
+  Deployment* dep = resolve();
+  if (dep == nullptr) return error(ErrorCode::kNotFound, "stale deployment");
+  return platform_->restart_middlebox(*dep, position);
+}
+
+Status DeploymentHandle::detach() {
+  if (platform_ == nullptr) {
+    return error(ErrorCode::kInvalidArgument, "null deployment handle");
+  }
+  return platform_->detach_deployment(cookie_);
+}
+
+// ---------------------------------------------------------- StormPlatform
 
 StormPlatform::StormPlatform(cloud::Cloud& cloud)
     : cloud_(cloud), attribution_(cloud), splicer_(cloud), sdn_(cloud) {
@@ -24,6 +125,10 @@ StormPlatform::StormPlatform(cloud::Cloud& cloud)
     return Result<std::unique_ptr<StorageService>>(
         std::make_unique<NoopService>());
   });
+}
+
+obs::Registry& StormPlatform::telemetry() {
+  return cloud_.simulator().telemetry();
 }
 
 void StormPlatform::register_service(const std::string& type,
@@ -85,13 +190,15 @@ void StormPlatform::wire_relays(Deployment& deployment) {
         break;  // plain IP forwarding, nothing to run
       case RelayMode::kPassive:
         box->passive_relay = std::make_unique<PassiveRelay>(
-            *box->vm, std::vector<StorageService*>{box->service.get()});
+            *box->vm, std::vector<StorageService*>{box->service.get()},
+            deployment.volume);
         box->passive_relay->start();
         break;
       case RelayMode::kActive:
         box->active_relay = std::make_unique<ActiveRelay>(
             *box->vm, upstream,
-            std::vector<StorageService*>{box->service.get()});
+            std::vector<StorageService*>{box->service.get()},
+            deployment.volume);
         box->active_relay->start();
         break;
     }
@@ -101,15 +208,15 @@ void StormPlatform::wire_relays(Deployment& deployment) {
 void StormPlatform::attach_with_chain(
     const std::string& vm_name, const std::string& volume_name,
     std::vector<ServiceSpec> chain,
-    std::function<void(Status, Deployment*)> done) {
+    std::function<void(Result<DeploymentHandle>)> done) {
   cloud::Vm* vm = cloud_.find_vm(vm_name);
   if (vm == nullptr) {
-    done(error(ErrorCode::kNotFound, "no VM " + vm_name), nullptr);
+    done(error(ErrorCode::kNotFound, "no VM " + vm_name));
     return;
   }
   auto located = cloud_.locate_volume(volume_name);
   if (!located.is_ok()) {
-    done(located.status(), nullptr);
+    done(located.status());
     return;
   }
   block::Volume* volume = located.value().first;
@@ -125,6 +232,12 @@ void StormPlatform::attach_with_chain(
   dep->splice.target_ip = cloud_.storage(storage_index).storage_ip();
   dep->splice.gateways = splicer_.tenant_gateways(vm->tenant());
 
+  // The deployment's trace span covers provision -> splice -> login; it
+  // stays open until detach so a dump shows which chains are live.
+  dep->attach_span =
+      telemetry().begin_span("deploy." + vm_name + ":" + volume_name);
+  const std::uint64_t cookie = dep->splice.cookie;
+
   // Provision the middle-box VMs + service instances.
   for (std::size_t i = 0; i < chain.size(); ++i) {
     std::string label = "mb-" + std::to_string(next_mb_id_++) + "-" +
@@ -132,13 +245,16 @@ void StormPlatform::attach_with_chain(
     auto box = build_box(chain[i], label, vm->tenant(), vm->host_index(),
                          volume);
     if (!box.is_ok()) {
-      done(box.status(), nullptr);
+      telemetry().end_span(dep->attach_span);
+      done(box.status());
       return;
     }
     dep->splice.chain.push_back(
         Hop{box.value()->vm, box.value()->spec.relay});
     dep->boxes.push_back(std::move(box).take());
   }
+  telemetry().add_event(dep->attach_span, "boxes_provisioned",
+                        dep->boxes.size());
 
   deployments_.push_back(std::move(deployment));
 
@@ -146,16 +262,19 @@ void StormPlatform::attach_with_chain(
   // then program the network and attach the volume.
   auto remaining = std::make_shared<std::size_t>(1);
   auto first_error = std::make_shared<Status>(Status::ok());
-  auto proceed = [this, dep, vm, done, first_error]() {
+  auto proceed = [this, dep, vm, done, cookie, first_error]() {
     if (!first_error->is_ok()) {
+      telemetry().record_event("deploy " + dep->vm + ":" + dep->volume +
+                               " failed: " + first_error->to_string());
       rollback_deployment(dep);
-      done(*first_error, nullptr);
+      done(*first_error);
       return;
     }
     wire_relays(*dep);
     splicer_.install_gateway_rules(dep->splice);
     splicer_.install_capture_rules(dep->splice);
     sdn_.install_chain_rules(dep->splice);
+    telemetry().add_event(dep->attach_span, "rules_installed");
 
     cloud::AttachHooks hooks;
     hooks.force_source_port = dep->splice.vm_port;
@@ -168,17 +287,27 @@ void StormPlatform::attach_with_chain(
       splicer_.remove_host_redirect(host, dep->splice);
     };
     cloud_.attach_volume(*vm, dep->volume,
-                         [this, dep, done](Status status,
-                                           cloud::Attachment attachment) {
+                         [this, dep, done, cookie](
+                             Status status, cloud::Attachment attachment) {
                            if (!status.is_ok()) {
                              // The attach failed after rules were
                              // installed: leave nothing half-spliced.
+                             telemetry().record_event(
+                                 "deploy " + dep->vm + ":" + dep->volume +
+                                 " failed: " + status.to_string());
                              rollback_deployment(dep);
-                             done(status, nullptr);
+                             done(status);
                              return;
                            }
                            dep->attachment = std::move(attachment);
-                           done(Status::ok(), dep);
+                           telemetry().add_event(dep->attach_span,
+                                                 "attached");
+                           telemetry().record_event(
+                               "deploy " + dep->vm + ":" + dep->volume +
+                               " attached (cookie " +
+                               std::to_string(cookie) + ")");
+                           done(Result<DeploymentHandle>(
+                               DeploymentHandle(this, cookie)));
                          },
                          hooks);
   };
@@ -195,34 +324,38 @@ void StormPlatform::attach_with_chain(
   on_ready(Status::ok());  // release the initial hold
 }
 
-void StormPlatform::apply_policy(const TenantPolicy& policy,
-                                 std::function<void(Status)> done) {
+void StormPlatform::apply_policy(
+    const TenantPolicy& policy,
+    std::function<void(Result<std::vector<DeploymentHandle>>)> done) {
   Status valid = validate_policy(policy);
   if (!valid.is_ok()) {
     done(valid);
     return;
   }
   auto volumes = std::make_shared<std::vector<VolumePolicy>>(policy.volumes);
+  auto handles = std::make_shared<std::vector<DeploymentHandle>>();
   auto step = std::make_shared<std::function<void(std::size_t)>>();
-  *step = [this, volumes, done, step](std::size_t index) {
+  *step = [this, volumes, handles, done, step](std::size_t index) {
     if (index == volumes->size()) {
-      done(Status::ok());
+      done(Result<std::vector<DeploymentHandle>>(std::move(*handles)));
       return;
     }
     const VolumePolicy& vp = (*volumes)[index];
     attach_with_chain(vp.vm, vp.volume, vp.chain,
-                      [done, step, index](Status status, Deployment*) {
-                        if (!status.is_ok()) {
-                          done(status);
+                      [handles, done, step, index](
+                          Result<DeploymentHandle> result) {
+                        if (!result.is_ok()) {
+                          done(result.status());
                           return;
                         }
+                        handles->push_back(result.value());
                         (*step)(index + 1);
                       });
   };
   (*step)(0);
 }
 
-void StormPlatform::rollback_deployment(Deployment* dep) {
+void StormPlatform::teardown_rules(Deployment* dep) {
   splicer_.remove_all_rules(dep->splice);
   sdn_.remove_chain_rules(dep->splice.cookie);
   // The host redirect is cookie-tagged too; normally the after_login hook
@@ -234,6 +367,11 @@ void StormPlatform::rollback_deployment(Deployment* dep) {
         .nat()
         .remove_rules_by_cookie(dep->splice.cookie);
   }
+}
+
+void StormPlatform::rollback_deployment(Deployment* dep) {
+  teardown_rules(dep);
+  telemetry().end_span(dep->attach_span);
   for (auto it = deployments_.begin(); it != deployments_.end(); ++it) {
     if (it->get() == dep) {
       deployments_.erase(it);  // destroys relays (ActiveRelay::shutdown)
@@ -242,15 +380,27 @@ void StormPlatform::rollback_deployment(Deployment* dep) {
   }
 }
 
+Status StormPlatform::detach_deployment(std::uint64_t cookie) {
+  Deployment* dep = deployment_by_cookie(cookie);
+  if (dep == nullptr) {
+    return error(ErrorCode::kNotFound, "no deployment for handle");
+  }
+  telemetry().record_event("detach " + dep->vm + ":" + dep->volume +
+                           " (cookie " + std::to_string(cookie) + ")");
+  rollback_deployment(dep);  // same teardown: rules out, relays destroyed
+  return Status::ok();
+}
+
 Status StormPlatform::crash_middlebox(Deployment& deployment,
                                       std::size_t position) {
-  MiddleboxInstance* box = deployment.box(position);
-  if (box == nullptr) {
+  if (position >= deployment.boxes.size()) {
     return error(ErrorCode::kInvalidArgument, "position out of range");
   }
+  MiddleboxInstance* box = deployment.boxes[position].get();
   if (box->active_relay) {
     box->active_relay->crash();
   } else {
+    telemetry().record_event("mb " + box->vm->name() + ": node down");
     box->vm->node().set_down(true);
   }
   return Status::ok();
@@ -258,26 +408,34 @@ Status StormPlatform::crash_middlebox(Deployment& deployment,
 
 Status StormPlatform::restart_middlebox(Deployment& deployment,
                                         std::size_t position) {
-  MiddleboxInstance* box = deployment.box(position);
-  if (box == nullptr) {
+  if (position >= deployment.boxes.size()) {
     return error(ErrorCode::kInvalidArgument, "position out of range");
   }
+  MiddleboxInstance* box = deployment.boxes[position].get();
   if (box->active_relay) {
     box->active_relay->restart();
   } else {
+    telemetry().record_event("mb " + box->vm->name() + ": node up");
     box->vm->node().set_down(false);
   }
   return Status::ok();
 }
 
-Deployment* StormPlatform::find_deployment(const std::string& vm,
-                                           const std::string& volume) {
+Deployment* StormPlatform::deployment_by_cookie(std::uint64_t cookie) {
   for (auto& deployment : deployments_) {
-    if (deployment->vm == vm && deployment->volume == volume) {
-      return deployment.get();
-    }
+    if (deployment->splice.cookie == cookie) return deployment.get();
   }
   return nullptr;
+}
+
+DeploymentHandle StormPlatform::find_deployment(const std::string& vm,
+                                                const std::string& volume) {
+  for (auto& deployment : deployments_) {
+    if (deployment->vm == vm && deployment->volume == volume) {
+      return DeploymentHandle(this, deployment->splice.cookie);
+    }
+  }
+  return DeploymentHandle();
 }
 
 Status StormPlatform::add_middlebox(Deployment& deployment,
@@ -299,7 +457,8 @@ Status StormPlatform::add_middlebox(Deployment& deployment,
   if (box.value()->spec.relay == RelayMode::kPassive) {
     box.value()->passive_relay = std::make_unique<PassiveRelay>(
         *box.value()->vm,
-        std::vector<StorageService*>{box.value()->service.get()});
+        std::vector<StorageService*>{box.value()->service.get()},
+        deployment.volume);
     box.value()->passive_relay->start();
   }
   deployment.boxes.insert(
@@ -310,6 +469,8 @@ Status StormPlatform::add_middlebox(Deployment& deployment,
     deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
   }
   sdn_.reprogram_chain(deployment.splice);
+  telemetry().add_event(deployment.attach_span, "box_added",
+                        deployment.boxes.size());
   return Status::ok();
 }
 
@@ -330,6 +491,8 @@ Status StormPlatform::remove_middlebox(Deployment& deployment,
     deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
   }
   sdn_.reprogram_chain(deployment.splice);
+  telemetry().add_event(deployment.attach_span, "box_removed",
+                        deployment.boxes.size());
   return Status::ok();
 }
 

@@ -6,6 +6,11 @@
 // under the atomic-attachment protocol — after which every byte of that
 // volume's iSCSI traffic traverses the tenant's middle-box chain,
 // transparently to the VM and the storage backend (paper §III-D).
+//
+// Callers hold DeploymentHandle values, not raw pointers into the
+// platform: a handle resolves its deployment by cookie on every use, so
+// it stays valid (or reports invalid) across other deployments coming
+// and going, and detach() is an explicit, first-class operation.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 #include "core/sdn_controller.hpp"
 #include "core/service.hpp"
 #include "core/splicer.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::core {
 
@@ -46,18 +52,73 @@ struct MiddleboxInstance {
   std::unique_ptr<PassiveRelay> passive_relay;
 };
 
-/// A spliced volume attachment with its chain.
+/// A spliced volume attachment with its chain (platform-internal state;
+/// external callers go through DeploymentHandle).
 struct Deployment {
   std::string vm;
   std::string volume;
   SpliceContext splice;
   cloud::Attachment attachment;
   std::vector<std::unique_ptr<MiddleboxInstance>> boxes;
+  obs::SpanId attach_span = 0;  // "deploy.<vm>:<volume>", ends at detach
+};
 
-  /// Convenience accessors for benches/tests.
-  MiddleboxInstance* box(std::size_t index) {
-    return index < boxes.size() ? boxes[index].get() : nullptr;
-  }
+/// Value handle to one deployment. Resolution is by splice cookie, so a
+/// handle survives unrelated deployments being created or torn down; a
+/// handle whose deployment was detached (or rolled back) reports
+/// valid() == false and its accessors return null / errors.
+class DeploymentHandle {
+ public:
+  DeploymentHandle() = default;
+
+  bool valid() const;
+  explicit operator bool() const { return valid(); }
+  std::uint64_t cookie() const { return cookie_; }
+
+  const std::string& vm() const;
+  const std::string& volume() const;
+  std::size_t chain_length() const;
+  const SpliceContext* splice() const;
+  /// The underlying volume attachment (initiator/target endpoints).
+  const cloud::Attachment* attachment() const;
+
+  // --- typed access to one middle-box of the chain (tests/benches) ---
+  ActiveRelay* active_relay(std::size_t position) const;
+  PassiveRelay* passive_relay(std::size_t position) const;
+  StorageService* service(std::size_t position) const;
+  cloud::Vm* mb_vm(std::size_t position) const;
+  const ServiceSpec* spec(std::size_t position) const;
+
+  // --- on-demand scaling (paper §III-A, SDN-enabled flow steering) ---
+  /// Insert a packet-level middle-box (relay=forward|passive) at
+  /// `position` in the chain and reprogram the switches.
+  Status add_middlebox(const ServiceSpec& spec, std::size_t position);
+  /// Remove the packet-level middle-box at `position`.
+  Status remove_middlebox(std::size_t position);
+
+  // --- fault injection (chaos tests / bench) ---
+  /// Power-fail the middle-box VM at `position`: an active relay crashes
+  /// with journal intact (see ActiveRelay::crash); other relay modes just
+  /// take the VM's node down.
+  Status crash_middlebox(std::size_t position);
+  /// Power the crashed middle-box back on; an active relay re-dials the
+  /// target and replays its journal.
+  Status restart_middlebox(std::size_t position);
+
+  /// Tear the deployment down: remove every NAT rule and SDN flow tagged
+  /// with its cookie and destroy the chain's relays and middle-box state.
+  /// The handle (and any copy of it) becomes invalid.
+  Status detach();
+
+ private:
+  friend class StormPlatform;
+  DeploymentHandle(StormPlatform* platform, std::uint64_t cookie)
+      : platform_(platform), cookie_(cookie) {}
+  Deployment* resolve() const;
+  MiddleboxInstance* resolve_box(std::size_t position) const;
+
+  StormPlatform* platform_ = nullptr;
+  std::uint64_t cookie_ = 0;
 };
 
 class StormPlatform {
@@ -78,34 +139,22 @@ class StormPlatform {
   }
 
   /// Apply a full tenant policy: deploy every volume's chain in order.
-  void apply_policy(const TenantPolicy& policy,
-                    std::function<void(Status)> done);
+  /// On success the callback receives one handle per volume, in policy
+  /// order; on the first failure it receives that error (deployments
+  /// already made by this call are left in place).
+  void apply_policy(
+      const TenantPolicy& policy,
+      std::function<void(Result<std::vector<DeploymentHandle>>)> done);
 
   /// Deploy one chain and attach one volume through it.
   void attach_with_chain(const std::string& vm_name,
                          const std::string& volume_name,
                          std::vector<ServiceSpec> chain,
-                         std::function<void(Status, Deployment*)> done);
+                         std::function<void(Result<DeploymentHandle>)> done);
 
-  // --- on-demand scaling (paper §III-A, SDN-enabled flow steering) ---
-  /// Insert a packet-level middle-box (relay=forward|passive) at
-  /// `position` in an existing chain and reprogram the switches.
-  Status add_middlebox(Deployment& deployment, const ServiceSpec& spec,
-                       std::size_t position);
-  /// Remove the packet-level middle-box at `position`.
-  Status remove_middlebox(Deployment& deployment, std::size_t position);
-
-  // --- fault injection (chaos tests / bench) ---
-  /// Power-fail the middle-box VM at `position`: an active relay crashes
-  /// with journal intact (see ActiveRelay::crash); other relay modes just
-  /// take the VM's node down.
-  Status crash_middlebox(Deployment& deployment, std::size_t position);
-  /// Power the crashed middle-box back on; an active relay re-dials the
-  /// target and replays its journal.
-  Status restart_middlebox(Deployment& deployment, std::size_t position);
-
-  Deployment* find_deployment(const std::string& vm,
-                              const std::string& volume);
+  /// Handle to an existing deployment; invalid handle if none matches.
+  DeploymentHandle find_deployment(const std::string& vm,
+                                   const std::string& volume);
 
   ConnectionAttribution& attribution() { return attribution_; }
   NetworkSplicer& splicer() { return splicer_; }
@@ -113,16 +162,27 @@ class StormPlatform {
   cloud::Cloud& cloud() { return cloud_; }
 
  private:
+  friend class DeploymentHandle;
+
   std::uint16_t allocate_flow_port() { return next_flow_port_++; }
   unsigned place_middlebox(const ServiceSpec& spec, unsigned vm_host);
   Result<std::unique_ptr<MiddleboxInstance>> build_box(
       const ServiceSpec& spec, const std::string& label,
       const std::string& tenant, unsigned vm_host, block::Volume* volume);
   void wire_relays(Deployment& deployment);
+  Deployment* deployment_by_cookie(std::uint64_t cookie);
+  Status add_middlebox(Deployment& deployment, const ServiceSpec& spec,
+                       std::size_t position);
+  Status remove_middlebox(Deployment& deployment, std::size_t position);
+  Status crash_middlebox(Deployment& deployment, std::size_t position);
+  Status restart_middlebox(Deployment& deployment, std::size_t position);
+  Status detach_deployment(std::uint64_t cookie);
   /// Undo a failed attach: remove every NAT rule and SDN flow tagged with
   /// the deployment's cookie and drop the deployment (tearing down its
   /// relays). No half-spliced state may survive a failed attach.
   void rollback_deployment(Deployment* dep);
+  void teardown_rules(Deployment* dep);
+  obs::Registry& telemetry();
 
   cloud::Cloud& cloud_;
   ConnectionAttribution attribution_;

@@ -2,6 +2,11 @@
 // receive parsed iSCSI PDUs in flow order, may transform them in place,
 // consume them, or inject new PDUs in either direction.
 //
+// Everything a service needs from its hosting relay arrives through one
+// ServiceContext: PDU injection, the simulation clock, the middle-box's
+// telemetry scope, and the identity of the volume being protected. The
+// relay owns the context; services never see raw platform objects.
+//
 // Compute cost: services return the simulated CPU time their processing
 // takes; the relay charges it to the middle-box VM's vCPUs, so service
 // work contends with the relay's own packet handling — which is exactly
@@ -9,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/status.hpp"
 #include "iscsi/pdu.hpp"
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -27,12 +34,13 @@ inline const char* to_string(Direction dir) {
   return dir == Direction::kToTarget ? "to-target" : "to-initiator";
 }
 
-/// Capabilities a relay exposes to services beyond in-place transforms.
-/// Only the active relay implements injection (it owns both byte streams);
-/// the passive relay rejects services that need it.
-class RelayApi {
+/// Per-PDU call context a relay hands to its services. Injection is only
+/// implemented by the active relay (it owns both byte streams); the
+/// passive relay rejects services that need it at deployment time and
+/// throws if one injects anyway.
+class ServiceContext {
  public:
-  virtual ~RelayApi() = default;
+  virtual ~ServiceContext() = default;
 
   /// Send a service-originated PDU toward the storage target.
   virtual void inject_to_target(iscsi::Pdu pdu) = 0;
@@ -41,6 +49,15 @@ class RelayApi {
   virtual void inject_to_initiator(iscsi::Pdu pdu) = 0;
 
   virtual sim::Simulator& simulator() = 0;
+
+  /// The hosting middle-box's telemetry scope ("relay.<mb-vm>."); any
+  /// counters/histograms a service creates here land next to its relay's
+  /// metrics in the registry dump.
+  virtual const obs::Scope& scope() = 0;
+
+  /// Name of the protected (primary) volume whose traffic this relay
+  /// splices; empty for packet-level boxes inserted without one.
+  virtual const std::string& volume() const = 0;
 };
 
 struct ServiceVerdict {
@@ -59,8 +76,8 @@ class StorageService {
 
   /// Process one PDU travelling in `dir`. May mutate `pdu` in place
   /// (sizes must be preserved under a passive relay).
-  virtual ServiceVerdict on_pdu(Direction dir, iscsi::Pdu& pdu,
-                                RelayApi& relay) = 0;
+  virtual ServiceVerdict on_pdu(ServiceContext& ctx, Direction dir,
+                                iscsi::Pdu& pdu) = 0;
 
   /// True when the service consumes/injects PDUs and therefore needs an
   /// active relay (TCP termination). Checked at deployment.

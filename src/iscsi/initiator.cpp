@@ -5,6 +5,7 @@
 #include "block/block_device.hpp"
 #include "common/log.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::iscsi {
 
@@ -16,6 +17,39 @@ Initiator::Initiator(net::NetNode& node, net::SocketAddr target,
 void Initiator::login(LoginCallback done) {
   login_cb_ = std::move(done);
   dial();
+}
+
+obs::SpanId Initiator::begin_command_span(const char* kind, std::uint32_t tag,
+                                          std::uint64_t bytes) {
+  obs::Registry& reg = node_.simulator().telemetry();
+  obs::SpanId span = reg.begin_span(kind);
+  reg.add_event(span, "issue", bytes);
+  // Bind the command's correlation key so every PDU-aware hop downstream
+  // (relays, target) can stamp events onto this root span. The source
+  // port is preserved along the whole spliced chain, so the key is
+  // derivable at every layer.
+  if (source_port_ != 0) {
+    reg.bind(obs::command_trace_key(source_port_, tag), span);
+  }
+  return span;
+}
+
+void Initiator::end_command_span(obs::SpanId span, std::uint32_t tag,
+                                 const char* outcome) {
+  if (span == 0) return;
+  obs::Registry& reg = node_.simulator().telemetry();
+  reg.add_event(span, outcome);
+  reg.end_span(span);
+  reg.unbind(obs::command_trace_key(source_port_, tag));
+}
+
+void Initiator::update_outstanding() {
+  if (tel_outstanding_ == nullptr) {
+    tel_outstanding_ = &node_.simulator().telemetry().gauge(
+        "iscsi.initiator." + iqn_ + ".outstanding");
+  }
+  tel_outstanding_->set(static_cast<std::int64_t>(pending_reads_.size() +
+                                                  pending_writes_.size()));
 }
 
 void Initiator::dial() {
@@ -47,8 +81,11 @@ void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
   }
   std::uint32_t tag = next_tag_++;
   std::uint32_t bytes = sectors * block::kSectorSize;
-  pending_reads_[tag] = PendingRead{lba, {}, bytes, std::move(done)};
+  obs::SpanId span = begin_command_span("cmd.read", tag, bytes);
+  pending_reads_[tag] = PendingRead{lba, {}, bytes, std::move(done), span};
   ++reads_;
+  node_.simulator().telemetry().counter("iscsi.initiator.reads").add();
+  update_outstanding();
   // While disconnected (recovery pending) the command just queues; the
   // re-login path re-issues everything outstanding.
   if (logged_in_) {
@@ -67,9 +104,12 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
     return;
   }
   std::uint32_t tag = next_tag_++;
+  obs::SpanId span = begin_command_span("cmd.write", tag, data.size());
   auto [it, inserted] = pending_writes_.emplace(
-      tag, PendingWrite{lba, std::move(data), std::move(done)});
+      tag, PendingWrite{lba, std::move(data), std::move(done), span});
   ++writes_;
+  node_.simulator().telemetry().counter("iscsi.initiator.writes").add();
+  update_outstanding();
   if (logged_in_) {
     issue_write(tag, it->second);
     arm_watchdog();
@@ -166,6 +206,10 @@ void Initiator::handle_pdu(Pdu pdu) {
         if (recovering_) {
           recovering_ = false;
           ++recoveries_;
+          node_.simulator().telemetry().counter("iscsi.initiator.recoveries")
+              .add();
+          node_.simulator().telemetry().record_event(
+              "iscsi " + iqn_ + ": session recovered");
           log_info("iscsi-init") << iqn_ << ": session recovered (port="
                                  << source_port_ << ")";
         }
@@ -196,8 +240,12 @@ void Initiator::handle_pdu(Pdu pdu) {
           it != pending_reads_.end()) {
         PendingRead pending = std::move(it->second);
         pending_reads_.erase(it);
-        if (pdu.status == kStatusGood &&
-            pending.data.size() == pending.expected) {
+        update_outstanding();
+        const bool ok = pdu.status == kStatusGood &&
+                        pending.data.size() == pending.expected;
+        end_command_span(pending.span, pdu.task_tag,
+                         ok ? "complete" : "failed");
+        if (ok) {
           pending.done(Status::ok(), std::move(pending.data));
         } else {
           pending.done(error(ErrorCode::kIoError, "read failed"), {});
@@ -208,9 +256,12 @@ void Initiator::handle_pdu(Pdu pdu) {
           it != pending_writes_.end()) {
         PendingWrite pending = std::move(it->second);
         pending_writes_.erase(it);
-        pending.done(pdu.status == kStatusGood
-                         ? Status::ok()
-                         : error(ErrorCode::kIoError, "write failed"));
+        update_outstanding();
+        const bool ok = pdu.status == kStatusGood;
+        end_command_span(pending.span, pdu.task_tag,
+                         ok ? "complete" : "failed");
+        pending.done(ok ? Status::ok()
+                        : error(ErrorCode::kIoError, "write failed"));
         return;
       }
       return;
@@ -233,6 +284,8 @@ void Initiator::on_closed(Status status) {
     ++attempts_;
     recovering_ = true;
     parser_ = StreamParser{};  // mid-PDU bytes from the old stream are gone
+    node_.simulator().telemetry().record_event(
+        "iscsi " + iqn_ + ": session dropped (" + status.to_string() + ")");
     log_info("iscsi-init") << iqn_ << ": session dropped ("
                            << status.to_string() << "); reconnect attempt "
                            << attempts_ << "/" << recovery_.max_attempts;
@@ -252,10 +305,17 @@ void Initiator::on_closed(Status status) {
   // Fail all outstanding commands.
   auto reads = std::move(pending_reads_);
   pending_reads_.clear();
-  for (auto& [tag, pending] : reads) pending.done(failure, {});
   auto writes = std::move(pending_writes_);
   pending_writes_.clear();
-  for (auto& [tag, pending] : writes) pending.done(failure);
+  update_outstanding();
+  for (auto& [tag, pending] : reads) {
+    end_command_span(pending.span, tag, "failed");
+    pending.done(failure, {});
+  }
+  for (auto& [tag, pending] : writes) {
+    end_command_span(pending.span, tag, "failed");
+    pending.done(failure);
+  }
   if (on_failure_) on_failure_(failure);
 }
 

@@ -13,6 +13,8 @@
 #include "common/status.hpp"
 #include "iscsi/pdu.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace storm::iscsi {
 
@@ -90,12 +92,20 @@ class Initiator {
     Bytes data;
     std::uint32_t expected;
     ReadCallback done;
+    obs::SpanId span = 0;  // root trace span for this command
   };
   struct PendingWrite {
     std::uint64_t lba;
     Bytes data;  // retained for re-issue after recovery
     WriteCallback done;
+    obs::SpanId span = 0;
   };
+
+  obs::SpanId begin_command_span(const char* kind, std::uint32_t tag,
+                                 std::uint64_t bytes);
+  void end_command_span(obs::SpanId span, std::uint32_t tag,
+                        const char* outcome);
+  void update_outstanding();
 
   void dial();
   void reconnect();
@@ -132,6 +142,7 @@ class Initiator {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t recoveries_ = 0;
+  obs::Gauge* tel_outstanding_ = nullptr;  // per-session, lazily resolved
 };
 
 }  // namespace storm::iscsi

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::iscsi {
 
@@ -14,9 +15,34 @@ void Target::start() {
                      [this](net::TcpConnection& conn) { on_accept(conn); });
 }
 
+void Target::trace_event(const Session& session, std::uint32_t tag,
+                         const char* label, std::uint64_t value) {
+  obs::Registry& reg = node_.simulator().telemetry();
+  obs::SpanId root =
+      reg.lookup(obs::command_trace_key(session.src_port, tag));
+  if (root != 0) reg.add_event(root, label, value);
+}
+
+void Target::command_started(const Session& session, const Pdu& pdu) {
+  obs::Registry& reg = node_.simulator().telemetry();
+  reg.counter("iscsi.target.commands").add();
+  ++inflight_;
+  reg.gauge("iscsi.target.outstanding").set(
+      static_cast<std::int64_t>(inflight_));
+  trace_event(session, pdu.task_tag, "target.cmd", pdu.transfer_length);
+}
+
+void Target::command_finished(const Session& session, std::uint32_t tag) {
+  if (inflight_ > 0) --inflight_;
+  node_.simulator().telemetry().gauge("iscsi.target.outstanding").set(
+      static_cast<std::int64_t>(inflight_));
+  trace_event(session, tag, "target.rsp", 0);
+}
+
 void Target::on_accept(net::TcpConnection& conn) {
   auto session = std::make_unique<Session>();
   session->conn = &conn;
+  session->src_port = conn.remote().port;
   Session* raw = session.get();
   sessions_.push_back(std::move(session));
   conn.set_on_data([this, raw](Bytes bytes) { on_data(*raw, bytes); });
@@ -65,6 +91,7 @@ void Target::handle_pdu(Session& session, Pdu pdu) {
       Session::WriteBurst& burst = it->second;
       if (pdu.data_offset != burst.data.size()) {
         log_warn("iscsi-tgt") << "out-of-order Data-Out";
+        command_finished(session, pdu.task_tag);
         send_pdu(session, make_scsi_response(pdu.task_tag,
                                              kStatusCheckCondition));
         session.writes.erase(it);
@@ -107,11 +134,13 @@ void Target::handle_command(Session& session, const Pdu& pdu) {
     return;
   }
   ++commands_;
+  command_started(session, pdu);
   if (pdu.is_read()) {
     const std::uint32_t sectors = pdu.transfer_length / block::kSectorSize;
     session.volume->disk().read(
         pdu.lba, sectors,
         [this, &session, tag = pdu.task_tag](Status status, Bytes data) {
+          command_finished(session, tag);
           if (session.closed) return;
           if (!status.is_ok()) {
             send_pdu(session, make_scsi_response(tag, kStatusCheckCondition));
@@ -149,12 +178,14 @@ void Target::complete_write(Session& session, std::uint32_t task_tag) {
   Session::WriteBurst burst = std::move(it->second);
   session.writes.erase(it);
   if (burst.data.size() != burst.expected) {
+    command_finished(session, task_tag);
     send_pdu(session, make_scsi_response(task_tag, kStatusCheckCondition));
     return;
   }
   session.volume->disk().write(
       burst.lba, std::move(burst.data),
       [this, &session, task_tag](Status status) {
+        command_finished(session, task_tag);
         if (session.closed) return;
         send_pdu(session,
                  make_scsi_response(task_tag, status.is_ok()

@@ -44,6 +44,10 @@ class Target {
     net::TcpConnection* conn = nullptr;
     StreamParser parser;
     std::string iqn;
+    // The flow's source port as the target sees it — preserved along the
+    // whole spliced chain, so it keys the command's root trace span.
+    // Cached at accept: the conn pointer may be gone by response time.
+    std::uint16_t src_port = 0;
     block::Volume* volume = nullptr;
     // In-progress write burst per task tag.
     struct WriteBurst {
@@ -62,11 +66,17 @@ class Target {
   void complete_write(Session& session, std::uint32_t task_tag);
   void send_pdu(Session& session, const Pdu& pdu);
 
+  void trace_event(const Session& session, std::uint32_t tag,
+                   const char* label, std::uint64_t value);
+  void command_started(const Session& session, const Pdu& pdu);
+  void command_finished(const Session& session, std::uint32_t tag);
+
   net::NetNode& node_;
   block::VolumeManager& volumes_;
   std::uint16_t port_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::uint64_t commands_ = 0;
+  std::uint64_t inflight_ = 0;  // commands received, response not yet sent
 };
 
 }  // namespace storm::iscsi

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace storm::net {
 
 bool FlowMatch::matches(int in_port_arg, const Packet& pkt) const {
@@ -44,10 +46,21 @@ std::size_t FlowSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
   return removed;
 }
 
+void FlowSwitch::ensure_telemetry() {
+  if (telemetry_ready_) return;
+  telemetry_ready_ = true;
+  obs::Registry& reg = sim_.telemetry();
+  tel_total_rule_hits_ = &reg.counter("net.flow.rule_hits");
+  tel_rule_hits_ = &reg.counter("net.flow." + name() + ".rule_hits");
+}
+
 void FlowSwitch::process(int in_port, Packet pkt) {
   for (auto& rule : rules_) {
     if (!rule.match.matches(in_port, pkt)) continue;
     ++rule.hits;
+    ensure_telemetry();
+    tel_total_rule_hits_->add();
+    tel_rule_hits_->add();
     for (const auto& action : rule.actions) {
       switch (action.type) {
         case FlowActionType::kSetDstMac:

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/switch.hpp"
+#include "obs/metrics.hpp"
 
 namespace storm::net {
 
@@ -78,7 +79,13 @@ class FlowSwitch : public L2Switch {
   void process(int in_port, Packet pkt) override;
 
  private:
+  void ensure_telemetry();
+
   std::vector<FlowRule> rules_;
+  // Cached per-switch rule-hit counter ("net.flow.<name>.rule_hits").
+  bool telemetry_ready_ = false;
+  obs::Counter* tel_rule_hits_ = nullptr;
+  obs::Counter* tel_total_rule_hits_ = nullptr;
 };
 
 }  // namespace storm::net

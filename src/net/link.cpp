@@ -2,23 +2,45 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace storm::net {
+
+void Link::ensure_telemetry() {
+  if (telemetry_ready_) return;
+  telemetry_ready_ = true;
+  obs::Registry& reg = sim_.telemetry();
+  tel_total_packets_ = &reg.counter("net.link.packets");
+  tel_total_bytes_ = &reg.counter("net.link.bytes");
+  tel_faults_ = &reg.counter("net.link.faults");
+  tel_queue_wait_ = &reg.histogram("net.link.queue_wait_ns");
+  if (!label_.empty()) {
+    tel_packets_ = &reg.counter("net.link." + label_ + ".packets");
+    tel_bytes_ = &reg.counter("net.link." + label_ + ".bytes");
+  } else {
+    tel_packets_ = nullptr;
+    tel_bytes_ = nullptr;
+  }
+}
 
 void Link::send(int from_end, Packet pkt) {
   if (down_) return;
   const int to_end = 1 - from_end;
   auto& receiver = receivers_.at(static_cast<std::size_t>(to_end));
   if (!receiver) return;
+  ensure_telemetry();
 
   sim::PacketFaultDecision fault;
   if (fault_ && fault_profile_.enabled()) {
     fault = fault_->decide(fault_profile_, fault_label_);
     if (fault.drop) {
       ++faults_;
+      tel_faults_->add();
       return;
     }
     if (fault.corrupt) {
       ++faults_;
+      tel_faults_->add();
       if (!pkt.payload.empty()) {
         fault_->flip_random_bit(pkt.payload);
       } else {
@@ -27,7 +49,10 @@ void Link::send(int from_end, Packet pkt) {
         pkt.tcp.seq ^= 1ull << fault_->rng().below(64);
       }
     }
-    if (fault.duplicate || fault.extra_delay > 0) ++faults_;
+    if (fault.duplicate || fault.extra_delay > 0) {
+      ++faults_;
+      tel_faults_->add();
+    }
   }
 
   const int copies = fault.duplicate ? 2 : 1;
@@ -40,11 +65,18 @@ void Link::send(int from_end, Packet pkt) {
     // second slot, like a real dupe on the wire).
     auto& next_free = next_free_[static_cast<std::size_t>(from_end)];
     sim::Time start = std::max(sim_.now(), next_free);
+    tel_queue_wait_->record(static_cast<std::int64_t>(start - sim_.now()));
     next_free = start + ser;
     sim::Time deliver_at = next_free + prop_ + fault.extra_delay;
 
     packets_ += 1;
     bytes_ += pkt.wire_size();
+    tel_total_packets_->add();
+    tel_total_bytes_->add(pkt.wire_size());
+    if (tel_packets_ != nullptr) {
+      tel_packets_->add();
+      tel_bytes_->add(pkt.wire_size());
+    }
     Packet p = (copy + 1 < copies) ? pkt : std::move(pkt);
     sim_.at(deliver_at, [this, to_end, p = std::move(p)]() mutable {
       if (down_) return;  // went down while in flight

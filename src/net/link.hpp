@@ -8,6 +8,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
@@ -47,11 +48,22 @@ class Link {
   }
   const std::string& fault_label() const { return fault_label_; }
 
+  /// Name this link for telemetry ("host0.storage", "vm.web1", ...):
+  /// labeled links get per-link packet/byte counters next to the
+  /// aggregate net.link.* metrics. Wired from Cloud::register_link.
+  void set_label(std::string label) {
+    label_ = std::move(label);
+    telemetry_ready_ = false;  // re-resolve counters under the new name
+  }
+  const std::string& label() const { return label_; }
+
   std::uint64_t packets_delivered() const { return packets_; }
   std::uint64_t bytes_delivered() const { return bytes_; }
   std::uint64_t faults_injected() const { return faults_; }
 
  private:
+  void ensure_telemetry();
+
   sim::Simulator& sim_;
   std::uint64_t bps_;
   sim::Duration prop_;
@@ -64,6 +76,15 @@ class Link {
   sim::FaultPlan* fault_ = nullptr;
   sim::PacketFaultProfile fault_profile_;
   std::string fault_label_;
+  std::string label_;
+  // Cached metric pointers (stable for the registry's lifetime).
+  bool telemetry_ready_ = false;
+  obs::Counter* tel_total_packets_ = nullptr;
+  obs::Counter* tel_total_bytes_ = nullptr;
+  obs::Counter* tel_faults_ = nullptr;
+  obs::Counter* tel_packets_ = nullptr;  // per-link, only when labeled
+  obs::Counter* tel_bytes_ = nullptr;
+  obs::Histogram* tel_queue_wait_ = nullptr;
 };
 
 }  // namespace storm::net

@@ -50,10 +50,14 @@ bool NatEngine::translate(Packet& pkt) {
   const FourTuple key = pkt.four_tuple();
 
   if (auto it = forward_.find(key); it != forward_.end()) {
+    ++conntrack_hits_;
+    if (tel_conntrack_hits_ != nullptr) tel_conntrack_hits_->add();
     apply(pkt, it->second);
     return true;
   }
   if (auto it = reverse_.find(key); it != reverse_.end()) {
+    ++conntrack_hits_;
+    if (tel_conntrack_hits_ != nullptr) tel_conntrack_hits_->add();
     apply(pkt, it->second);
     return true;
   }
@@ -67,6 +71,8 @@ bool NatEngine::translate(Packet& pkt) {
     if (rule.dnat_port) translated.dst.port = *rule.dnat_port;
     if (translated == key) return false;  // no-op rule
 
+    ++rule_hits_;
+    if (tel_rule_hits_ != nullptr) tel_rule_hits_->add();
     forward_[key] = translated;
     reverse_[FourTuple{translated.dst, translated.src}] =
         FourTuple{key.dst, key.src};

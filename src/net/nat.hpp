@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace storm::net {
 
@@ -51,9 +52,25 @@ class NatEngine {
   std::size_t conntrack_size() const { return forward_.size(); }
   void flush_conntrack();
 
+  /// Wire hit accounting into the telemetry registry (NetNode does this;
+  /// an unbound engine just keeps its local counts). `rule_hits` counts
+  /// first-packet rule matches (conntrack entry creation), `conntrack_hits`
+  /// translations served from established entries.
+  void bind_telemetry(obs::Counter* rule_hits, obs::Counter* conntrack_hits) {
+    tel_rule_hits_ = rule_hits;
+    tel_conntrack_hits_ = conntrack_hits;
+  }
+
+  std::uint64_t rule_hits() const { return rule_hits_; }
+  std::uint64_t conntrack_hits() const { return conntrack_hits_; }
+
  private:
   static void apply(Packet& pkt, const FourTuple& to);
 
+  std::uint64_t rule_hits_ = 0;
+  std::uint64_t conntrack_hits_ = 0;
+  obs::Counter* tel_rule_hits_ = nullptr;
+  obs::Counter* tel_conntrack_hits_ = nullptr;
   std::vector<NatRule> rules_;
   std::map<FourTuple, FourTuple> forward_;  // orig -> translated
   std::map<FourTuple, FourTuple> reverse_;  // reverse(translated) -> reverse(orig)

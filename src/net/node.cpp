@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "net/tcp.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::net {
 
@@ -19,7 +20,11 @@ MacAddr ArpRegistry::lookup(Ipv4Addr ip) const {
 NetNode::NetNode(sim::Simulator& simulator, std::string name,
                  std::shared_ptr<ArpRegistry> arp)
     : sim_(simulator), name_(std::move(name)), arp_(std::move(arp)),
-      tcp_(std::make_unique<TcpStack>(*this)) {}
+      tcp_(std::make_unique<TcpStack>(*this)) {
+  obs::Registry& reg = sim_.telemetry();
+  nat_.bind_telemetry(&reg.counter("nat.rule_hits"),
+                      &reg.counter("nat.conntrack_hits"));
+}
 
 NetNode::~NetNode() = default;
 

@@ -4,10 +4,24 @@
 
 #include "common/log.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 
 namespace storm::net {
 
 // ---------------------------------------------------------------- TcpStack
+
+void TcpStack::ensure_telemetry() {
+  if (telemetry_ready_) return;
+  telemetry_ready_ = true;
+  obs::Registry& reg = node_.simulator().telemetry();
+  tel_segments_tx_ = &reg.counter("tcp.segments_tx");
+  tel_segments_rx_ = &reg.counter("tcp.segments_rx");
+  tel_checksum_drops_ = &reg.counter("tcp.checksum_drops");
+  tel_retransmits_ = &reg.counter("tcp.retransmits");
+  tel_fast_retransmits_ = &reg.counter("tcp.fast_retransmits");
+  tel_rto_fired_ = &reg.counter("tcp.rto_fired");
+  tel_rtt_ = &reg.histogram("tcp.rtt_ns");
+}
 
 void TcpStack::listen(std::uint16_t port, AcceptCallback on_accept) {
   listeners_[port] = std::move(on_accept);
@@ -35,10 +49,13 @@ TcpConnection& TcpStack::connect(
 }
 
 void TcpStack::handle_segment(Packet pkt) {
+  ensure_telemetry();
+  tel_segments_rx_->add();
   // Corrupted in flight? Discard before any state can be touched — a
   // flipped bit must never tear down a connection (e.g. by forging RST).
   if (pkt.tcp.checksum != tcp_checksum(pkt)) {
     ++checksum_drops_;
+    tel_checksum_drops_->add();
     log_debug("tcp") << "checksum mismatch, dropping " << pkt.summary();
     return;
   }
@@ -107,6 +124,8 @@ void TcpStack::reset() {
 }
 
 void TcpStack::transmit(Packet pkt) {
+  ensure_telemetry();
+  tel_segments_tx_->add();
   pkt.tcp.checksum = tcp_checksum(pkt);
   node_.send_ip(std::move(pkt));
 }
@@ -185,6 +204,13 @@ void TcpConnection::pump() {
       // the throughput accounting.
       bytes_sent_ += snd_nxt_ - std::max(max_seq_sent_, snd_nxt_ - len);
       max_seq_sent_ = snd_nxt_;
+      // Karn RTT probe: one fresh-data segment timed at a time; the
+      // sample completes when the cumulative ACK covers its end.
+      if (!rtt_probe_armed_) {
+        rtt_probe_armed_ = true;
+        rtt_probe_seq_ = snd_nxt_;
+        rtt_probe_sent_ = stack_.node().simulator().now();
+      }
     }
     arm_rto();
   }
@@ -224,12 +250,18 @@ void TcpConnection::on_rto() {
   ++retries_;
   ++retransmits_;
   ++stack_.retransmits_;
+  stack_.ensure_telemetry();
+  stack_.tel_rto_fired_->add();
+  stack_.tel_retransmits_->add();
   rto_ = std::min<sim::Duration>(rto_ * 2, kTcpMaxRto);
   rewind_and_resend();
   arm_rto();
 }
 
 void TcpConnection::rewind_and_resend() {
+  // Karn: any retransmission makes the in-flight RTT probe ambiguous
+  // (the eventual ACK could match either transmission) — discard it.
+  rtt_probe_armed_ = false;
   switch (state_) {
     case State::kSynSent:
       send_syn();
@@ -316,6 +348,12 @@ void TcpConnection::handle_segment(const Packet& pkt) {
       send_buf_.erase(send_buf_.begin(),
                       send_buf_.begin() + static_cast<std::ptrdiff_t>(pop));
       snd_una_ = limit;
+      if (rtt_probe_armed_ && snd_una_ >= rtt_probe_seq_) {
+        rtt_probe_armed_ = false;
+        stack_.ensure_telemetry();
+        stack_.tel_rtt_->record(static_cast<std::int64_t>(
+            stack_.node().simulator().now() - rtt_probe_sent_));
+      }
       dup_acks_ = 0;
       retries_ = 0;
       rto_ = kTcpInitialRto;
@@ -337,6 +375,9 @@ void TcpConnection::handle_segment(const Packet& pkt) {
           fast_recovery_until_ = snd_nxt_;
           ++retransmits_;
           ++stack_.retransmits_;
+          stack_.ensure_telemetry();
+          stack_.tel_fast_retransmits_->add();
+          stack_.tel_retransmits_->add();
           rewind_and_resend();
           restart_rto();
         }

@@ -32,6 +32,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace storm::net {
@@ -174,6 +175,13 @@ class TcpConnection {
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+
+  // RTT sampling, Karn's algorithm: one probe in flight at a time, the
+  // sample discarded if any retransmission happens before the probe's
+  // target is acknowledged (a retransmitted segment's ACK is ambiguous).
+  bool rtt_probe_armed_ = false;
+  std::uint64_t rtt_probe_seq_ = 0;
+  sim::Time rtt_probe_sent_ = 0;
 };
 
 class TcpStack {
@@ -229,6 +237,7 @@ class TcpStack {
   friend class TcpConnection;
 
   void transmit(Packet pkt);
+  void ensure_telemetry();
 
   NetNode& node_;
   std::map<FourTuple, std::unique_ptr<TcpConnection>> connections_;
@@ -238,6 +247,15 @@ class TcpStack {
   std::uint32_t default_window_ = kDefaultWindow;
   std::uint64_t checksum_drops_ = 0;
   std::uint64_t retransmits_ = 0;
+  // Cached cluster-wide tcp.* metrics (stable registry addresses).
+  bool telemetry_ready_ = false;
+  obs::Counter* tel_segments_tx_ = nullptr;
+  obs::Counter* tel_segments_rx_ = nullptr;
+  obs::Counter* tel_checksum_drops_ = nullptr;
+  obs::Counter* tel_retransmits_ = nullptr;
+  obs::Counter* tel_fast_retransmits_ = nullptr;
+  obs::Counter* tel_rto_fired_ = nullptr;
+  obs::Histogram* tel_rtt_ = nullptr;
 };
 
 }  // namespace storm::net

@@ -1,0 +1,33 @@
+#include "obs/recorder.hpp"
+
+namespace storm::obs {
+
+void FlightRecorder::record(sim::Time now, std::string what) {
+  ++total_;
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Event{now, std::move(what)});
+    return;
+  }
+  ring_[next_] = Event{now, std::move(what)};
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  out << "--- flight recorder (" << ring_.size() << "/" << total_
+      << " events) ---\n";
+  for (const Event& event : events()) {
+    out << "  t=" << event.at << "ns  " << event.what << "\n";
+  }
+}
+
+}  // namespace storm::obs

@@ -1,0 +1,45 @@
+// Flight recorder: a bounded ring of the last N notable events (session
+// drops, journal replays, crashes, deployment changes). Cheap enough to
+// leave on everywhere; dumped when something goes wrong — a relay
+// crash, a failed test — to show what led up to it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace storm::obs {
+
+class FlightRecorder {
+ public:
+  struct Event {
+    sim::Time at = 0;
+    std::string what;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  void record(sim::Time now, std::string what);
+
+  /// Retained events, oldest first.
+  std::vector<Event> events() const;
+
+  /// Events ever recorded (including those the ring has overwritten).
+  std::uint64_t total_recorded() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Human-readable dump of the retained tail, one event per line.
+  void dump(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;  // overwrite position once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace storm::obs

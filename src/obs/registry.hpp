@@ -1,0 +1,102 @@
+// The per-simulation telemetry hub. One Registry hangs off each
+// sim::Simulator (see Simulator::telemetry()), so every component of a
+// simulated cluster — links, TCP stacks, NAT engines, relays, services,
+// the platform — reports into the same deterministic store. All
+// timestamps are sim-clock: two identically seeded runs produce
+// byte-identical to_json() output.
+//
+// Metric objects have stable addresses for the Registry's lifetime;
+// hot-path components look them up once by name and keep the pointer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace storm::sim {
+class Simulator;
+}
+
+namespace storm::obs {
+
+class Registry;
+
+/// A named slice of a Registry: metric names are prefixed with the
+/// scope's prefix ("relay.mb-1-encryption." + "pdus"). Copyable handle;
+/// a default-constructed Scope discards everything (null object), so
+/// components can hold one unconditionally.
+class Scope {
+ public:
+  Scope() = default;
+  Scope(Registry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) const;
+  Gauge& gauge(const std::string& name) const;
+  Histogram& histogram(const std::string& name) const;
+
+  Registry* registry() const { return registry_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  Registry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+class Registry {
+ public:
+  explicit Registry(sim::Simulator& simulator);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Scope scope(std::string prefix) { return Scope(*this, std::move(prefix)); }
+
+  // --- tracing (see trace.hpp) ---
+  SpanId begin_span(std::string name, SpanId parent = 0);
+  void add_event(SpanId id, std::string label, std::uint64_t value = 0);
+  void end_span(SpanId id);
+  void bind(const std::string& key, SpanId id) { tracer_.bind(key, id); }
+  SpanId lookup(const std::string& key) const { return tracer_.lookup(key); }
+  void unbind(const std::string& key) { tracer_.unbind(key); }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // --- flight recorder ---
+  FlightRecorder& recorder() { return recorder_; }
+  /// Stamp `what` with the current sim-time into the flight recorder.
+  void record_event(std::string what);
+
+  sim::Time now() const;
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Machine-readable dump: counters, gauges, histogram summaries, the
+  /// flight-recorder tail, and (optionally) every retained span. Keys
+  /// are emitted in name order, values in sim-time units — deterministic
+  /// for identically seeded runs.
+  std::string to_json(bool include_spans = false) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  Tracer tracer_;
+  FlightRecorder recorder_;
+};
+
+/// Correlation key for one SCSI command's trace, derivable at every
+/// PDU-aware layer: the flow's (preserved) TCP source port plus the
+/// command's initiator task tag.
+std::string command_trace_key(std::uint16_t source_port,
+                              std::uint32_t task_tag);
+
+}  // namespace storm::obs

@@ -33,9 +33,9 @@ void EncryptionService::crypt(bool encrypt, std::uint64_t first_sector,
   }
 }
 
-core::ServiceVerdict EncryptionService::on_pdu(core::Direction dir,
-                                               iscsi::Pdu& pdu,
-                                               core::RelayApi&) {
+core::ServiceVerdict EncryptionService::on_pdu(core::ServiceContext& ctx,
+                                               core::Direction dir,
+                                               iscsi::Pdu& pdu) {
   core::ServiceVerdict verdict;
   if (dir == core::Direction::kToTarget) {
     if (pdu.opcode == iscsi::Opcode::kScsiCommand && !pdu.is_read() &&
@@ -43,6 +43,7 @@ core::ServiceVerdict EncryptionService::on_pdu(core::Direction dir,
       // Immediate data starts at the command's LBA.
       crypt(true, pdu.lba, pdu.data);
       encrypted_ += pdu.data.size();
+      ctx.scope().counter("encryption.bytes_encrypted").add(pdu.data.size());
       verdict.cpu_cost = config_.per_io + static_cast<sim::Duration>(
           config_.ns_per_byte * static_cast<double>(pdu.data.size()));
       // Remember the burst's starting LBA for its Data-Out tail.
@@ -55,6 +56,7 @@ core::ServiceVerdict EncryptionService::on_pdu(core::Direction dir,
         crypt(true, lba->second + pdu.data_offset / block::kSectorSize,
               pdu.data);
         encrypted_ += pdu.data.size();
+        ctx.scope().counter("encryption.bytes_encrypted").add(pdu.data.size());
         verdict.cpu_cost = static_cast<sim::Duration>(
             config_.ns_per_byte * static_cast<double>(pdu.data.size()));
         if (pdu.is_final()) write_lbas_.erase(lba);
@@ -73,6 +75,7 @@ core::ServiceVerdict EncryptionService::on_pdu(core::Direction dir,
       crypt(false, info->lba + pdu.data_offset / block::kSectorSize,
             pdu.data);
       decrypted_ += pdu.data.size();
+      ctx.scope().counter("encryption.bytes_decrypted").add(pdu.data.size());
       verdict.cpu_cost = config_.per_io + static_cast<sim::Duration>(
           config_.ns_per_byte * static_cast<double>(pdu.data.size()));
     }

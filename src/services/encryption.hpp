@@ -29,8 +29,8 @@ class EncryptionService : public core::StorageService {
   EncryptionService(Bytes key, EncryptionConfig config = {});
 
   std::string name() const override { return "encryption"; }
-  core::ServiceVerdict on_pdu(core::Direction dir, iscsi::Pdu& pdu,
-                              core::RelayApi& relay) override;
+  core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
+                              iscsi::Pdu& pdu) override;
 
   std::uint64_t bytes_encrypted() const { return encrypted_; }
   std::uint64_t bytes_decrypted() const { return decrypted_; }

@@ -11,15 +11,16 @@ void MonitorService::watch(const std::string& path_prefix) {
   watches_.push_back(path_prefix);
 }
 
-core::ServiceVerdict MonitorService::on_pdu(core::Direction dir,
-                                            iscsi::Pdu& pdu,
-                                            core::RelayApi&) {
+core::ServiceVerdict MonitorService::on_pdu(core::ServiceContext& ctx,
+                                            core::Direction dir,
+                                            iscsi::Pdu& pdu) {
   core::ServiceVerdict verdict;
   if (dir == core::Direction::kToTarget) {
     if (pdu.opcode == iscsi::Opcode::kScsiCommand && pdu.is_read()) {
       // Classification of reads happens at command time: the geometry is
       // enough, the view is not changed by a read.
       record(recon_->on_read(pdu.lba, pdu.transfer_length));
+      ctx.scope().counter("monitor.accesses").add();
       verdict.cpu_cost += config_.cost_per_access;
       tracker_.on_to_target(pdu);
       return verdict;
@@ -28,6 +29,7 @@ core::ServiceVerdict MonitorService::on_pdu(core::Direction dir,
       // Update + Analysis: the completed write carries the content that
       // keeps the filesystem view current.
       record(recon_->on_write(burst->lba, burst->data));
+      ctx.scope().counter("monitor.accesses").add();
       verdict.cpu_cost += config_.cost_per_access;
     }
     return verdict;

@@ -39,8 +39,8 @@ class MonitorService : public core::StorageService {
                  MonitorConfig config = {});
 
   std::string name() const override { return "monitor"; }
-  core::ServiceVerdict on_pdu(core::Direction dir, iscsi::Pdu& pdu,
-                              core::RelayApi& relay) override;
+  core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
+                              iscsi::Pdu& pdu) override;
 
   /// Watch a path (or a directory prefix ending in '/'): any access
   /// raises an alert (paper: "set an alert on sensitive files").

@@ -54,19 +54,20 @@ void ReplicationService::replicate_write(
 
 void ReplicationService::serve_read_from_replica(std::size_t replica_index,
                                                  const iscsi::Pdu& command,
-                                                 core::RelayApi& relay) {
+                                                 core::ServiceContext& ctx) {
   ++reads_replica_;
+  ctx.scope().counter("replication.reads_from_replicas").add();
   std::uint32_t sectors = command.transfer_length / block::kSectorSize;
   replicas_[replica_index].device->read(
       command.lba, sectors,
-      [this, replica_index, command, &relay](Status status, Bytes data) {
+      [this, replica_index, command, &ctx](Status status, Bytes data) {
         if (!status.is_ok()) {
           // Failover: the unfinished read is served by re-injecting the
           // command toward the primary volume.
           mark_dead(replica_index);
           iscsi::Pdu retry = command;
           retry.data.clear();
-          relay.inject_to_target(retry);
+          ctx.inject_to_target(retry);
           return;
         }
         std::uint32_t offset = 0;
@@ -75,19 +76,19 @@ void ReplicationService::serve_read_from_replica(std::size_t replica_index,
               iscsi::kMaxDataSegment,
               static_cast<std::uint32_t>(data.size()) - offset);
           Bytes chunk(data.begin() + offset, data.begin() + offset + n);
-          relay.inject_to_initiator(iscsi::make_data_in(
+          ctx.inject_to_initiator(iscsi::make_data_in(
               command.task_tag, offset, std::move(chunk),
               offset + n == data.size()));
           offset += n;
         }
-        relay.inject_to_initiator(
+        ctx.inject_to_initiator(
             iscsi::make_scsi_response(command.task_tag, iscsi::kStatusGood));
       });
 }
 
-core::ServiceVerdict ReplicationService::on_pdu(core::Direction dir,
-                                                iscsi::Pdu& pdu,
-                                                core::RelayApi& relay) {
+core::ServiceVerdict ReplicationService::on_pdu(core::ServiceContext& ctx,
+                                                core::Direction dir,
+                                                iscsi::Pdu& pdu) {
   core::ServiceVerdict verdict;
   if (dir != core::Direction::kToTarget) return verdict;
 
@@ -107,7 +108,7 @@ core::ServiceVerdict ReplicationService::on_pdu(core::Direction dir,
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
       if (!replicas_[i].alive) continue;
       if (++seen == choice) {
-        serve_read_from_replica(i, pdu, relay);
+        serve_read_from_replica(i, pdu, ctx);
         verdict.consume = true;
         return verdict;
       }
@@ -119,6 +120,7 @@ core::ServiceVerdict ReplicationService::on_pdu(core::Direction dir,
   if (auto burst = tracker_.on_to_target(pdu)) {
     verdict.cpu_cost = config_.per_io;
     replicate_write(*burst);
+    ctx.scope().counter("replication.writes_replicated").add();
   }
   return verdict;
 }

@@ -39,8 +39,8 @@ class ReplicationService : public core::StorageService {
   bool requires_active_relay() const override { return true; }
 
   void initialize(std::function<void(Status)> ready) override;
-  core::ServiceVerdict on_pdu(core::Direction dir, iscsi::Pdu& pdu,
-                              core::RelayApi& relay) override;
+  core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
+                              iscsi::Pdu& pdu) override;
 
   std::size_t live_replicas() const;
   std::uint64_t reads_from_primary() const { return reads_primary_; }
@@ -57,7 +57,7 @@ class ReplicationService : public core::StorageService {
   void replicate_write(const IoTracker::WriteBurst& burst);
   void serve_read_from_replica(std::size_t replica_index,
                                const iscsi::Pdu& command,
-                               core::RelayApi& relay);
+                               core::ServiceContext& ctx);
   void mark_dead(std::size_t replica_index);
 
   ReplicaProvider attach_replicas_;

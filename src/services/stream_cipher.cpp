@@ -39,11 +39,12 @@ void StreamCipherService::crypt(std::uint64_t byte_position, Bytes& data) {
   processed_ += data.size();
 }
 
-core::ServiceVerdict StreamCipherService::on_pdu(core::Direction dir,
-                                                 iscsi::Pdu& pdu,
-                                                 core::RelayApi&) {
+core::ServiceVerdict StreamCipherService::on_pdu(core::ServiceContext& ctx,
+                                                 core::Direction dir,
+                                                 iscsi::Pdu& pdu) {
   core::ServiceVerdict verdict;
-  auto cost_of = [this](std::size_t bytes) {
+  auto cost_of = [this, &ctx](std::size_t bytes) {
+    ctx.scope().counter("stream_cipher.bytes_processed").add(bytes);
     return static_cast<sim::Duration>(config_.ns_per_byte *
                                       static_cast<double>(bytes));
   };

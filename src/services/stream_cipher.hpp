@@ -25,8 +25,8 @@ class StreamCipherService : public core::StorageService {
                                StreamCipherConfig config = {});
 
   std::string name() const override { return "stream_cipher"; }
-  core::ServiceVerdict on_pdu(core::Direction dir, iscsi::Pdu& pdu,
-                              core::RelayApi& relay) override;
+  core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
+                              iscsi::Pdu& pdu) override;
 
   std::uint64_t bytes_processed() const { return processed_; }
 

@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace storm::sim {
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
+obs::Registry& Simulator::telemetry() {
+  if (!telemetry_) telemetry_ = std::make_unique<obs::Registry>(*this);
+  return *telemetry_;
+}
 
 void Simulator::at(Time when, Callback fn) {
   if (when < now_) when = now_;

@@ -14,6 +14,10 @@
 
 #include "sim/time.hpp"
 
+namespace storm::obs {
+class Registry;
+}
+
 namespace storm::sim {
 
 /// Handle for a cancellable event. Cancelling marks the event dead; the
@@ -39,6 +43,12 @@ class CancelToken {
 class Simulator {
  public:
   using Callback = std::function<void()>;
+
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Schedule `fn` at absolute time `when` (clamped to now).
   void at(Time when, Callback fn);
@@ -71,6 +81,12 @@ class Simulator {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
+  /// This simulation's telemetry hub (created on first use). Everything
+  /// driven by this clock — links, TCP, relays, services, the platform —
+  /// reports here, so one call yields the whole cluster's metrics and
+  /// traces, stamped in deterministic sim-time.
+  obs::Registry& telemetry();
+
  private:
   struct Event {
     Time when;
@@ -88,6 +104,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unique_ptr<obs::Registry> telemetry_;
 };
 
 }  // namespace storm::sim

@@ -35,7 +35,7 @@ void FioRunner::job_loop(unsigned job_index) {
   sim::Time issued = sim_.now();
   auto complete = [this, job_index, issued](Status status) {
     if (status.is_ok()) {
-      latencies_ms_.add(sim::to_millis(sim_.now() - issued));
+      latency_ns_.record(static_cast<std::int64_t>(sim_.now() - issued));
     }
     job_loop(job_index);
   };
@@ -60,15 +60,15 @@ void FioRunner::finish_if_done() {
   FioResult result;
   result.read_ops = reads_;
   result.write_ops = writes_;
-  result.total_ops = latencies_ms_.count();
+  result.total_ops = latency_ns_.count();
   double elapsed_s = sim::to_seconds(sim_.now() - started_);
   if (elapsed_s > 0) {
     result.iops = static_cast<double>(result.total_ops) / elapsed_s;
     result.throughput_mb_s =
         result.iops * config_.request_bytes / (1024.0 * 1024.0);
   }
-  result.mean_latency_ms = latencies_ms_.mean();
-  result.p99_latency_ms = latencies_ms_.percentile(99);
+  result.mean_latency_ms = latency_ns_.mean() / 1e6;
+  result.p99_latency_ms = latency_ns_.percentile(99) / 1e6;
   done_(result);
 }
 

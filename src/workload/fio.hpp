@@ -9,8 +9,8 @@
 
 #include "block/block_device.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
-#include "sim/stats.hpp"
 
 namespace storm::workload {
 
@@ -54,7 +54,7 @@ class FioRunner {
   unsigned jobs_running_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
-  sim::Stats latencies_ms_;
+  obs::Histogram latency_ns_;
   sim::Time started_ = 0;
   std::function<void(FioResult)> done_;
 };

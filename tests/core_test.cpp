@@ -81,7 +81,8 @@ TEST(RelayJournal, AppendTrimReplay) {
 class XorService : public StorageService {
  public:
   std::string name() const override { return "xor"; }
-  ServiceVerdict on_pdu(Direction dir, iscsi::Pdu& pdu, RelayApi&) override {
+  ServiceVerdict on_pdu(ServiceContext&, Direction dir,
+                        iscsi::Pdu& pdu) override {
     bool is_write_data = dir == Direction::kToTarget &&
                          (pdu.opcode == iscsi::Opcode::kScsiCommand ||
                           pdu.opcode == iscsi::Opcode::kDataOut);
@@ -109,14 +110,14 @@ class StormTest : public ::testing::Test {
     });
   }
 
-  Deployment* deploy(const std::string& vm, const std::string& volume,
-                     std::vector<ServiceSpec> chain) {
+  DeploymentHandle deploy(const std::string& vm, const std::string& volume,
+                          std::vector<ServiceSpec> chain) {
     Status status = error(ErrorCode::kIoError, "unset");
-    Deployment* deployment = nullptr;
+    DeploymentHandle deployment;
     platform_.attach_with_chain(vm, volume, std::move(chain),
-                                [&](Status s, Deployment* d) {
-                                  status = s;
-                                  deployment = d;
+                                [&](Result<DeploymentHandle> r) {
+                                  status = r.status();
+                                  if (r.is_ok()) deployment = r.value();
                                 });
     sim_.run();
     EXPECT_TRUE(status.is_ok()) << status.to_string();
@@ -154,19 +155,19 @@ TEST_F(StormTest, SplicedIoThroughActiveNoopRelay) {
   ServiceSpec noop;
   noop.type = "noop";
   noop.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {noop});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {noop});
+  ASSERT_TRUE(dep.valid());
 
   Bytes data = testutil::pattern_bytes(16 * block::kSectorSize);
   Bytes got = write_read_roundtrip(vm, 500, data);
   EXPECT_EQ(got, data);
 
   // Traffic must actually traverse the middle-box relay.
-  ASSERT_NE(dep->box(0), nullptr);
-  EXPECT_GT(dep->box(0)->active_relay->pdus_relayed(), 0u);
-  EXPECT_EQ(dep->box(0)->active_relay->session_count(), 1u);
+  ASSERT_NE(dep.active_relay(0), nullptr);
+  EXPECT_GT(dep.active_relay(0)->pdus_relayed(), 0u);
+  EXPECT_EQ(dep.active_relay(0)->session_count(), 1u);
   // Once everything is acknowledged, the NVRAM journal must be empty.
-  EXPECT_EQ(dep->box(0)->active_relay->journal_bytes(), 0u);
+  EXPECT_EQ(dep.active_relay(0)->journal_bytes(), 0u);
 }
 
 TEST_F(StormTest, SplicedIoThroughForwardOnlyMiddlebox) {
@@ -175,13 +176,13 @@ TEST_F(StormTest, SplicedIoThroughForwardOnlyMiddlebox) {
   ServiceSpec fwd;
   fwd.type = "noop";
   fwd.relay = RelayMode::kForward;
-  Deployment* dep = deploy("vm1", "vol1", {fwd});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {fwd});
+  ASSERT_TRUE(dep.valid());
 
   Bytes data = testutil::pattern_bytes(8 * block::kSectorSize);
   EXPECT_EQ(write_read_roundtrip(vm, 0, data), data);
   // Packets flow through the MB VM's IP forwarding path.
-  EXPECT_GT(dep->box(0)->vm->node().packets_forwarded(), 0u);
+  EXPECT_GT(dep.mb_vm(0)->node().packets_forwarded(), 0u);
 }
 
 TEST_F(StormTest, PassiveRelayTransformsInPlace) {
@@ -190,8 +191,8 @@ TEST_F(StormTest, PassiveRelayTransformsInPlace) {
   ServiceSpec xor_spec;
   xor_spec.type = "xor";
   xor_spec.relay = RelayMode::kPassive;
-  Deployment* dep = deploy("vm1", "vol1", {xor_spec});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {xor_spec});
+  ASSERT_TRUE(dep.valid());
 
   Bytes data = testutil::pattern_bytes(8 * block::kSectorSize);
   Bytes got = write_read_roundtrip(vm, 100, data);
@@ -204,7 +205,7 @@ TEST_F(StormTest, PassiveRelayTransformsInPlace) {
   Bytes unxored = on_disk;
   for (auto& byte : unxored) byte ^= 0x5A;
   EXPECT_EQ(unxored, data);
-  EXPECT_GT(dep->box(0)->passive_relay->pdus_processed(), 0u);
+  EXPECT_GT(dep.passive_relay(0)->pdus_processed(), 0u);
 }
 
 TEST_F(StormTest, ActiveRelayTransformsInPlace) {
@@ -230,9 +231,9 @@ TEST_F(StormTest, TwoBoxChainMonitorThenCipherOrder) {
   ServiceSpec a, b;
   a.type = b.type = "xor";
   a.relay = b.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {a, b});
-  ASSERT_NE(dep, nullptr);
-  ASSERT_EQ(dep->boxes.size(), 2u);
+  DeploymentHandle dep = deploy("vm1", "vol1", {a, b});
+  ASSERT_TRUE(dep.valid());
+  ASSERT_EQ(dep.chain_length(), 2u);
 
   Bytes data = testutil::pattern_bytes(8 * block::kSectorSize);
   Bytes got = write_read_roundtrip(vm, 0, data);
@@ -240,8 +241,8 @@ TEST_F(StormTest, TwoBoxChainMonitorThenCipherOrder) {
   auto volume = cloud_.storage(0).volumes().find_by_name("vol1");
   EXPECT_EQ(volume.value()->disk().store().read_sync(0, 8), data)
       << "two XOR boxes must cancel out on disk";
-  EXPECT_GT(dep->box(0)->active_relay->pdus_relayed(), 0u);
-  EXPECT_GT(dep->box(1)->active_relay->pdus_relayed(), 0u);
+  EXPECT_GT(dep.active_relay(0)->pdus_relayed(), 0u);
+  EXPECT_GT(dep.active_relay(1)->pdus_relayed(), 0u);
 }
 
 TEST_F(StormTest, MixedChainPassiveThenActive) {
@@ -252,16 +253,16 @@ TEST_F(StormTest, MixedChainPassiveThenActive) {
   passive.relay = RelayMode::kPassive;
   active.type = "xor";
   active.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {passive, active});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {passive, active});
+  ASSERT_TRUE(dep.valid());
 
   Bytes data = testutil::pattern_bytes(16 * block::kSectorSize);
   Bytes got = write_read_roundtrip(vm, 64, data);
   EXPECT_EQ(got, data);
   auto volume = cloud_.storage(0).volumes().find_by_name("vol1");
   EXPECT_EQ(volume.value()->disk().store().read_sync(64, 16), data);
-  EXPECT_GT(dep->box(0)->passive_relay->pdus_processed(), 0u);
-  EXPECT_GT(dep->box(1)->active_relay->pdus_relayed(), 0u);
+  EXPECT_GT(dep.passive_relay(0)->pdus_processed(), 0u);
+  EXPECT_GT(dep.active_relay(1)->pdus_relayed(), 0u);
 }
 
 TEST_F(StormTest, HostNatRulesRemovedAfterAtomicAttach) {
@@ -289,7 +290,7 @@ TEST_F(StormTest, SecondVolumeAttachUnaffectedByFirst) {
   ASSERT_TRUE(cloud_.create_volume("vol2", 10'000).is_ok());
   ServiceSpec noop;
   noop.type = "noop";
-  Deployment* dep = deploy("vm1", "vol1", {noop});
+  DeploymentHandle dep = deploy("vm1", "vol1", {noop});
 
   Status status = error(ErrorCode::kIoError, "unset");
   cloud_.attach_volume(vm, "vol2",
@@ -297,8 +298,7 @@ TEST_F(StormTest, SecondVolumeAttachUnaffectedByFirst) {
   sim_.run();
   ASSERT_TRUE(status.is_ok()) << status.to_string();
 
-  std::uint64_t mb_packets_before =
-      dep->box(0)->active_relay->pdus_relayed();
+  std::uint64_t mb_packets_before = dep.active_relay(0)->pdus_relayed();
   Bytes data = testutil::pattern_bytes(4 * block::kSectorSize);
   bool ok = false;
   vm.disk(1)->write(0, data, [&](Status s) {
@@ -307,7 +307,7 @@ TEST_F(StormTest, SecondVolumeAttachUnaffectedByFirst) {
   });
   sim_.run();
   EXPECT_TRUE(ok);
-  EXPECT_EQ(dep->box(0)->active_relay->pdus_relayed(), mb_packets_before)
+  EXPECT_EQ(dep.active_relay(0)->pdus_relayed(), mb_packets_before)
       << "vol2 traffic must not traverse vol1's middle-box";
 }
 
@@ -317,9 +317,10 @@ TEST_F(StormTest, AttributionAnswersBothDirections) {
   ASSERT_TRUE(cloud_.create_volume("vol1", 10'000).is_ok());
   ServiceSpec noop;
   noop.type = "noop";
-  Deployment* dep = deploy("vm1", "vol1", {noop});
+  DeploymentHandle dep = deploy("vm1", "vol1", {noop});
 
-  auto by_port = platform_.attribution().by_source_port(dep->splice.vm_port);
+  auto by_port =
+      platform_.attribution().by_source_port(dep.splice()->vm_port);
   ASSERT_TRUE(by_port.has_value());
   EXPECT_EQ(by_port->vm, "vm1");
   EXPECT_EQ(by_port->volume, "vol1");
@@ -327,7 +328,7 @@ TEST_F(StormTest, AttributionAnswersBothDirections) {
 
   auto by_name = platform_.attribution().by_vm_volume("vm1", "vol1");
   ASSERT_TRUE(by_name.has_value());
-  EXPECT_EQ(by_name->source_port, dep->splice.vm_port);
+  EXPECT_EQ(by_name->source_port, dep.splice()->vm_port);
   EXPECT_EQ(platform_.attribution().tenant_flows("alice").size(), 1u);
   EXPECT_TRUE(platform_.attribution().tenant_flows("bob").empty());
 }
@@ -338,8 +339,8 @@ TEST_F(StormTest, ActiveRelayRecoversFromUpstreamFailure) {
   ServiceSpec noop;
   noop.type = "noop";
   noop.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {noop});
-  ActiveRelay& relay = *dep->box(0)->active_relay;
+  DeploymentHandle dep = deploy("vm1", "vol1", {noop});
+  ActiveRelay& relay = *dep.active_relay(0);
 
   // Prove the path works, then cut and restore the upstream between
   // bursts: the journal replays and I/O continues.
@@ -361,7 +362,7 @@ TEST_F(StormTest, DynamicAddAndRemoveMiddlebox) {
   ServiceSpec fwd;
   fwd.type = "noop";
   fwd.relay = RelayMode::kForward;
-  Deployment* dep = deploy("vm1", "vol1", {fwd});
+  DeploymentHandle dep = deploy("vm1", "vol1", {fwd});
 
   Bytes data = testutil::pattern_bytes(4 * block::kSectorSize);
   EXPECT_EQ(write_read_roundtrip(vm, 0, data), data);
@@ -370,7 +371,7 @@ TEST_F(StormTest, DynamicAddAndRemoveMiddlebox) {
   ServiceSpec xor_spec;
   xor_spec.type = "xor";
   xor_spec.relay = RelayMode::kPassive;
-  ASSERT_TRUE(platform_.add_middlebox(*dep, xor_spec, 1).is_ok());
+  ASSERT_TRUE(dep.add_middlebox(xor_spec, 1).is_ok());
   Bytes data2 = testutil::pattern_bytes(4 * block::kSectorSize, 7);
   EXPECT_EQ(write_read_roundtrip(vm, 8, data2), data2);
   auto volume = cloud_.storage(0).volumes().find_by_name("vol1");
@@ -378,7 +379,7 @@ TEST_F(StormTest, DynamicAddAndRemoveMiddlebox) {
       << "new middle-box must now transform the data";
 
   // Scale down: remove it again.
-  ASSERT_TRUE(platform_.remove_middlebox(*dep, 1).is_ok());
+  ASSERT_TRUE(dep.remove_middlebox(1).is_ok());
   Bytes data3 = testutil::pattern_bytes(4 * block::kSectorSize, 9);
   EXPECT_EQ(write_read_roundtrip(vm, 16, data3), data3);
   EXPECT_EQ(volume.value()->disk().store().read_sync(16, 4), data3)
@@ -388,7 +389,30 @@ TEST_F(StormTest, DynamicAddAndRemoveMiddlebox) {
   ServiceSpec active;
   active.type = "noop";
   active.relay = RelayMode::kActive;
-  EXPECT_FALSE(platform_.add_middlebox(*dep, active, 0).is_ok());
+  EXPECT_FALSE(dep.add_middlebox(active, 0).is_ok());
+}
+
+TEST_F(StormTest, DetachInvalidatesEveryHandleCopy) {
+  cloud_.create_vm("vm1", "alice", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol1", 20'000).is_ok());
+  ServiceSpec noop;
+  noop.type = "noop";
+  noop.relay = RelayMode::kActive;
+  DeploymentHandle dep = deploy("vm1", "vol1", {noop});
+  DeploymentHandle copy = platform_.find_deployment("vm1", "vol1");
+  ASSERT_TRUE(dep.valid());
+  ASSERT_TRUE(copy.valid());
+  EXPECT_EQ(copy.cookie(), dep.cookie());
+
+  ASSERT_TRUE(dep.detach().is_ok());
+  sim_.run();
+  EXPECT_FALSE(dep.valid());
+  EXPECT_FALSE(copy.valid()) << "stale copies must also report invalid";
+  EXPECT_EQ(dep.active_relay(0), nullptr);
+  EXPECT_EQ(dep.splice(), nullptr);
+  EXPECT_FALSE(platform_.find_deployment("vm1", "vol1").valid());
+  // Double-detach is an error, not a crash.
+  EXPECT_FALSE(dep.detach().is_ok());
 }
 
 TEST_F(StormTest, ApplyPolicyDeploysEverything) {
@@ -406,11 +430,17 @@ volume vm2 vol2
 )");
   ASSERT_TRUE(policy.is_ok());
   Status status = error(ErrorCode::kIoError, "unset");
-  platform_.apply_policy(policy.value(), [&](Status s) { status = s; });
+  std::size_t handles = 0;
+  platform_.apply_policy(policy.value(),
+                         [&](Result<std::vector<DeploymentHandle>> r) {
+                           status = r.status();
+                           if (r.is_ok()) handles = r.value().size();
+                         });
   sim_.run();
   ASSERT_TRUE(status.is_ok()) << status.to_string();
-  EXPECT_NE(platform_.find_deployment("vm1", "vol1"), nullptr);
-  EXPECT_NE(platform_.find_deployment("vm2", "vol2"), nullptr);
+  EXPECT_EQ(handles, 2u);
+  EXPECT_TRUE(platform_.find_deployment("vm1", "vol1").valid());
+  EXPECT_TRUE(platform_.find_deployment("vm2", "vol2").valid());
 
   Bytes data = testutil::pattern_bytes(2 * block::kSectorSize);
   EXPECT_EQ(write_read_roundtrip(*cloud_.find_vm("vm1"), 0, data), data);
@@ -423,8 +453,9 @@ TEST_F(StormTest, UnknownServiceTypeFailsDeploy) {
   ServiceSpec ghost;
   ghost.type = "ghost";
   Status status = Status::ok();
-  platform_.attach_with_chain("vm1", "vol1", {ghost},
-                              [&](Status s, Deployment*) { status = s; });
+  platform_.attach_with_chain(
+      "vm1", "vol1", {ghost},
+      [&](Result<DeploymentHandle> r) { status = r.status(); });
   sim_.run();
   EXPECT_EQ(status.code(), ErrorCode::kNotFound);
 }

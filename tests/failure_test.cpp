@@ -12,7 +12,7 @@
 namespace storm {
 namespace {
 
-using core::Deployment;
+using core::DeploymentHandle;
 using core::RelayMode;
 using core::ServiceSpec;
 
@@ -22,16 +22,17 @@ class FailureTest : public ::testing::Test {
     services::register_builtin_services(platform_);
   }
 
-  Deployment* deploy_active(const std::string& vm, const std::string& vol) {
+  DeploymentHandle deploy_active(const std::string& vm,
+                                 const std::string& vol) {
     ServiceSpec spec;
     spec.type = "noop";
     spec.relay = RelayMode::kActive;
     Status status = error(ErrorCode::kIoError, "unset");
-    Deployment* deployment = nullptr;
+    DeploymentHandle deployment;
     platform_.attach_with_chain(vm, vol, {spec},
-                                [&](Status s, Deployment* d) {
-                                  status = s;
-                                  deployment = d;
+                                [&](Result<DeploymentHandle> r) {
+                                  status = r.status();
+                                  if (r.is_ok()) deployment = r.value();
                                 });
     sim_.run();
     EXPECT_TRUE(status.is_ok()) << status.to_string();
@@ -46,14 +47,14 @@ class FailureTest : public ::testing::Test {
 TEST_F(FailureTest, TargetSessionCloseFailsTenantIoThroughChain) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
   ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
-  Deployment* dep = deploy_active("vm", "vol");
+  DeploymentHandle dep = deploy_active("vm", "vol");
 
   // Outstanding write, then the target kills the (relay-side) session.
   int state = 0;
   vm.disk()->write(0, Bytes(64 * block::kSectorSize, 1),
                    [&](Status s) { state = s.is_ok() ? 1 : -1; });
   EXPECT_EQ(cloud_.storage(0).target().close_sessions_for(
-                dep->attachment.iqn), 1u);
+                dep.attachment()->iqn), 1u);
   sim_.run();
   // The relay propagates the upstream loss to the tenant side: the
   // initiator's command fails rather than hanging forever.
@@ -63,7 +64,7 @@ TEST_F(FailureTest, TargetSessionCloseFailsTenantIoThroughChain) {
 TEST_F(FailureTest, MiddleboxVmPowerOffStallsButDoesNotCorrupt) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
   ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
-  Deployment* dep = deploy_active("vm", "vol");
+  DeploymentHandle dep = deploy_active("vm", "vol");
 
   // Prove a write works, then power off the middle-box VM.
   bool first_ok = false;
@@ -72,7 +73,7 @@ TEST_F(FailureTest, MiddleboxVmPowerOffStallsButDoesNotCorrupt) {
   sim_.run();
   ASSERT_TRUE(first_ok);
 
-  dep->box(0)->vm->node().set_down(true);
+  dep.mb_vm(0)->node().set_down(true);
   int state = 0;
   vm.disk()->write(8, Bytes(block::kSectorSize, 0xBB),
                    [&](Status s) { state = s.is_ok() ? 1 : -1; });
@@ -120,8 +121,8 @@ TEST_F(FailureTest, StorageLinkFlapDropsInFlightOnly) {
 TEST_F(FailureTest, RelayRecoveryPreservesExactlyOnceWrites) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
   ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
-  Deployment* dep = deploy_active("vm", "vol");
-  core::ActiveRelay& relay = *dep->box(0)->active_relay;
+  DeploymentHandle dep = deploy_active("vm", "vol");
+  core::ActiveRelay& relay = *dep.active_relay(0);
 
   // Start a 128 KB write; cut the upstream while its burst is in flight;
   // the tenant-side write stalls (journaled), then completes after
@@ -147,8 +148,8 @@ TEST_F(FailureTest, RelayRecoveryPreservesExactlyOnceWrites) {
 TEST_F(FailureTest, ReadsAfterRecoveryAreServed) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
   ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
-  Deployment* dep = deploy_active("vm", "vol");
-  core::ActiveRelay& relay = *dep->box(0)->active_relay;
+  DeploymentHandle dep = deploy_active("vm", "vol");
+  core::ActiveRelay& relay = *dep.active_relay(0);
 
   Bytes data = testutil::pattern_bytes(16 * block::kSectorSize);
   bool ok = false;

@@ -276,17 +276,17 @@ class PlatformFaultTest : public ::testing::Test {
     services::register_builtin_services(platform_);
   }
 
-  core::Deployment* deploy(const std::string& vm, const std::string& vol,
-                           Status* out_status = nullptr) {
+  core::DeploymentHandle deploy(const std::string& vm, const std::string& vol,
+                                Status* out_status = nullptr) {
     core::ServiceSpec spec;
     spec.type = "noop";
     spec.relay = core::RelayMode::kActive;
     Status status = error(ErrorCode::kIoError, "unset");
-    core::Deployment* deployment = nullptr;
+    core::DeploymentHandle deployment;
     platform_.attach_with_chain(vm, vol, {spec},
-                                [&](Status s, core::Deployment* d) {
-                                  status = s;
-                                  deployment = d;
+                                [&](Result<core::DeploymentHandle> r) {
+                                  status = r.status();
+                                  if (r.is_ok()) deployment = r.value();
                                 });
     sim_.run();
     if (out_status != nullptr) *out_status = status;
@@ -326,10 +326,10 @@ TEST_F(PlatformFaultTest, FailedAttachRollsBackAllRulesAndFlows) {
   cloud_.storage(0).node().set_down(true);
 
   Status status = Status::ok();
-  core::Deployment* dep = deploy("vm", "vol", &status);
+  core::DeploymentHandle dep = deploy("vm", "vol", &status);
   EXPECT_FALSE(status.is_ok());
-  EXPECT_EQ(dep, nullptr);
-  EXPECT_EQ(platform_.find_deployment("vm", "vol"), nullptr);
+  EXPECT_FALSE(dep.valid());
+  EXPECT_FALSE(platform_.find_deployment("vm", "vol").valid());
   EXPECT_EQ(rules_with_cookie(1), 0u) << "half-spliced state survived";
   EXPECT_FALSE(cloud_.find_attachment("vm", "vol").has_value());
 
@@ -338,7 +338,7 @@ TEST_F(PlatformFaultTest, FailedAttachRollsBackAllRulesAndFlows) {
   cloud_.storage(0).node().set_down(false);
   dep = deploy("vm", "vol", &status);
   EXPECT_TRUE(status.is_ok()) << status.to_string();
-  ASSERT_NE(dep, nullptr);
+  ASSERT_TRUE(dep.valid());
 
   cloud::Vm& vm = *cloud_.find_vm("vm");
   bool ok = false;
@@ -351,23 +351,23 @@ TEST_F(PlatformFaultTest, FailedAttachRollsBackAllRulesAndFlows) {
 TEST_F(PlatformFaultTest, CrashAndRestartReplaysJournal) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
   ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
-  core::Deployment* dep = deploy("vm", "vol");
-  ASSERT_NE(dep, nullptr);
-  dep->attachment.initiator->set_recovery({.enabled = true});
+  core::DeploymentHandle dep = deploy("vm", "vol");
+  ASSERT_TRUE(dep.valid());
+  dep.attachment()->initiator->set_recovery({.enabled = true});
 
   Bytes payload = testutil::pattern_bytes(128 * block::kSectorSize);
   int state = 0;
   vm.disk()->write(64, payload, [&](Status s) { state = s.is_ok() ? 1 : -1; });
   // Power-fail the middle-box with the burst mid-flight.
   sim_.run_for(sim::microseconds(400));
-  ASSERT_TRUE(platform_.crash_middlebox(*dep, 0).is_ok());
+  ASSERT_TRUE(dep.crash_middlebox(0).is_ok());
   sim_.run_for(sim::milliseconds(20));
-  ASSERT_TRUE(platform_.restart_middlebox(*dep, 0).is_ok());
+  ASSERT_TRUE(dep.restart_middlebox(0).is_ok());
   sim_.run();
 
   EXPECT_EQ(state, 1) << "write lost across middle-box power failure";
-  EXPECT_GT(dep->box(0)->active_relay->journal_replays(), 0u);
-  EXPECT_GT(dep->attachment.initiator->recoveries(), 0u);
+  EXPECT_GT(dep.active_relay(0)->journal_replays(), 0u);
+  EXPECT_GT(dep.attachment()->initiator->recoveries(), 0u);
   auto volume = cloud_.storage(0).volumes().find_by_name("vol");
   EXPECT_EQ(volume.value()->disk().store().read_sync(64, 128), payload);
 }
@@ -403,15 +403,15 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   spec.type = "noop";
   spec.relay = core::RelayMode::kActive;
   Status status = error(ErrorCode::kIoError, "unset");
-  core::Deployment* dep = nullptr;
+  core::DeploymentHandle dep;
   platform.attach_with_chain("vm", "vol", {spec},
-                             [&](Status s, core::Deployment* d) {
-                               status = s;
-                               dep = d;
+                             [&](Result<core::DeploymentHandle> r) {
+                               status = r.status();
+                               if (r.is_ok()) dep = r.value();
                              });
   sim.run();
-  if (!status.is_ok() || dep == nullptr) return {};
-  dep->attachment.initiator->set_recovery({.enabled = true});
+  if (!status.is_ok() || !dep.valid()) return {};
+  dep.attachment()->initiator->set_recovery({.enabled = true});
 
   // Faults arm only after the clean attach: the acceptance scenario is a
   // healthy deployment hit by a lossy fabric plus a power failure.
@@ -441,10 +441,10 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
                          // Power-fail the middle-box mid-workload; bring
                          // it back 20 ms later.
                          plan.record("crash mb0");
-                         (void)platform.crash_middlebox(*dep, 0);
+                         (void)dep.crash_middlebox(0);
                          plan.schedule(
                              sim.now() + sim::milliseconds(20), "restart mb0",
-                             [&] { (void)platform.restart_middlebox(*dep, 0); });
+                             [&] { (void)dep.restart_middlebox(0); });
                        }
                      });
   }
@@ -454,8 +454,8 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   out.trace = plan.trace_string();
   out.dropped = plan.dropped();
   out.corrupted = plan.corrupted();
-  out.replays = dep->box(0)->active_relay->journal_replays();
-  out.recoveries = dep->attachment.initiator->recoveries();
+  out.replays = dep.active_relay(0)->journal_replays();
+  out.recoveries = dep.attachment()->initiator->recoveries();
   out.retransmits = cloud.compute(0).node().tcp().retransmits();
 
   auto volume = cloud.storage(0).volumes().find_by_name("vol");

@@ -8,6 +8,7 @@
 
 #include "core/platform.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/registry.hpp"
 #include "services/registry.hpp"
 #include "services/write_tracker.hpp"
 #include "testutil.hpp"
@@ -15,7 +16,7 @@
 namespace storm {
 namespace {
 
-using core::Deployment;
+using core::DeploymentHandle;
 using core::RelayMode;
 using core::ServiceSpec;
 
@@ -52,15 +53,15 @@ TEST_P(EndToEndSweep, RoundTripsThroughSplicedPath) {
   spec.type = param.service;
   spec.relay = param.relay;
   Status status = error(ErrorCode::kIoError, "unset");
-  Deployment* deployment = nullptr;
+  DeploymentHandle deployment;
   platform_.attach_with_chain("vm", "vol", {spec},
-                              [&](Status s, Deployment* d) {
-                                status = s;
-                                deployment = d;
+                              [&](Result<DeploymentHandle> r) {
+                                status = r.status();
+                                if (r.is_ok()) deployment = r.value();
                               });
   sim_.run();
   ASSERT_TRUE(status.is_ok()) << status.to_string();
-  ASSERT_NE(deployment, nullptr);
+  ASSERT_TRUE(deployment.valid());
 
   // Three writes at scattered offsets, then read back (reverse order).
   struct Region {
@@ -183,6 +184,72 @@ TEST(HexKey, ParsesAndRejects) {
   EXPECT_TRUE(services::parse_hex_key("").value().empty());
 }
 
+// --- command tracing through the chain ------------------------------------------
+
+TEST(Tracing, TwoBoxChainCommandSpanCarriesBothRelays) {
+  sim::Simulator sim;
+  cloud::Cloud cloud(sim, cloud::CloudConfig{});
+  core::StormPlatform platform(cloud);
+  services::register_builtin_services(platform);
+
+  cloud.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud.create_volume("vol", 20'000).is_ok());
+  core::ServiceSpec a, b;
+  a.type = b.type = "noop";
+  a.relay = b.relay = core::RelayMode::kActive;
+  Status status = error(ErrorCode::kIoError, "unset");
+  platform.attach_with_chain(
+      "vm", "vol", {a, b},
+      [&](Result<core::DeploymentHandle> r) { status = r.status(); });
+  sim.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  cloud::Vm& vm = *cloud.find_vm("vm");
+  bool ok = false;
+  vm.disk()->write(0, Bytes(8 * block::kSectorSize, 0x3C),
+                   [&](Status s) { ok = s.is_ok(); });
+  sim.run();
+  ASSERT_TRUE(ok);
+  Bytes got;
+  vm.disk()->read(0, 8, [&](Status s, Bytes d) {
+    ASSERT_TRUE(s.is_ok()) << s.to_string();
+    got = std::move(d);
+  });
+  sim.run();
+  ASSERT_EQ(got.size(), 8u * block::kSectorSize);
+
+  const obs::Tracer& tracer = sim.telemetry().tracer();
+  for (const char* name : {"cmd.write", "cmd.read"}) {
+    auto commands = tracer.spans_named(name);
+    ASSERT_FALSE(commands.empty()) << name;
+    for (const obs::Span* span : commands) {
+      ASSERT_TRUE(span->ended);
+      // Exactly one "relay.<mb-vm>" child per middle-box of the chain,
+      // each fully nested inside the command's root span.
+      auto children = tracer.children_of(span->id);
+      ASSERT_EQ(children.size(), 2u) << name;
+      for (const obs::Span* child : children) {
+        EXPECT_TRUE(child->name.starts_with("relay.")) << child->name;
+        EXPECT_TRUE(child->ended);
+        EXPECT_GE(child->start, span->start);
+        EXPECT_LE(child->end, span->end);
+      }
+      EXPECT_NE(children[0]->name, children[1]->name)
+          << "the two boxes must trace as distinct relays";
+      // The telescoping hop events reconstruct the end-to-end latency.
+      ASSERT_GE(span->events.size(), 2u);
+      EXPECT_EQ(span->events.front().label, "issue");
+      EXPECT_EQ(span->events.back().label, "complete");
+      std::uint64_t hop_sum = 0;
+      for (std::size_t i = 0; i + 1 < span->events.size(); ++i) {
+        ASSERT_GE(span->events[i + 1].at, span->events[i].at);
+        hop_sum += span->events[i + 1].at - span->events[i].at;
+      }
+      EXPECT_EQ(hop_sum, span->end - span->start);
+    }
+  }
+}
+
 // --- multi-tenant isolation ----------------------------------------------------
 
 TEST(MultiTenant, GatewayPairsAreSeparatePerTenant) {
@@ -200,25 +267,27 @@ TEST(MultiTenant, GatewayPairsAreSeparatePerTenant) {
   spec.type = "noop";
   spec.relay = core::RelayMode::kActive;
   int done = 0;
-  core::Deployment* dep_a = nullptr;
-  core::Deployment* dep_b = nullptr;
+  core::DeploymentHandle dep_a;
+  core::DeploymentHandle dep_b;
   platform.attach_with_chain("vm-a", "vol-a", {spec},
-                             [&](Status s, core::Deployment* d) {
-                               ASSERT_TRUE(s.is_ok()) << s.to_string();
-                               dep_a = d;
+                             [&](Result<core::DeploymentHandle> r) {
+                               ASSERT_TRUE(r.is_ok())
+                                   << r.status().to_string();
+                               dep_a = r.value();
                                ++done;
                              });
   platform.attach_with_chain("vm-b", "vol-b", {spec},
-                             [&](Status s, core::Deployment* d) {
-                               ASSERT_TRUE(s.is_ok()) << s.to_string();
-                               dep_b = d;
+                             [&](Result<core::DeploymentHandle> r) {
+                               ASSERT_TRUE(r.is_ok())
+                                   << r.status().to_string();
+                               dep_b = r.value();
                                ++done;
                              });
   sim.run();
   ASSERT_EQ(done, 2);
   // Different tenants must not share gateway nodes.
-  EXPECT_NE(dep_a->splice.gateways.ingress, dep_b->splice.gateways.ingress);
-  EXPECT_NE(dep_a->splice.gateways.egress, dep_b->splice.gateways.egress);
+  EXPECT_NE(dep_a.splice()->gateways.ingress, dep_b.splice()->gateways.ingress);
+  EXPECT_NE(dep_a.splice()->gateways.egress, dep_b.splice()->gateways.egress);
   // Same tenant reuses its pair.
   EXPECT_EQ(&platform.splicer().tenant_gateways("alice"),
             &platform.splicer().tenant_gateways("alice"));

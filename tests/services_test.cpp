@@ -14,7 +14,7 @@
 namespace storm::services {
 namespace {
 
-using core::Deployment;
+using core::DeploymentHandle;
 using core::RelayMode;
 using core::ServiceSpec;
 
@@ -24,14 +24,14 @@ class ServicesTest : public ::testing::Test {
     register_builtin_services(platform_);
   }
 
-  Deployment* deploy(const std::string& vm, const std::string& volume,
-                     std::vector<ServiceSpec> chain) {
+  DeploymentHandle deploy(const std::string& vm, const std::string& volume,
+                          std::vector<ServiceSpec> chain) {
     Status status = error(ErrorCode::kIoError, "unset");
-    Deployment* deployment = nullptr;
+    DeploymentHandle deployment;
     platform_.attach_with_chain(vm, volume, std::move(chain),
-                                [&](Status s, Deployment* d) {
-                                  status = s;
-                                  deployment = d;
+                                [&](Result<DeploymentHandle> r) {
+                                  status = r.status();
+                                  if (r.is_ok()) deployment = r.value();
                                 });
     sim_.run();
     EXPECT_TRUE(status.is_ok()) << status.to_string();
@@ -76,8 +76,8 @@ TEST_F(ServicesTest, EncryptionMiddleboxProtectsDataAtRest) {
   ServiceSpec spec;
   spec.type = "encryption";
   spec.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {spec});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {spec});
+  ASSERT_TRUE(dep.valid());
 
   Bytes plaintext = testutil::pattern_bytes(64 * block::kSectorSize);
   write_disk(vm.disk(), 100, plaintext);
@@ -95,7 +95,7 @@ TEST_F(ServicesTest, EncryptionMiddleboxProtectsDataAtRest) {
   // The tenant reads its plaintext back, transparently.
   EXPECT_EQ(read_disk(vm.disk(), 100, 64), plaintext);
 
-  auto* service = static_cast<EncryptionService*>(dep->box(0)->service.get());
+  auto* service = static_cast<EncryptionService*>(dep.service(0));
   EXPECT_EQ(service->bytes_encrypted(), plaintext.size());
   EXPECT_EQ(service->bytes_decrypted(), plaintext.size());
 }
@@ -150,7 +150,7 @@ TEST_F(ServicesTest, StreamCipherRoundTripsRandomAccess) {
   ServiceSpec spec;
   spec.type = "stream_cipher";
   spec.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {spec});
+  DeploymentHandle dep = deploy("vm1", "vol1", {spec});
 
   // Write two regions, read them back in a different order, partially.
   Bytes a = testutil::pattern_bytes(8 * block::kSectorSize, 1);
@@ -165,8 +165,7 @@ TEST_F(ServicesTest, StreamCipherRoundTripsRandomAccess) {
 
   auto volume = cloud_.storage(0).volumes().find_by_name("vol1");
   EXPECT_NE(volume.value()->disk().store().read_sync(0, 8), a);
-  auto* service =
-      static_cast<StreamCipherService*>(dep->box(0)->service.get());
+  auto* service = static_cast<StreamCipherService*>(dep.service(0));
   EXPECT_GT(service->bytes_processed(), 0u);
 }
 
@@ -201,8 +200,8 @@ class MonitorFixture : public ServicesTest {
     spec.relay = RelayMode::kActive;
     spec.params["watch"] = "/box/secret.txt";
     dep_ = deploy("vm1", "vol1", {spec});
-    ASSERT_NE(dep_, nullptr);
-    monitor_ = static_cast<MonitorService*>(dep_->box(0)->service.get());
+    ASSERT_TRUE(dep_.valid());
+    monitor_ = static_cast<MonitorService*>(dep_.service(0));
 
     fs_ = std::make_unique<fs::SimExt>(sim_, *vm_->disk());
     bool mounted = false;
@@ -229,7 +228,7 @@ class MonitorFixture : public ServicesTest {
   }
 
   cloud::Vm* vm_ = nullptr;
-  Deployment* dep_ = nullptr;
+  DeploymentHandle dep_;
   MonitorService* monitor_ = nullptr;
   std::unique_ptr<fs::SimExt> fs_;
 };
@@ -300,8 +299,8 @@ class ReplicationFixture : public ServicesTest {
     spec.relay = RelayMode::kActive;
     spec.params["replicas"] = names;
     dep_ = deploy("db", "primary", {spec});
-    ASSERT_NE(dep_, nullptr);
-    service_ = static_cast<ReplicationService*>(dep_->box(0)->service.get());
+    ASSERT_TRUE(dep_.valid());
+    service_ = static_cast<ReplicationService*>(dep_.service(0));
   }
 
   block::MemDisk& backing(const std::string& name) {
@@ -310,7 +309,7 @@ class ReplicationFixture : public ServicesTest {
   }
 
   cloud::Vm* vm_ = nullptr;
-  Deployment* dep_ = nullptr;
+  DeploymentHandle dep_;
   ReplicationService* service_ = nullptr;
 };
 
@@ -345,7 +344,7 @@ TEST_F(ReplicationFixture, SurvivesReplicaFailure) {
   write_disk(vm_->disk(), 0, data);
 
   // Fail replica0 by closing its iSCSI session (as the paper does).
-  auto iqn = cloud_.find_attachment(dep_->box(0)->vm->name(), "replica0");
+  auto iqn = cloud_.find_attachment(dep_.mb_vm(0)->name(), "replica0");
   ASSERT_TRUE(iqn.has_value());
   EXPECT_EQ(cloud_.storage(0).target().close_sessions_for(iqn->iqn), 1u);
   sim_.run();
@@ -394,8 +393,8 @@ TEST_F(ServicesTest, MonitorThenEncryptionChain) {
   ServiceSpec encryption;
   encryption.type = "encryption";
   encryption.relay = RelayMode::kActive;
-  Deployment* dep = deploy("vm1", "vol1", {monitor, encryption});
-  ASSERT_NE(dep, nullptr);
+  DeploymentHandle dep = deploy("vm1", "vol1", {monitor, encryption});
+  ASSERT_TRUE(dep.valid());
 
   // mkfs into a scratch image, then copy the nonzero blocks through the
   // VM's (spliced, encrypted) disk.
@@ -433,7 +432,7 @@ TEST_F(ServicesTest, MonitorThenEncryptionChain) {
   ASSERT_TRUE(done);
 
   // Monitor (first box) saw plaintext file semantics...
-  auto* mon = static_cast<MonitorService*>(dep->box(0)->service.get());
+  auto* mon = static_cast<MonitorService*>(dep.service(0));
   bool saw = false;
   for (const auto& entry : mon->log()) {
     if (entry.op.path == "/audit.log" &&

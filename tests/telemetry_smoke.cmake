@@ -1,0 +1,33 @@
+# Runs the quickstart example in a scratch directory and checks that the
+# telemetry JSON it writes parses cleanly (`jq empty`). Invoked by ctest;
+# expects -DQUICKSTART=<binary> and -DJQ=<jq binary>.
+set(scratch ${CMAKE_CURRENT_BINARY_DIR}/telemetry_smoke)
+file(MAKE_DIRECTORY ${scratch})
+
+execute_process(COMMAND ${QUICKSTART}
+                WORKING_DIRECTORY ${scratch}
+                RESULT_VARIABLE run_result
+                OUTPUT_VARIABLE run_output
+                ERROR_VARIABLE run_output)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart failed (${run_result}):\n${run_output}")
+endif()
+
+set(json ${scratch}/quickstart_telemetry.json)
+if(NOT EXISTS ${json})
+  message(FATAL_ERROR "quickstart did not write ${json}")
+endif()
+
+execute_process(COMMAND ${JQ} empty ${json}
+                RESULT_VARIABLE jq_result
+                ERROR_VARIABLE jq_error)
+if(NOT jq_result EQUAL 0)
+  message(FATAL_ERROR "telemetry JSON is invalid:\n${jq_error}")
+endif()
+
+# The dump must carry real content, not an empty shell.
+execute_process(COMMAND ${JQ} -e ".counters | length > 0" ${json}
+                RESULT_VARIABLE jq_result OUTPUT_QUIET)
+if(NOT jq_result EQUAL 0)
+  message(FATAL_ERROR "telemetry JSON has no counters")
+endif()
