@@ -21,6 +21,7 @@ enum class ErrorCode {
   kPermissionDenied,
   kUnavailable,
   kFailedPrecondition,
+  kDeadlineExceeded,
 };
 
 const char* to_string(ErrorCode code);
@@ -107,6 +108,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -424,6 +424,70 @@ void ActiveRelay::shutdown() {
   }
 }
 
+RelayJournalSnapshot ActiveRelay::export_journal() const {
+  RelayJournalSnapshot snapshot;
+  for (const auto& session : sessions_) {
+    RelayJournalSnapshot::SessionImage image;
+    image.bind_port = session->bind_port;
+    image.login_pdu = session->login_pdu;
+    image.to_target_wires = session->to_target.journal.unacknowledged();
+    snapshot.sessions.push_back(std::move(image));
+  }
+  return snapshot;
+}
+
+void ActiveRelay::adopt_sessions(RelayJournalSnapshot snapshot) {
+  for (auto& image : snapshot.sessions) {
+    auto session = std::make_unique<Session>();
+    Session* raw = session.get();
+    raw->bind_port = image.bind_port;
+    raw->ctx = std::make_unique<SessionContext>(*this, *raw);
+    raw->login_pdu = std::move(image.login_pdu);
+    // Seed the journal with the dead relay's unacknowledged tail; the
+    // cumulative watermarks restart from zero because the upstream leg
+    // is a brand-new connection.
+    std::uint64_t watermark = 0;
+    for (Bytes& wire : image.to_target_wires) {
+      watermark += wire.size();
+      raw->to_target.journal.append(std::move(wire), watermark);
+    }
+    raw->to_target.enqueued_bytes = watermark;
+    sessions_.push_back(std::move(session));
+    scope_.counter("sessions_adopted").add();
+    telemetry().record_event(
+        "relay " + vm_.name() + ": adopted session (port " +
+        std::to_string(raw->bind_port) + ", " +
+        std::to_string(raw->to_target.journal.bytes()) + " journal bytes)");
+    // resume_session re-dials upstream and replays login + journal; the
+    // initiator's reconnection binds the downstream leg via on_accept.
+    resume_session(*raw);
+  }
+  update_journal_gauge();
+}
+
+bool ActiveRelay::quiescent() const {
+  for (const auto& session : sessions_) {
+    if (!session->to_target.queue.empty() ||
+        !session->to_initiator.queue.empty() ||
+        session->to_target.processing || session->to_initiator.processing ||
+        session->to_target.journal.bytes() != 0 ||
+        session->to_initiator.journal.bytes() != 0 ||
+        !session->upstream_backlog.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ActiveRelay::sessions_established() const {
+  for (const auto& session : sessions_) {
+    if (session->downstream == nullptr || !session->upstream_ready) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::size_t ActiveRelay::journal_bytes() const {
   std::size_t total = 0;
   for (const auto& session : sessions_) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,27 @@ class RelayJournal {
   std::size_t bytes_ = 0;
 };
 
+/// One failed relay's NVRAM contents, exportable across VM instances:
+/// standby promotion replays this into the warm spare so every journaled
+/// (acknowledged-but-unforwarded) PDU survives the failover, extending
+/// the paper's §III-B consistency argument from restart to replacement.
+struct RelayJournalSnapshot {
+  struct SessionImage {
+    std::uint16_t bind_port = 0;
+    std::optional<iscsi::Pdu> login_pdu;
+    std::vector<Bytes> to_target_wires;  // unacknowledged, oldest first
+  };
+  std::vector<SessionImage> sessions;
+
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const SessionImage& s : sessions) {
+      for (const Bytes& w : s.to_target_wires) total += w.size();
+    }
+    return total;
+  }
+};
+
 class ActiveRelay {
  public:
   /// `upstream` is the next hop's address (the egress gateway; capture
@@ -103,6 +125,25 @@ class ActiveRelay {
   /// Orderly teardown for chain rollback: stop listening and abort every
   /// session's connections.
   void shutdown();
+
+  // --- standby failover (chain health manager) ---
+  /// Snapshot every session's NVRAM journal and stored login PDU — the
+  /// state that survives the VM's death and gets replayed into a standby.
+  RelayJournalSnapshot export_journal() const;
+  /// Standby promotion: recreate each session from a failed relay's
+  /// snapshot, re-dial the upstream leg, and replay login + journal. The
+  /// initiator's reconnection (same pinned source port) is adopted into
+  /// the recreated session by on_accept, exactly like the restart path.
+  void adopt_sessions(RelayJournalSnapshot snapshot);
+
+  // --- drain / failover-completion predicates ---
+  /// Nothing buffered anywhere: parser queues empty, journals trimmed to
+  /// empty, no upstream backlog. The drain protocol polls this before
+  /// tearing rules.
+  bool quiescent() const;
+  /// Every session has both TCP legs up (downstream bound, upstream
+  /// established) — the health manager's failover-complete predicate.
+  bool sessions_established() const;
 
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t journal_bytes() const;

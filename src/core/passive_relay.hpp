@@ -46,6 +46,17 @@ class PassiveRelay {
   std::uint64_t packets_hooked() const { return packets_; }
   std::uint64_t pdus_processed() const { return pdus_; }
 
+  /// No packet or payload buffered in the hook and nothing mid-service —
+  /// the drain protocol polls this before tearing rules.
+  bool quiescent() const {
+    for (const auto& [key, state] : streams_) {
+      if (state.busy || !state.held.empty() || !state.inbox.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   const obs::Scope& scope() const { return scope_; }
   const std::string& volume() const { return volume_; }
 

@@ -1,6 +1,7 @@
 #include "core/platform.hpp"
 
 #include "common/log.hpp"
+#include "core/health_manager.hpp"
 
 namespace storm::core {
 
@@ -85,6 +86,23 @@ const ServiceSpec* DeploymentHandle::spec(std::size_t position) const {
   return box != nullptr ? &box->spec : nullptr;
 }
 
+ActiveRelay* DeploymentHandle::standby_relay(std::size_t position) const {
+  MiddleboxInstance* box = resolve_box(position);
+  return box != nullptr && box->standby != nullptr
+             ? box->standby->active_relay.get()
+             : nullptr;
+}
+
+bool DeploymentHandle::draining() const {
+  Deployment* dep = resolve();
+  return dep != nullptr && dep->state == DeploymentState::kDraining;
+}
+
+bool DeploymentHandle::fenced() const {
+  Deployment* dep = resolve();
+  return dep != nullptr && dep->state == DeploymentState::kFenced;
+}
+
 Status DeploymentHandle::add_middlebox(const ServiceSpec& spec,
                                        std::size_t position) {
   Deployment* dep = resolve();
@@ -120,12 +138,15 @@ Status DeploymentHandle::detach() {
 // ---------------------------------------------------------- StormPlatform
 
 StormPlatform::StormPlatform(cloud::Cloud& cloud)
-    : cloud_(cloud), attribution_(cloud), splicer_(cloud), sdn_(cloud) {
+    : cloud_(cloud), attribution_(cloud), splicer_(cloud), sdn_(cloud),
+      health_(std::make_unique<ChainHealthManager>(*this)) {
   register_service("noop", [](ServiceEnv&) {
     return Result<std::unique_ptr<StorageService>>(
         std::make_unique<NoopService>());
   });
 }
+
+StormPlatform::~StormPlatform() { health_->stop(); }
 
 obs::Registry& StormPlatform::telemetry() {
   return cloud_.simulator().telemetry();
@@ -177,6 +198,22 @@ Result<std::unique_ptr<MiddleboxInstance>> StormPlatform::build_box(
       return error(ErrorCode::kInvalidArgument,
                    "service '" + spec.type + "' requires relay=active");
     }
+    // Recovery-policy legality is a deploy-time property: bypass on a
+    // confidentiality-critical service would fail open the day the box
+    // dies, so it is refused before the chain ever carries traffic.
+    if (spec.recovery == RecoveryPolicyKind::kBypass &&
+        box->service->confidentiality_critical()) {
+      return error(ErrorCode::kPermissionDenied,
+                   "service '" + spec.type +
+                       "' is confidentiality-critical: recovery=bypass "
+                       "would fail open");
+    }
+    if (spec.recovery == RecoveryPolicyKind::kStandby &&
+        spec.relay != RelayMode::kActive) {
+      return error(ErrorCode::kInvalidArgument,
+                   "service '" + spec.type +
+                       "': recovery=standby requires relay=active");
+    }
   }
   return box;
 }
@@ -201,6 +238,15 @@ void StormPlatform::wire_relays(Deployment& deployment) {
             deployment.volume);
         box->active_relay->start();
         break;
+    }
+    if (box->standby != nullptr) {
+      // The warm spare listens from day one but receives nothing until a
+      // failover swaps the capture + steering rules to its MAC.
+      box->standby->active_relay = std::make_unique<ActiveRelay>(
+          *box->standby->vm, upstream,
+          std::vector<StorageService*>{box->standby->service.get()},
+          deployment.volume);
+      box->standby->active_relay->start();
     }
   }
 }
@@ -248,6 +294,18 @@ void StormPlatform::attach_with_chain(
       telemetry().end_span(dep->attach_span);
       done(box.status());
       return;
+    }
+    if (chain[i].recovery == RecoveryPolicyKind::kStandby) {
+      // Provision the warm spare now: a standby built after the failure
+      // would add VM boot time to MTTR, which defeats the policy.
+      auto standby = build_box(chain[i], label + "-sb", vm->tenant(),
+                               vm->host_index(), volume);
+      if (!standby.is_ok()) {
+        telemetry().end_span(dep->attach_span);
+        done(standby.status());
+        return;
+      }
+      box.value()->standby = std::move(standby).take();
     }
     dep->splice.chain.push_back(
         Hop{box.value()->vm, box.value()->spec.relay});
@@ -320,6 +378,10 @@ void StormPlatform::attach_with_chain(
       ++*remaining;
       box->service->initialize(on_ready);
     }
+    if (box->standby && box->standby->service) {
+      ++*remaining;
+      box->standby->service->initialize(on_ready);
+    }
   }
   on_ready(Status::ok());  // release the initial hold
 }
@@ -380,14 +442,181 @@ void StormPlatform::rollback_deployment(Deployment* dep) {
   }
 }
 
+bool StormPlatform::deployment_quiescent(const Deployment& dep) const {
+  if (dep.attachment.initiator != nullptr &&
+      dep.attachment.initiator->outstanding() != 0) {
+    return false;
+  }
+  for (const auto& box : dep.boxes) {
+    if (box->active_relay != nullptr && !box->active_relay->quiescent()) {
+      return false;
+    }
+    if (box->passive_relay != nullptr && !box->passive_relay->quiescent()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StormPlatform::drain_deployment(Deployment& dep,
+                                     std::function<void(Status)> done) {
+  // Drain poll cadence: fine-grained enough that the drain adds at most
+  // ~100us to a teardown, coarse enough not to dominate the event queue.
+  static constexpr sim::Duration kDrainPollInterval = sim::microseconds(100);
+  dep.state = DeploymentState::kDraining;
+  if (dep.attachment.initiator != nullptr) {
+    dep.attachment.initiator->set_admission(false);
+  }
+  telemetry().add_event(dep.attach_span, "drain_begin");
+  const std::uint64_t cookie = dep.splice.cookie;
+  const sim::Time deadline = cloud_.simulator().now() + drain_timeout_;
+  auto done_shared = std::make_shared<std::function<void(Status)>>(
+      std::move(done));
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, cookie, deadline, poll, done_shared] {
+    Deployment* dep = deployment_by_cookie(cookie);
+    if (dep == nullptr) return;  // torn down while the poll was pending
+    if (deployment_quiescent(*dep)) {
+      telemetry().add_event(dep->attach_span, "drained");
+      (*done_shared)(Status::ok());
+      return;
+    }
+    if (cloud_.simulator().now() >= deadline) {
+      (*done_shared)(error(ErrorCode::kDeadlineExceeded, "drain timeout"));
+      return;
+    }
+    cloud_.simulator().after(kDrainPollInterval, *poll);
+  };
+  (*poll)();
+}
+
 Status StormPlatform::detach_deployment(std::uint64_t cookie) {
   Deployment* dep = deployment_by_cookie(cookie);
   if (dep == nullptr) {
     return error(ErrorCode::kNotFound, "no deployment for handle");
   }
-  telemetry().record_event("detach " + dep->vm + ":" + dep->volume +
-                           " (cookie " + std::to_string(cookie) + ")");
-  rollback_deployment(dep);  // same teardown: rules out, relays destroyed
+  if (dep->state == DeploymentState::kDraining) {
+    return error(ErrorCode::kFailedPrecondition, "detach already draining");
+  }
+  drain_deployment(*dep, [this, cookie](Status drained) {
+    Deployment* dep = deployment_by_cookie(cookie);
+    if (dep == nullptr) return;
+    if (!drained.is_ok()) {
+      telemetry().record_event("drain " + dep->vm + ":" + dep->volume +
+                               " incomplete (" + drained.to_string() +
+                               "); forcing detach");
+    }
+    telemetry().record_event("detach " + dep->vm + ":" + dep->volume +
+                             " (cookie " + std::to_string(cookie) + ")");
+    rollback_deployment(dep);  // rules out, relays destroyed
+  });
+  return Status::ok();
+}
+
+void StormPlatform::rebuild_chain(Deployment& deployment) {
+  deployment.splice.chain.clear();
+  for (auto& box : deployment.boxes) {
+    deployment.splice.chain.push_back(Hop{box->vm, box->spec.relay});
+  }
+}
+
+Status StormPlatform::promote_standby(Deployment& dep, std::size_t position) {
+  if (position >= dep.boxes.size()) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  MiddleboxInstance* failed = dep.boxes[position].get();
+  if (failed->active_relay == nullptr) {
+    return error(ErrorCode::kFailedPrecondition,
+                 "standby promotion needs an active relay");
+  }
+  if (failed->standby == nullptr ||
+      failed->standby->active_relay == nullptr) {
+    return error(ErrorCode::kFailedPrecondition,
+                 "no warm standby for " + failed->vm->name());
+  }
+  std::unique_ptr<MiddleboxInstance> standby = std::move(failed->standby);
+
+  // 1. NVRAM handoff: snapshot the dead relay's journal — it survives the
+  //    VM's power loss — then silence whatever is left of the relay.
+  RelayJournalSnapshot snapshot = failed->active_relay->export_journal();
+  if (!failed->active_relay->crashed()) failed->active_relay->crash();
+
+  // 2. Re-point the chain at the spare: capture NAT on the standby VM,
+  //    then one atomic steering-rule swap per switch.
+  dep.splice.chain[position] = Hop{standby->vm, standby->spec.relay};
+  splicer_.refresh_capture_rules(dep.splice);
+  sdn_.reprogram_chain(dep.splice);
+
+  // 3. Replay the journal into the standby: recreates the sessions,
+  //    re-dials their upstream legs, replays login + unacknowledged tail.
+  standby->active_relay->adopt_sessions(std::move(snapshot));
+
+  // 4. Nudge the initiator to re-dial now rather than at watchdog expiry
+  //    (its reconnection is adopted by the standby's pseudo-server).
+  if (dep.attachment.initiator != nullptr) dep.attachment.initiator->kick();
+
+  telemetry().add_event(dep.attach_span, "standby_promoted", position);
+  telemetry().record_event("failover " + dep.vm + ":" + dep.volume +
+                           ": promoted " + standby->vm->name() +
+                           " in place of " + failed->vm->name());
+  dep.boxes[position] = std::move(standby);  // destroys the failed box
+  return Status::ok();
+}
+
+Status StormPlatform::bypass_middlebox(Deployment& dep,
+                                       std::size_t position) {
+  if (position >= dep.boxes.size()) {
+    return error(ErrorCode::kInvalidArgument, "position out of range");
+  }
+  MiddleboxInstance* box = dep.boxes[position].get();
+  if (box->service != nullptr && box->service->confidentiality_critical()) {
+    return error(ErrorCode::kPermissionDenied,
+                 "service '" + box->spec.type +
+                     "' is confidentiality-critical: bypass would fail "
+                     "open");
+  }
+  // Silence the box (it may be half-dead rather than fully gone), then
+  // route around it and let the initiator re-dial the shortened chain.
+  if (box->active_relay != nullptr) {
+    if (!box->active_relay->crashed()) box->active_relay->crash();
+  } else {
+    box->vm->node().set_down(true);
+  }
+  telemetry().add_event(dep.attach_span, "bypassed", position);
+  telemetry().record_event("failover " + dep.vm + ":" + dep.volume +
+                           ": bypassing " + box->vm->name());
+  dep.boxes.erase(dep.boxes.begin() +
+                  static_cast<std::ptrdiff_t>(position));
+  rebuild_chain(dep);
+  splicer_.refresh_capture_rules(dep.splice);
+  sdn_.reprogram_chain(dep.splice);
+  if (dep.attachment.initiator != nullptr) dep.attachment.initiator->kick();
+  return Status::ok();
+}
+
+Status StormPlatform::fence_deployment(Deployment& dep,
+                                       const std::string& reason) {
+  if (dep.state == DeploymentState::kFenced) return Status::ok();
+  dep.state = DeploymentState::kFenced;
+  telemetry().add_event(dep.attach_span, "fenced");
+  telemetry().record_event("fence " + dep.vm + ":" + dep.volume + ": " +
+                           reason);
+  if (dep.attachment.initiator != nullptr) {
+    // Fail closed: no new commands enter, in-flight ones error back to
+    // the caller for retry at a higher layer.
+    dep.attachment.initiator->set_admission(false);
+    dep.attachment.initiator->fail_outstanding(
+        error(ErrorCode::kUnavailable, "deployment fenced: " + reason));
+  }
+  // Quiesce the data path and pull the rules. Nothing may keep flowing
+  // around the dead box — that would be a silent bypass.
+  for (auto& box : dep.boxes) {
+    if (box->active_relay != nullptr) box->active_relay->shutdown();
+    if (box->standby != nullptr && box->standby->active_relay != nullptr) {
+      box->standby->active_relay->shutdown();
+    }
+  }
+  teardown_rules(&dep);
   return Status::ok();
 }
 
@@ -464,10 +693,7 @@ Status StormPlatform::add_middlebox(Deployment& deployment,
   deployment.boxes.insert(
       deployment.boxes.begin() + static_cast<std::ptrdiff_t>(position),
       std::move(box).take());
-  deployment.splice.chain.clear();
-  for (auto& b : deployment.boxes) {
-    deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
-  }
+  rebuild_chain(deployment);
   sdn_.reprogram_chain(deployment.splice);
   telemetry().add_event(deployment.attach_span, "box_added",
                         deployment.boxes.size());
@@ -486,10 +712,7 @@ Status StormPlatform::remove_middlebox(Deployment& deployment,
   }
   deployment.boxes.erase(deployment.boxes.begin() +
                          static_cast<std::ptrdiff_t>(position));
-  deployment.splice.chain.clear();
-  for (auto& b : deployment.boxes) {
-    deployment.splice.chain.push_back(Hop{b->vm, b->spec.relay});
-  }
+  rebuild_chain(deployment);
   sdn_.reprogram_chain(deployment.splice);
   telemetry().add_event(deployment.attach_span, "box_removed",
                         deployment.boxes.size());

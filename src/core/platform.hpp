@@ -33,6 +33,8 @@
 namespace storm::core {
 
 class StormPlatform;
+class ChainHealthManager;
+struct HealthConfig;
 
 /// Everything a service factory may need.
 struct ServiceEnv {
@@ -50,6 +52,16 @@ struct MiddleboxInstance {
   std::unique_ptr<StorageService> service;  // null for relay=forward
   std::unique_ptr<ActiveRelay> active_relay;
   std::unique_ptr<PassiveRelay> passive_relay;
+  /// Warm spare provisioned alongside boxes with recovery=standby: its
+  /// relay listens but nothing is steered to it until the health manager
+  /// promotes it in place of this box.
+  std::unique_ptr<MiddleboxInstance> standby;
+};
+
+enum class DeploymentState {
+  kActive,    // data path live
+  kDraining,  // admission closed, waiting for in-flight work to flush
+  kFenced,    // failed closed: rules torn, in-flight commands errored
 };
 
 /// A spliced volume attachment with its chain (platform-internal state;
@@ -61,6 +73,7 @@ struct Deployment {
   cloud::Attachment attachment;
   std::vector<std::unique_ptr<MiddleboxInstance>> boxes;
   obs::SpanId attach_span = 0;  // "deploy.<vm>:<volume>", ends at detach
+  DeploymentState state = DeploymentState::kActive;
 };
 
 /// Value handle to one deployment. Resolution is by splice cookie, so a
@@ -88,6 +101,13 @@ class DeploymentHandle {
   StorageService* service(std::size_t position) const;
   cloud::Vm* mb_vm(std::size_t position) const;
   const ServiceSpec* spec(std::size_t position) const;
+  /// The warm standby relay shadowing `position` (recovery=standby only).
+  ActiveRelay* standby_relay(std::size_t position) const;
+
+  /// Drain in progress / fenced (see DeploymentState). Both false for an
+  /// invalid handle.
+  bool draining() const;
+  bool fenced() const;
 
   // --- on-demand scaling (paper §III-A, SDN-enabled flow steering) ---
   /// Insert a packet-level middle-box (relay=forward|passive) at
@@ -105,9 +125,13 @@ class DeploymentHandle {
   /// target and replays its journal.
   Status restart_middlebox(std::size_t position);
 
-  /// Tear the deployment down: remove every NAT rule and SDN flow tagged
-  /// with its cookie and destroy the chain's relays and middle-box state.
-  /// The handle (and any copy of it) becomes invalid.
+  /// Tear the deployment down via the drain protocol: stop admitting
+  /// commands, wait (on the sim clock) for every relay queue, journal and
+  /// outstanding command to flush, then remove every NAT rule and SDN
+  /// flow tagged with the cookie and destroy the chain's relays. An idle
+  /// chain tears down immediately; a busy one finishes its in-flight
+  /// commands first, so no half-forwarded command is ever lost. The
+  /// handle (and any copy of it) becomes invalid once teardown runs.
   Status detach();
 
  private:
@@ -124,6 +148,7 @@ class DeploymentHandle {
 class StormPlatform {
  public:
   explicit StormPlatform(cloud::Cloud& cloud);
+  ~StormPlatform();
 
   StormPlatform(const StormPlatform&) = delete;
   StormPlatform& operator=(const StormPlatform&) = delete;
@@ -161,8 +186,18 @@ class StormPlatform {
   SdnController& sdn() { return sdn_; }
   cloud::Cloud& cloud() { return cloud_; }
 
+  /// The chain health manager (liveness + automatic recovery). Created
+  /// with the platform but idle until ChainHealthManager::start().
+  ChainHealthManager& health() { return *health_; }
+
+  /// Upper bound on how long a drain waits for in-flight work before
+  /// forcing teardown anyway (a wedged chain must not block detach
+  /// forever).
+  void set_drain_timeout(sim::Duration timeout) { drain_timeout_ = timeout; }
+
  private:
   friend class DeploymentHandle;
+  friend class ChainHealthManager;
 
   std::uint16_t allocate_flow_port() { return next_flow_port_++; }
   unsigned place_middlebox(const ServiceSpec& spec, unsigned vm_host);
@@ -177,6 +212,33 @@ class StormPlatform {
   Status crash_middlebox(Deployment& deployment, std::size_t position);
   Status restart_middlebox(Deployment& deployment, std::size_t position);
   Status detach_deployment(std::uint64_t cookie);
+  /// Recompute splice.chain from the current boxes vector.
+  void rebuild_chain(Deployment& deployment);
+
+  // --- drain protocol ---
+  /// Close the initiator's admission gate and poll (on the sim clock)
+  /// until the chain is quiescent, then invoke `done` — with OK when the
+  /// chain flushed, or kDeadlineExceeded if drain_timeout_ elapsed first
+  /// (the caller tears down regardless; a wedged chain must not pin the
+  /// deployment forever). Runs `done` synchronously when already
+  /// quiescent.
+  void drain_deployment(Deployment& dep, std::function<void(Status)> done);
+  /// Nothing in flight anywhere: no outstanding initiator commands, all
+  /// relay queues/journals/backlogs empty.
+  bool deployment_quiescent(const Deployment& dep) const;
+
+  // --- recovery policy executors (invoked by the health manager) ---
+  /// kStandby: swap the failed box at `position` for its warm spare —
+  /// NVRAM journal handoff, capture-rule refresh, atomic SDN rule swap,
+  /// initiator kick.
+  Status promote_standby(Deployment& dep, std::size_t position);
+  /// kBypass: remove the box at `position` from the chain and reroute
+  /// around it. Refused (kPermissionDenied) for confidentiality-critical
+  /// services — fail-open would violate their guarantee.
+  Status bypass_middlebox(Deployment& dep, std::size_t position);
+  /// kFence: fail closed — error in-flight commands back to the
+  /// initiator, close admission, shut every relay down, tear the rules.
+  Status fence_deployment(Deployment& dep, const std::string& reason);
   /// Undo a failed attach: remove every NAT rule and SDN flow tagged with
   /// the deployment's cookie and drop the deployment (tearing down its
   /// relays). No half-spliced state may survive a failed attach.
@@ -190,6 +252,8 @@ class StormPlatform {
   SdnController sdn_;
   std::map<std::string, ServiceFactory> factories_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::unique_ptr<ChainHealthManager> health_;
+  sim::Duration drain_timeout_ = sim::seconds(2);
   std::uint64_t next_cookie_ = 1;
   std::uint16_t next_flow_port_ = 40000;
   unsigned next_mb_host_ = 0;

@@ -13,7 +13,23 @@ const char* to_string(RelayMode mode) {
   return "?";
 }
 
+const char* to_string(RecoveryPolicyKind kind) {
+  switch (kind) {
+    case RecoveryPolicyKind::kFence: return "fence";
+    case RecoveryPolicyKind::kStandby: return "standby";
+    case RecoveryPolicyKind::kBypass: return "bypass";
+  }
+  return "?";
+}
+
 namespace {
+
+Result<RecoveryPolicyKind> parse_recovery_policy(const std::string& value) {
+  if (value == "fence") return RecoveryPolicyKind::kFence;
+  if (value == "standby") return RecoveryPolicyKind::kStandby;
+  if (value == "bypass") return RecoveryPolicyKind::kBypass;
+  return error(ErrorCode::kParseError, "unknown recovery policy: " + value);
+}
 
 Result<RelayMode> parse_relay_mode(const std::string& value) {
   if (value == "forward") return RelayMode::kForward;
@@ -74,6 +90,10 @@ Result<TenantPolicy> parse_policy(const std::string& text) {
           auto mode = parse_relay_mode(value);
           if (!mode.is_ok()) return mode.status();
           spec.relay = mode.value();
+        } else if (key == "recovery") {
+          auto kind = parse_recovery_policy(value);
+          if (!kind.is_ok()) return kind.status();
+          spec.recovery = kind.value();
         } else if (key == "vcpus") {
           spec.vcpus = static_cast<unsigned>(std::stoul(value));
         } else if (key == "host") {
@@ -117,6 +137,25 @@ Status validate_policy(const TenantPolicy& policy) {
       if (spec.type == "replication" && spec.relay != RelayMode::kActive) {
         return error(ErrorCode::kInvalidArgument,
                      "replication requires relay=active");
+      }
+      // Standby promotion replays an NVRAM journal, which only the
+      // active relay keeps.
+      if (spec.recovery == RecoveryPolicyKind::kStandby &&
+          spec.relay != RelayMode::kActive) {
+        return error(ErrorCode::kInvalidArgument,
+                     "service " + spec.type +
+                         ": recovery=standby requires relay=active");
+      }
+      // Bypass is fail-open: known confidentiality-critical built-ins are
+      // rejected here; custom services are re-checked at deploy time via
+      // StorageService::confidentiality_critical().
+      if (spec.recovery == RecoveryPolicyKind::kBypass &&
+          (spec.type == "encryption" || spec.type == "stream_cipher" ||
+           spec.type == "replication")) {
+        return error(ErrorCode::kPermissionDenied,
+                     "service " + spec.type +
+                         " is confidentiality-critical: recovery=bypass "
+                         "would fail open");
       }
     }
   }

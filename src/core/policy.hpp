@@ -22,10 +22,28 @@ enum class RelayMode {
 
 const char* to_string(RelayMode mode);
 
+/// What the chain health manager does when this middle-box fails
+/// (heartbeat deadline missed or TCP backoff exhausted). The tenant
+/// declares it per service; the default is fail-closed.
+enum class RecoveryPolicyKind {
+  kFence,    // quiesce the deployment, error in-flight commands back to
+             // the initiator — keeps data confidential (default, and the
+             // only sound choice for ciphers/replication with no spare)
+  kStandby,  // promote a warm standby relay: replay the failed relay's
+             // NVRAM journal into it, re-dial its TCP legs, atomically
+             // swap the SDN rules to the standby's MAC
+  kBypass,   // fail-open: reroute flows around the box; legal only for
+             // monitor-class services (rejected at deploy time when the
+             // service is confidentiality-critical)
+};
+
+const char* to_string(RecoveryPolicyKind kind);
+
 struct ServiceSpec {
   std::string type;  // "noop" | "monitor" | "encryption" | "stream_cipher" |
                      // "replication" | ... (extensible via the registry)
   RelayMode relay = RelayMode::kActive;
+  RecoveryPolicyKind recovery = RecoveryPolicyKind::kFence;
   unsigned vcpus = 2;
   /// Placement: compute-host index, or -1 to let the platform choose.
   int host_index = -1;

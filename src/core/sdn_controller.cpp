@@ -15,8 +15,10 @@ void SdnController::add_rule_everywhere(net::FlowRule rule) {
   }
 }
 
-void SdnController::install_chain_rules(const SpliceContext& ctx) {
-  if (ctx.chain.empty()) return;
+std::vector<net::FlowRule> SdnController::build_chain_rules(
+    const SpliceContext& ctx) const {
+  std::vector<net::FlowRule> out;
+  if (ctx.chain.empty()) return out;
 
   const net::Ipv4Addr egw_ip = ctx.gateways.egress_instance_ip();
   const net::Ipv4Addr igw_ip = ctx.gateways.ingress_instance_ip();
@@ -39,7 +41,7 @@ void SdnController::install_chain_rules(const SpliceContext& ctx) {
     rule.match.src_port = ctx.vm_port;
     rule.actions = {net::FlowAction::set_dst_mac(hop.vm->mac()),
                     net::FlowAction::normal()};
-    add_rule_everywhere(rule);
+    out.push_back(rule);
     prev_mac = hop.vm->mac();
   }
 
@@ -65,7 +67,7 @@ void SdnController::install_chain_rules(const SpliceContext& ctx) {
       rule.match.dst_port = ctx.vm_port;
       rule.actions = {net::FlowAction::set_dst_mac(it->vm->mac()),
                       net::FlowAction::normal()};
-      add_rule_everywhere(rule);
+      out.push_back(rule);
       prev = it->vm->mac();
     }
     inner.clear();
@@ -79,10 +81,18 @@ void SdnController::install_chain_rules(const SpliceContext& ctx) {
     }
   }
   flush_segment(Endpoint{egw_ip, egw_mac});
+  return out;
+}
 
-  log_info("sdn") << "installed steering rules for flow port "
-                  << ctx.vm_port << " through " << ctx.chain.size()
-                  << " middle-box(es)";
+void SdnController::install_chain_rules(const SpliceContext& ctx) {
+  for (const net::FlowRule& rule : build_chain_rules(ctx)) {
+    add_rule_everywhere(rule);
+  }
+  if (!ctx.chain.empty()) {
+    log_info("sdn") << "installed steering rules for flow port "
+                    << ctx.vm_port << " through " << ctx.chain.size()
+                    << " middle-box(es)";
+  }
 }
 
 std::size_t SdnController::remove_chain_rules(std::uint64_t cookie) {
@@ -94,8 +104,17 @@ std::size_t SdnController::remove_chain_rules(std::uint64_t cookie) {
 }
 
 void SdnController::reprogram_chain(const SpliceContext& ctx) {
-  remove_chain_rules(ctx.cookie);
-  install_chain_rules(ctx);
+  // One swap per switch: each table goes old-rules -> new-rules in a
+  // single update, so no packet is ever steered by a partial rule set.
+  std::vector<net::FlowRule> rules = build_chain_rules(ctx);
+  for (net::FlowSwitch* fs : cloud_.flow_switches()) {
+    fs->swap_rules_by_cookie(ctx.cookie, rules);
+    rules_installed_ += rules.size();
+  }
+  ++rule_swaps_;
+  log_info("sdn") << "reprogrammed steering for flow port " << ctx.vm_port
+                  << " (" << rules.size() << " rules per switch, "
+                  << ctx.chain.size() << " middle-box(es))";
 }
 
 }  // namespace storm::core

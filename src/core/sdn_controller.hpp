@@ -15,6 +15,11 @@ class SdnController {
  public:
   explicit SdnController(cloud::Cloud& cloud) : cloud_(cloud) {}
 
+  /// Compute the full steering rule set for the chain (forward rules +
+  /// reverse-segment rules), tagged with the context's cookie. Pure —
+  /// nothing is installed.
+  std::vector<net::FlowRule> build_chain_rules(const SpliceContext& ctx) const;
+
   /// Compute and install steering rules for the chain, tagged with the
   /// context's cookie. Idempotent per cookie only if removed first.
   void install_chain_rules(const SpliceContext& ctx);
@@ -22,20 +27,24 @@ class SdnController {
   /// Remove all steering rules tagged with the cookie.
   std::size_t remove_chain_rules(std::uint64_t cookie);
 
-  /// Reprogram the switches for an updated chain: used by on-demand
-  /// scaling (adding/removing middle-boxes on an existing flow). Only
-  /// packet-level hops (forward/passive) can change mid-flow — an active
-  /// relay terminates TCP, so inserting one mid-connection would break
-  /// the byte stream.
+  /// Reprogram the switches for an updated chain with a per-switch
+  /// atomic swap (old rules and new rules exchanged in one table
+  /// update, so live traffic is steered by one complete rule set or the
+  /// other — never a half-installed mix). Used by on-demand scaling and
+  /// by standby failover, where the rules re-point at the spare's MAC
+  /// under active retransmission.
   void reprogram_chain(const SpliceContext& ctx);
 
   std::uint64_t rules_installed() const { return rules_installed_; }
+  /// Completed atomic reprogram operations (scaling + failover swaps).
+  std::uint64_t rule_swaps() const { return rule_swaps_; }
 
  private:
   void add_rule_everywhere(net::FlowRule rule);
 
   cloud::Cloud& cloud_;
   std::uint64_t rules_installed_ = 0;
+  std::uint64_t rule_swaps_ = 0;
 };
 
 }  // namespace storm::core

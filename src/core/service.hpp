@@ -83,6 +83,13 @@ class StorageService {
   /// active relay (TCP termination). Checked at deployment.
   virtual bool requires_active_relay() const { return false; }
 
+  /// True when routing traffic *around* this box would violate its
+  /// guarantee (a cipher leaks plaintext, replication silently stops
+  /// mirroring). Deployment rejects recovery=bypass for such services —
+  /// they may only fail over to a standby or fence (SICS: chain repair
+  /// must preserve per-service security semantics).
+  virtual bool confidentiality_critical() const { return false; }
+
   /// Asynchronous setup before any traffic flows (e.g. the replication
   /// service attaching its backup volumes to the middle-box VM). The
   /// platform waits for `ready` before opening the data path.

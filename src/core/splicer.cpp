@@ -83,6 +83,13 @@ void NetworkSplicer::install_capture_rules(const SpliceContext& ctx) {
   }
 }
 
+void NetworkSplicer::refresh_capture_rules(const SpliceContext& ctx) {
+  for (const Hop& hop : ctx.chain) {
+    hop.vm->node().nat().remove_rules_by_cookie(ctx.cookie);
+  }
+  install_capture_rules(ctx);
+}
+
 std::size_t NetworkSplicer::remove_all_rules(const SpliceContext& ctx) {
   std::size_t removed = 0;
   removed += ctx.gateways.ingress->nat().remove_rules_by_cookie(ctx.cookie);

@@ -76,6 +76,13 @@ class NetworkSplicer {
   /// the chain segment's flow to the local pseudo-server port.
   void install_capture_rules(const SpliceContext& ctx);
 
+  /// Reinstall the chain's capture rules after its membership changed
+  /// (standby promotion, bypass): the rules match the *previous* active
+  /// hop's address, so replacing one box invalidates its successor's
+  /// rule too. Conntrack on the surviving boxes keeps their established
+  /// flows working across the reinstall.
+  void refresh_capture_rules(const SpliceContext& ctx);
+
   /// Remove every NAT rule tagged with the context's cookie (gateways,
   /// middle-boxes, and any leftover host rules). Established flows keep
   /// working via conntrack.

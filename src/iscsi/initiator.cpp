@@ -75,6 +75,10 @@ void Initiator::reconnect() {
 
 void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
                      ReadCallback done) {
+  if (!admission_open_) {
+    done(error(ErrorCode::kUnavailable, "session draining"), {});
+    return;
+  }
   if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
     done(error(ErrorCode::kFailedPrecondition, "session not established"), {});
     return;
@@ -95,6 +99,10 @@ void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
 }
 
 void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
+  if (!admission_open_) {
+    done(error(ErrorCode::kUnavailable, "session draining"));
+    return;
+  }
   if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
     done(error(ErrorCode::kFailedPrecondition, "session not established"));
     return;
@@ -317,6 +325,30 @@ void Initiator::on_closed(Status status) {
     pending.done(failure);
   }
   if (on_failure_) on_failure_(failure);
+}
+
+void Initiator::kick() {
+  if (conn_ == nullptr || failed_ || logging_out_) return;
+  log_info("iscsi-init") << iqn_ << ": kicked; dropping session for "
+                            "immediate re-dial";
+  conn_->abort();  // enter on_closed -> recovery reconnect path
+}
+
+void Initiator::fail_outstanding(Status reason) {
+  watchdog_.cancel();
+  auto reads = std::move(pending_reads_);
+  pending_reads_.clear();
+  auto writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  update_outstanding();
+  for (auto& [tag, pending] : reads) {
+    end_command_span(pending.span, tag, "fenced");
+    pending.done(reason, {});
+  }
+  for (auto& [tag, pending] : writes) {
+    end_command_span(pending.span, tag, "fenced");
+    pending.done(reason);
+  }
 }
 
 void Initiator::send_pdu(const Pdu& pdu) {

@@ -75,6 +75,29 @@ class Initiator {
   /// once reconnection attempts are exhausted.
   void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
 
+  /// Admission gate (StorM drain protocol): while closed, new read/write
+  /// calls fail fast with kUnavailable instead of entering the chain.
+  /// Commands already in flight are unaffected — that is the point: the
+  /// chain drains to empty instead of being torn down mid-command.
+  void set_admission(bool open) { admission_open_ = open; }
+  bool admission_open() const { return admission_open_; }
+
+  /// Commands issued but not yet responded to.
+  std::size_t outstanding() const {
+    return pending_reads_.size() + pending_writes_.size();
+  }
+
+  /// Abort the transport immediately so session recovery re-dials now
+  /// rather than at watchdog expiry. Used after a failover rewires the
+  /// chain: the old connection's peer is gone, and every millisecond
+  /// spent retransmitting into the void inflates MTTR.
+  void kick();
+
+  /// Error every outstanding command back to its caller with `reason`
+  /// (fail-closed fencing). The session object itself stays usable; a
+  /// later login() may re-establish it.
+  void fail_outstanding(Status reason);
+
   /// TCP source port of this session — the attribution hook.
   std::uint16_t source_port() const { return source_port_; }
   const std::string& iqn() const { return iqn_; }
@@ -128,6 +151,7 @@ class Initiator {
   bool failed_ = false;
   bool logging_out_ = false;
   bool recovering_ = false;
+  bool admission_open_ = true;
   std::uint16_t source_port_ = 0;
   std::uint32_t next_tag_ = 1;
   RecoveryPolicy recovery_;

@@ -46,6 +46,15 @@ std::size_t FlowSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
   return removed;
 }
 
+std::size_t FlowSwitch::swap_rules_by_cookie(std::uint64_t cookie,
+                                             std::vector<FlowRule> rules) {
+  // The simulator is single-threaded and this runs between packets, so
+  // remove+insert here really is one indivisible table update.
+  std::size_t removed = remove_rules_by_cookie(cookie);
+  for (auto& rule : rules) add_rule(std::move(rule));
+  return removed;
+}
+
 void FlowSwitch::ensure_telemetry() {
   if (telemetry_ready_) return;
   telemetry_ready_ = true;

@@ -72,6 +72,13 @@ class FlowSwitch : public L2Switch {
   /// Remove all rules carrying `cookie`; returns how many were removed.
   std::size_t remove_rules_by_cookie(std::uint64_t cookie);
 
+  /// Atomically replace every rule carrying `cookie` with `rules` (an
+  /// OVS bundle/bundle-commit): no packet ever sees the table between
+  /// removal and reinstall, which is what makes failover rule swaps safe
+  /// under live traffic. Returns the number of rules removed.
+  std::size_t swap_rules_by_cookie(std::uint64_t cookie,
+                                   std::vector<FlowRule> rules);
+
   std::size_t rule_count() const { return rules_.size(); }
   const std::vector<FlowRule>& rules() const { return rules_; }
 

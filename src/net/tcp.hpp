@@ -50,6 +50,10 @@ inline constexpr std::uint32_t kDefaultWindow = 64 * 1024;
 inline constexpr sim::Duration kTcpInitialRto = sim::milliseconds(200);
 inline constexpr sim::Duration kTcpMaxRto = sim::seconds(10);
 inline constexpr unsigned kTcpMaxRetries = 8;
+// Consecutive timeouts after which the stack reports the connection as
+// stalled (see TcpStack::set_on_stall) — early enough that a health
+// manager can react long before the connection is declared dead.
+inline constexpr unsigned kTcpStallRetries = 3;
 
 class TcpConnection {
  public:
@@ -187,6 +191,12 @@ class TcpConnection {
 class TcpStack {
  public:
   using AcceptCallback = std::function<void(TcpConnection&)>;
+  /// Stall report: a connection has hit `retries` consecutive
+  /// retransmission timeouts without forward progress. Fired once at
+  /// kTcpStallRetries and again when the connection is declared dead at
+  /// kTcpMaxRetries. The callback runs inside TCP timer processing and
+  /// must not destroy connections directly — defer via Simulator::post.
+  using StallCallback = std::function<void(const FourTuple&, unsigned)>;
 
   explicit TcpStack(NetNode& node) : node_(node) {}
 
@@ -212,6 +222,10 @@ class TcpStack {
   /// goodbye. Peers discover the loss via retransmission timeout or via
   /// the RSTs this stack sends for unknown segments after restart.
   void reset();
+
+  /// Register the stall observer (StorM's chain health manager uses this
+  /// as its exhausted-backoff failure signal).
+  void set_on_stall(StallCallback cb) { on_stall_ = std::move(cb); }
 
   /// Default advertised/receive and send window for new connections.
   void set_default_window(std::uint32_t bytes) { default_window_ = bytes; }
@@ -242,6 +256,7 @@ class TcpStack {
   NetNode& node_;
   std::map<FourTuple, std::unique_ptr<TcpConnection>> connections_;
   std::map<std::uint16_t, AcceptCallback> listeners_;
+  StallCallback on_stall_;
   std::uint16_t next_ephemeral_ = 49152;
   std::uint16_t last_connect_port_ = 0;
   std::uint32_t default_window_ = kDefaultWindow;

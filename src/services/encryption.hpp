@@ -29,6 +29,8 @@ class EncryptionService : public core::StorageService {
   EncryptionService(Bytes key, EncryptionConfig config = {});
 
   std::string name() const override { return "encryption"; }
+  // Bypassing the cipher would put plaintext on the storage network.
+  bool confidentiality_critical() const override { return true; }
   core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
                               iscsi::Pdu& pdu) override;
 

@@ -37,6 +37,8 @@ class ReplicationService : public core::StorageService {
 
   std::string name() const override { return "replication"; }
   bool requires_active_relay() const override { return true; }
+  // Bypassing replication silently stops mirroring acknowledged writes.
+  bool confidentiality_critical() const override { return true; }
 
   void initialize(std::function<void(Status)> ready) override;
   core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,

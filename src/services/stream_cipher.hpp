@@ -25,6 +25,8 @@ class StreamCipherService : public core::StorageService {
                                StreamCipherConfig config = {});
 
   std::string name() const override { return "stream_cipher"; }
+  // Bypassing the cipher would put plaintext on the storage network.
+  bool confidentiality_critical() const override { return true; }
   core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
                               iscsi::Pdu& pdu) override;
 

@@ -171,6 +171,57 @@ TEST_F(FailureTest, ReadsAfterRecoveryAreServed) {
   EXPECT_EQ(got, data);
 }
 
+TEST_F(FailureTest, DetachMidWriteDrainsWithoutLossOrDuplication) {
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
+  DeploymentHandle dep = deploy_active("vm", "vol");
+
+  // A burst of distinct-LBA writes, then detach while they are still in
+  // flight: the drain protocol must land every admitted write exactly
+  // once before the rules come down.
+  constexpr int kWrites = 8;
+  constexpr std::uint32_t kSectors = 16;
+  int completed = 0;
+  int failed = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    vm.disk()->write(
+        static_cast<std::uint64_t>(i) * kSectors,
+        testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                static_cast<std::uint8_t>(i + 1)),
+        [&](Status s) {
+          ++completed;
+          if (!s.is_ok()) ++failed;
+        });
+  }
+  sim_.run_for(sim::microseconds(200));  // mid-flight
+  ASSERT_GT(dep.attachment()->initiator->outstanding(), 0u);
+  ASSERT_LT(completed, kWrites);
+  ASSERT_TRUE(dep.detach().is_ok());
+  EXPECT_TRUE(dep.draining());
+
+  // Nothing new is admitted once the drain begins.
+  int late = 0;
+  vm.disk()->write(static_cast<std::uint64_t>(kWrites) * kSectors,
+                   Bytes(block::kSectorSize, 0xEE),
+                   [&](Status s) { late = s.is_ok() ? 1 : -1; });
+  sim_.run();
+  EXPECT_EQ(late, -1) << "post-detach write must be refused";
+
+  // Every admitted write completed, none errored, and the image holds
+  // each block exactly as written — no loss, no duplication.
+  EXPECT_EQ(completed, kWrites);
+  EXPECT_EQ(failed, 0);
+  EXPECT_FALSE(dep.valid()) << "teardown must invalidate the handle";
+  auto volume = cloud_.storage(0).volumes().find_by_name("vol");
+  for (int i = 0; i < kWrites; ++i) {
+    EXPECT_EQ(volume.value()->disk().store().read_sync(
+                  static_cast<std::uint64_t>(i) * kSectors, kSectors),
+              testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                      static_cast<std::uint8_t>(i + 1)))
+        << "block " << i;
+  }
+}
+
 // --- double-indirect reconstruction (large files) -----------------------------
 
 TEST(ReconstructionLarge, DoubleIndirectFilesResolve) {

@@ -1,0 +1,342 @@
+// Chain health manager suite: heartbeat detection, the three recovery
+// policies (standby promotion with NVRAM journal handoff, fail-open
+// bypass, fail-closed fencing), TCP-stall fast-path detection, and the
+// deterministic failover chaos run whose telemetry JSON — MTTR included
+// — must be byte-identical across identically seeded runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/active_relay.hpp"
+#include "core/health_manager.hpp"
+#include "core/platform.hpp"
+#include "crypto/sha256.hpp"
+#include "services/registry.hpp"
+#include "sim/fault.hpp"
+#include "testutil.hpp"
+
+namespace storm {
+namespace {
+
+using core::DeploymentHandle;
+using core::RecoveryPolicyKind;
+using core::RelayHealth;
+using core::RelayMode;
+using core::ServiceSpec;
+
+class HealthTest : public ::testing::Test {
+ protected:
+  HealthTest() : cloud_(sim_, cloud::CloudConfig{}), platform_(cloud_) {
+    services::register_builtin_services(platform_);
+  }
+
+  DeploymentHandle deploy(const std::string& vm, const std::string& vol,
+                          std::vector<ServiceSpec> chain) {
+    Status status = error(ErrorCode::kIoError, "unset");
+    DeploymentHandle deployment;
+    platform_.attach_with_chain(vm, vol, std::move(chain),
+                                [&](Result<DeploymentHandle> r) {
+                                  status = r.status();
+                                  if (r.is_ok()) deployment = r.value();
+                                });
+    sim_.run();
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    return deployment;
+  }
+
+  static ServiceSpec noop_spec(RelayMode relay, RecoveryPolicyKind recovery) {
+    ServiceSpec spec;
+    spec.type = "noop";
+    spec.relay = relay;
+    spec.recovery = recovery;
+    return spec;
+  }
+
+  sim::Simulator sim_;
+  cloud::Cloud cloud_;
+  core::StormPlatform platform_;
+};
+
+// ------------------------------------------------------------- detection
+
+TEST_F(HealthTest, HealthyChainStaysAliveAndSuspectRecovers) {
+  cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
+  DeploymentHandle dep =
+      deploy("vm", "vol", {noop_spec(RelayMode::kActive,
+                                     RecoveryPolicyKind::kFence)});
+
+  platform_.health().start();
+  sim_.run_for(sim::milliseconds(50));
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0), RelayHealth::kAlive);
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+
+  // One missed heartbeat makes the relay suspect, not failed; answering
+  // the next probe clears it. Flip the VM down across exactly one probe.
+  dep.mb_vm(0)->node().set_down(true);
+  sim_.run_for(platform_.health().config().heartbeat_interval);
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0),
+            RelayHealth::kSuspect);
+  dep.mb_vm(0)->node().set_down(false);
+  sim_.run_for(2 * platform_.health().config().heartbeat_interval);
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0), RelayHealth::kAlive);
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+  platform_.health().stop();
+}
+
+// ------------------------------------------------------ fencing (kFence)
+
+TEST_F(HealthTest, FenceFailsClosedAndErrorsInFlightCommands) {
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
+  DeploymentHandle dep =
+      deploy("vm", "vol", {noop_spec(RelayMode::kActive,
+                                     RecoveryPolicyKind::kFence)});
+  dep.attachment()->initiator->set_recovery({.enabled = true});
+  platform_.health().start();
+
+  // A write in flight when the relay dies: fencing must error it back
+  // rather than hang it forever.
+  int state = 0;
+  vm.disk()->write(0, Bytes(64 * block::kSectorSize, 0xAB),
+                   [&](Status s) { state = s.is_ok() ? 1 : -1; });
+  sim_.run_for(sim::microseconds(200));
+  ASSERT_TRUE(dep.crash_middlebox(0).is_ok());
+  sim_.run_for(sim::milliseconds(50));
+
+  EXPECT_EQ(state, -1) << "in-flight write must error, not hang";
+  EXPECT_TRUE(dep.fenced());
+  EXPECT_EQ(platform_.health().failures_detected(), 1u);
+  EXPECT_EQ(platform_.health().last_outcome(dep.cookie()),
+            RelayHealth::kFenced);
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0),
+            RelayHealth::kFenced);
+
+  // Fail closed: nothing is admitted afterwards either.
+  state = 0;
+  vm.disk()->write(64, Bytes(block::kSectorSize, 0xCD),
+                   [&](Status s) { state = s.is_ok() ? 1 : -1; });
+  sim_.run_for(sim::milliseconds(5));
+  EXPECT_EQ(state, -1);
+
+  // The failure dumped the flight recorder and counted itself.
+  EXPECT_EQ(sim_.telemetry().counter("health.fences").value(), 1u);
+  EXPECT_EQ(sim_.telemetry().counter("health.failures").value(), 1u);
+  platform_.health().stop();
+}
+
+// ------------------------------------------------------- bypass (kBypass)
+
+TEST_F(HealthTest, BypassRoutesAroundDeadMonitorBox) {
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
+  // Two boxes: an active noop (fenced on failure) fronted by a passive
+  // monitor-class box that is allowed to fail open.
+  DeploymentHandle dep = deploy(
+      "vm", "vol",
+      {noop_spec(RelayMode::kPassive, RecoveryPolicyKind::kBypass),
+       noop_spec(RelayMode::kActive, RecoveryPolicyKind::kFence)});
+  ASSERT_EQ(dep.chain_length(), 2u);
+  dep.attachment()->initiator->set_recovery({.enabled = true});
+  platform_.health().start();
+
+  Bytes data = testutil::pattern_bytes(32 * block::kSectorSize);
+  bool ok = false;
+  vm.disk()->write(0, data, [&](Status s) { ok = s.is_ok(); });
+  sim_.run_for(sim::milliseconds(20));
+  ASSERT_TRUE(ok);
+
+  // Kill the monitor box: the chain must shrink around it.
+  ASSERT_TRUE(dep.crash_middlebox(0).is_ok());
+  sim_.run_for(sim::milliseconds(100));
+  EXPECT_EQ(dep.chain_length(), 1u);
+  EXPECT_FALSE(dep.fenced());
+  EXPECT_EQ(platform_.health().last_outcome(dep.cookie()),
+            RelayHealth::kBypassed);
+
+  // The shortened chain still carries reads and writes.
+  Bytes data2 = testutil::pattern_bytes(32 * block::kSectorSize, 7);
+  ok = false;
+  vm.disk()->write(32, data2, [&](Status s) { ok = s.is_ok(); });
+  sim_.run_for(sim::milliseconds(100));
+  EXPECT_TRUE(ok) << "writes must flow through the bypassed chain";
+  Bytes got;
+  vm.disk()->read(0, 32, [&](Status s, Bytes d) {
+    ASSERT_TRUE(s.is_ok()) << s.to_string();
+    got = std::move(d);
+  });
+  sim_.run_for(sim::milliseconds(50));
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(sim_.telemetry().counter("health.bypasses").value(), 1u);
+  platform_.health().stop();
+}
+
+TEST_F(HealthTest, BypassIsRejectedAtDeployTimeForConfidentialityServices) {
+  cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
+  for (const std::string& type :
+       {std::string("encryption"), std::string("stream_cipher")}) {
+    ServiceSpec spec;
+    spec.type = type;
+    spec.relay = type == "stream_cipher" ? RelayMode::kPassive
+                                         : RelayMode::kActive;
+    spec.recovery = RecoveryPolicyKind::kBypass;
+    Status status = Status::ok();
+    platform_.attach_with_chain(
+        "vm", "vol", {spec},
+        [&](Result<DeploymentHandle> r) { status = r.status(); });
+    sim_.run();
+    EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied)
+        << type << ": " << status.to_string();
+  }
+  // Policy-file parsing refuses it too, before any VM is provisioned.
+  auto parsed = core::parse_policy(
+      "tenant t\nvolume vm vol\n"
+      "  service encryption relay=active recovery=bypass\n");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kPermissionDenied);
+}
+
+// ------------------------------------------- standby promotion (kStandby)
+
+struct FailoverOutcome {
+  std::string trace;        // FaultPlan event trace
+  std::string telemetry;    // full registry JSON (spans included)
+  std::string digest;       // sha256 of the final volume image
+  int failed_writes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t mttr_count = 0;
+  std::int64_t mttr_ns = 0;
+  std::int64_t detect_ns = 0;
+  RelayHealth outcome = RelayHealth::kAlive;
+  std::string first_error;
+};
+
+/// One full failover chaos run: active-relay chain with a warm standby,
+/// sustained writes, middle-box power failure at a seeded instant. The
+/// health manager must detect the death, promote the spare (journal
+/// handoff + atomic rule swap) and restore the data path with zero
+/// acknowledged-write loss.
+FailoverOutcome run_failover(std::uint64_t seed) {
+  sim::Simulator sim;
+  cloud::Cloud cloud(sim, cloud::CloudConfig{});
+  core::StormPlatform platform(cloud);
+  services::register_builtin_services(platform);
+  sim::FaultPlan plan(sim, seed);
+
+  cloud::Vm& vm = cloud.create_vm("vm", "t", 0);
+  if (!cloud.create_volume("vol", 40'000).is_ok()) return {};
+  ServiceSpec spec;
+  spec.type = "noop";
+  spec.relay = RelayMode::kActive;
+  spec.recovery = RecoveryPolicyKind::kStandby;
+  Status status = error(ErrorCode::kIoError, "unset");
+  DeploymentHandle dep;
+  platform.attach_with_chain("vm", "vol", {spec},
+                             [&](Result<DeploymentHandle> r) {
+                               status = r.status();
+                               if (r.is_ok()) dep = r.value();
+                             });
+  sim.run();
+  if (!status.is_ok() || !dep.valid()) return {};
+  if (dep.standby_relay(0) == nullptr) return {};
+  dep.attachment()->initiator->set_recovery({.enabled = true});
+  platform.health().start();
+
+  constexpr int kWrites = 20;
+  constexpr std::uint32_t kSectors = 16;  // 8 KB each, distinct LBAs
+  FailoverOutcome out;
+  int completed = 0;
+  // Sustained writes, one every 2 ms; the relay dies at t=7ms — between
+  // writes 3 and 4 — so acknowledged bursts sit in its journal and
+  // in-flight ones span the failover window.
+  for (int i = 0; i < kWrites; ++i) {
+    sim.after(sim::milliseconds(2) * i, [&, i] {
+      Bytes data = testutil::pattern_bytes(
+          kSectors * block::kSectorSize, static_cast<std::uint8_t>(i + 1));
+      vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,
+                       std::move(data), [&](Status s) {
+                         ++completed;
+                         if (!s.is_ok()) {
+                           ++out.failed_writes;
+                           if (out.first_error.empty()) {
+                             out.first_error = s.to_string();
+                           }
+                         }
+                       });
+    });
+  }
+  plan.schedule(sim.now() + sim::milliseconds(7), "kill mb0",
+                [&] { (void)dep.crash_middlebox(0); });
+
+  sim.run_for(sim::seconds(1));
+  platform.health().stop();
+  sim.run();
+
+  if (completed != kWrites) out.failed_writes += kWrites - completed;
+  out.trace = plan.trace_string();
+  out.failures = platform.health().failures_detected();
+  out.recoveries = platform.health().recoveries_completed();
+  out.outcome = platform.health().last_outcome(dep.cookie());
+  out.mttr_count = sim.telemetry().histogram("health.mttr_ns").count();
+  out.mttr_ns = sim.telemetry().histogram("health.mttr_ns").max();
+  out.detect_ns = sim.telemetry().histogram("health.detect_ns").max();
+  out.telemetry = sim.telemetry().to_json(/*include_spans=*/true);
+
+  auto volume = cloud.storage(0).volumes().find_by_name("vol");
+  Bytes image =
+      volume.value()->disk().store().read_sync(0, kWrites * kSectors);
+  out.digest = crypto::digest_hex(crypto::sha256(image));
+  return out;
+}
+
+TEST_F(HealthTest, StandbyPromotionPreservesEveryAcknowledgedWrite) {
+  FailoverOutcome out = run_failover(0xF5);
+  ASSERT_FALSE(out.digest.empty());
+
+  // The failure was detected and recovered exactly once, via promotion.
+  EXPECT_EQ(out.failures, 1u);
+  EXPECT_EQ(out.recoveries, 1u);
+  EXPECT_EQ(out.outcome, RelayHealth::kStandbyPromoted);
+
+  // Detection within the heartbeat deadline (miss_threshold intervals,
+  // plus one probe of phase slack).
+  core::HealthConfig defaults;
+  const std::int64_t deadline =
+      static_cast<std::int64_t>(defaults.heartbeat_interval) *
+      (defaults.miss_threshold + 1);
+  EXPECT_GT(out.detect_ns, 0);
+  EXPECT_LE(out.detect_ns, deadline);
+  EXPECT_EQ(out.mttr_count, 1u);
+  EXPECT_GT(out.mttr_ns, out.detect_ns) << "MTTR includes detection";
+
+  // Zero acknowledged-write loss: every write completed OK and the final
+  // image is byte-identical to what the tenant wrote.
+  EXPECT_EQ(out.failed_writes, 0) << out.first_error;
+  Bytes expected;
+  for (int i = 0; i < 20; ++i) {
+    Bytes chunk = testutil::pattern_bytes(16 * block::kSectorSize,
+                                          static_cast<std::uint8_t>(i + 1));
+    expected.insert(expected.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(out.digest, crypto::digest_hex(crypto::sha256(expected)));
+}
+
+TEST_F(HealthTest, FailoverIsDeterministicIncludingMttr) {
+  FailoverOutcome first = run_failover(0xF5);
+  FailoverOutcome second = run_failover(0xF5);
+
+  // Same seed -> same fault trace, same final image, and byte-identical
+  // telemetry JSON — counters, histograms (MTTR included), spans and the
+  // flight-recorder tail all agree to the nanosecond.
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.telemetry, second.telemetry);
+  EXPECT_EQ(first.mttr_ns, second.mttr_ns);
+  ASSERT_FALSE(first.telemetry.empty());
+  EXPECT_NE(first.telemetry.find("health.mttr_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storm
