@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 
 using namespace storm;
 using namespace storm::bench;
@@ -32,5 +33,30 @@ int main() {
   }
   std::printf("\npaper Fig.4 norm IOPS: 0.93 0.86 0.83 0.82 (4K..256K)\n");
   std::printf("paper Fig.7 norm lat : 1.08 1.22 1.25 1.30 (4K..256K)\n");
+
+  // Flow-table fast path: a long-lived iSCSI flow through the gateways'
+  // FlowSwitches should be almost entirely exact-match cache hits — the
+  // linear rule scan runs once per flow, not once per packet.
+  Testbed testbed(PathMode::kForward);
+  workload::FioConfig config;
+  config.request_bytes = 64 * 1024;
+  config.jobs = 1;
+  config.duration = sim::seconds(4);
+  testbed.run_fio(config);
+  obs::Registry& reg = testbed.simulator().telemetry();
+  const std::uint64_t hits = reg.counter("net.flow.cache_hits").value();
+  const std::uint64_t misses = reg.counter("net.flow.cache_misses").value();
+  const double hit_rate =
+      hits + misses ? static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0;
+  print_header("flow-switch exact-match cache (MB-FWD, 64 KiB)");
+  std::printf("cache_hits=%llu cache_misses=%llu hit_rate=%.4f\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), hit_rate);
+  if (hit_rate < 0.90) {
+    std::fprintf(stderr, "FAIL: flow cache hit rate %.4f < 0.90\n", hit_rate);
+    return 1;
+  }
   return 0;
 }

@@ -38,6 +38,29 @@ void MemDisk::write(std::uint64_t lba, Bytes data, WriteCallback done) {
   done(Status::ok());
 }
 
+void BlockDevice::write_gather(std::uint64_t lba, BufChain chunks,
+                               WriteCallback done) {
+  // Fallback for devices without direct store access: flatten (a counted
+  // copy) and take the contiguous path.
+  write(lba, chain_to_bytes(chunks), std::move(done));
+}
+
+void MemDisk::write_gather(std::uint64_t lba, BufChain chunks,
+                           WriteCallback done) {
+  const std::size_t total = chain_size(chunks);
+  if (total % kSectorSize != 0) {
+    done(error(ErrorCode::kInvalidArgument, "unaligned write size"));
+    return;
+  }
+  Status status = check_range(lba, total / kSectorSize);
+  if (!status.is_ok()) {
+    done(status);
+    return;
+  }
+  write_sync_chain(lba, chunks);
+  done(Status::ok());
+}
+
 Bytes MemDisk::read_sync(std::uint64_t lba, std::uint32_t count) const {
   if (lba + count > sectors_) {
     throw std::out_of_range("MemDisk::read_sync beyond device");
@@ -53,6 +76,19 @@ void MemDisk::write_sync(std::uint64_t lba,
     throw std::out_of_range("MemDisk::write_sync bad range");
   }
   std::memcpy(data_.data() + lba * kSectorSize, data.data(), data.size());
+}
+
+void MemDisk::write_sync_chain(std::uint64_t lba, const BufChain& chunks) {
+  const std::size_t total = chain_size(chunks);
+  if (total % kSectorSize != 0 || lba + total / kSectorSize > sectors_) {
+    throw std::out_of_range("MemDisk::write_sync_chain bad range");
+  }
+  std::uint8_t* out = data_.data() + lba * kSectorSize;
+  for (const Buf& chunk : chunks) {
+    if (chunk.empty()) continue;
+    std::memcpy(out, chunk.data(), chunk.size());
+    out += chunk.size();
+  }
 }
 
 }  // namespace storm::block

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "common/buf.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 
@@ -28,6 +29,15 @@ class BlockDevice {
   /// Write `data` (must be sector-aligned in size) starting at `lba`.
   virtual void write(std::uint64_t lba, Bytes data, WriteCallback done) = 0;
 
+  /// Scatter-gather write: the chunks are stored consecutively from
+  /// `lba`; their total size must be sector-aligned. The default
+  /// implementation flattens the chain (one counted copy) and calls
+  /// write(); devices with direct store access override it to copy each
+  /// chunk straight into place, so a burst assembled from wire segments
+  /// never needs an intermediate contiguous buffer.
+  virtual void write_gather(std::uint64_t lba, BufChain chunks,
+                            WriteCallback done);
+
   virtual std::uint64_t num_sectors() const = 0;
 
   std::uint64_t size_bytes() const { return num_sectors() * kSectorSize; }
@@ -45,12 +55,16 @@ class MemDisk : public BlockDevice {
 
   void read(std::uint64_t lba, std::uint32_t count, ReadCallback done) override;
   void write(std::uint64_t lba, Bytes data, WriteCallback done) override;
+  void write_gather(std::uint64_t lba, BufChain chunks,
+                    WriteCallback done) override;
   std::uint64_t num_sectors() const override { return sectors_; }
 
   /// Synchronous accessors for tests, mkfs and the semantic engine's
   /// initial filesystem scan (dumpfs-style).
   Bytes read_sync(std::uint64_t lba, std::uint32_t count) const;
   void write_sync(std::uint64_t lba, std::span<const std::uint8_t> data);
+  /// Gather form: chunks land back-to-back starting at `lba`.
+  void write_sync_chain(std::uint64_t lba, const BufChain& chunks);
 
  private:
   std::uint64_t sectors_;

@@ -48,4 +48,27 @@ void SimDisk::write(std::uint64_t lba, Bytes data, WriteCallback done) {
           });
 }
 
+void SimDisk::write_gather(std::uint64_t lba, BufChain chunks,
+                           WriteCallback done) {
+  const std::size_t total = chain_size(chunks);
+  if (total % kSectorSize != 0) {
+    done(error(ErrorCode::kInvalidArgument, "unaligned write size"));
+    return;
+  }
+  Status status = check_range(lba, total / kSectorSize);
+  if (!status.is_ok()) {
+    done(status);
+    return;
+  }
+  ++writes_;
+  // Timing is identical to the contiguous write of the same size; the
+  // chunks hold their payload by reference until the modeled completion.
+  sim::Time completion = schedule(total);
+  sim_.at(completion,
+          [this, lba, c = std::move(chunks), done = std::move(done)]() mutable {
+            store_->write_sync_chain(lba, c);
+            done(Status::ok());
+          });
+}
+
 }  // namespace storm::block

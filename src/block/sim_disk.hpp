@@ -25,6 +25,8 @@ class SimDisk : public BlockDevice {
 
   void read(std::uint64_t lba, std::uint32_t count, ReadCallback done) override;
   void write(std::uint64_t lba, Bytes data, WriteCallback done) override;
+  void write_gather(std::uint64_t lba, BufChain chunks,
+                    WriteCallback done) override;
   std::uint64_t num_sectors() const override { return store_->num_sectors(); }
 
   /// Direct access to the backing store (mkfs, test inspection).

@@ -19,13 +19,17 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 }  // namespace
 
-std::uint32_t crc32(std::span<const std::uint8_t> data) {
+void Crc32::update(std::span<const std::uint8_t> data) {
   static const auto table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
   for (std::uint8_t b : data) {
-    c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+    c_ = table[(c_ ^ b) & 0xFF] ^ (c_ >> 8);
   }
-  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 state;
+  state.update(data);
+  return state.final();
 }
 
 namespace {

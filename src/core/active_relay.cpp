@@ -9,9 +9,9 @@ namespace storm::core {
 
 // ------------------------------------------------------------ RelayJournal
 
-void RelayJournal::append(Bytes wire, std::uint64_t watermark,
+void RelayJournal::append(BufChain wire, std::uint64_t watermark,
                           bool boundary) {
-  bytes_ += wire.size();
+  bytes_ += chain_size(wire);
   entries_.push_back(Entry{std::move(wire), watermark, boundary});
 }
 
@@ -24,13 +24,13 @@ void RelayJournal::trim(std::uint64_t acked_bytes) {
     if (entries_[i].boundary) drop = i + 1;
   }
   for (std::size_t i = 0; i < drop; ++i) {
-    bytes_ -= entries_.front().wire.size();
+    bytes_ -= chain_size(entries_.front().wire);
     entries_.pop_front();
   }
 }
 
-std::vector<Bytes> RelayJournal::unacknowledged() const {
-  std::vector<Bytes> out;
+std::vector<BufChain> RelayJournal::unacknowledged() const {
+  std::vector<BufChain> out;
   out.reserve(entries_.size());
   for (const Entry& entry : entries_) out.push_back(entry.wire);
   return out;
@@ -92,7 +92,7 @@ void ActiveRelay::bind_downstream(Session& session,
   Session* raw = &session;
   net::TcpConnection* cp = &conn;
   session.downstream = cp;
-  conn.set_on_data([this, raw](Bytes bytes) {
+  conn.set_on_data([this, raw](Buf bytes) {
     on_stream_data(*raw, Direction::kToTarget, std::move(bytes));
   });
   conn.set_on_ack([this, raw, cp] {
@@ -116,13 +116,13 @@ void ActiveRelay::dial_upstream(Session& session) {
       [this, &session] {
         session.upstream_ready = true;
         if (!session.upstream_backlog.empty()) {
-          Bytes backlog;
+          BufChain backlog;
           backlog.swap(session.upstream_backlog);
           session.upstream->send(std::move(backlog));
         }
       },
       session.bind_port);
-  session.upstream->set_on_data([this, &session](Bytes bytes) {
+  session.upstream->set_on_data([this, &session](Buf bytes) {
     on_stream_data(session, Direction::kToInitiator, std::move(bytes));
   });
   session.upstream->set_on_ack([this, &session] {
@@ -147,10 +147,10 @@ void ActiveRelay::dial_upstream(Session& session) {
 }
 
 void ActiveRelay::on_stream_data(Session& session, Direction dir,
-                                 Bytes bytes) {
+                                 Buf bytes) {
   DirectionState& st = state(session, dir);
   std::vector<iscsi::Pdu> pdus;
-  Status status = st.parser.feed(bytes, pdus);
+  Status status = st.parser.feed(std::move(bytes), pdus);
   if (!status.is_ok()) {
     log_warn("active-relay") << vm_.name()
                              << ": parse error: " << status.to_string();
@@ -288,9 +288,12 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
 
 void ActiveRelay::forward(Session& session, Direction dir,
                           const iscsi::Pdu& pdu) {
-  Bytes wire = iscsi::serialize(pdu);
+  // Serialize once; the journal and the TCP send queue share the chunks
+  // by reference (the payload chunk still references the received PDU's
+  // storage), so journaling no longer copies the wire bytes.
+  BufChain wire = iscsi::serialize_chunks(pdu);
   DirectionState& st = state(session, dir);
-  st.enqueued_bytes += wire.size();
+  st.enqueued_bytes += chain_size(wire);
   // A PDU without the final flag is mid-burst (a write command whose
   // Data-Out tail follows): not a safe replay point.
   st.journal.append(wire, st.enqueued_bytes, pdu.is_final());
@@ -302,7 +305,7 @@ void ActiveRelay::forward(Session& session, Direction dir,
   }
 }
 
-void ActiveRelay::send_upstream(Session& session, const Bytes& wire) {
+void ActiveRelay::send_upstream(Session& session, const BufChain& wire) {
   if (!session.upstream_ready) {
     session.upstream_backlog.insert(session.upstream_backlog.end(),
                                     wire.begin(), wire.end());
@@ -311,7 +314,7 @@ void ActiveRelay::send_upstream(Session& session, const Bytes& wire) {
   session.upstream->send(wire);
 }
 
-void ActiveRelay::send_downstream(Session& session, const Bytes& wire) {
+void ActiveRelay::send_downstream(Session& session, const BufChain& wire) {
   if (session.downstream != nullptr) session.downstream->send(wire);
 }
 
@@ -351,7 +354,7 @@ void ActiveRelay::resume_session(Session& session) {
   ++session.epoch;  // invalidate CPU work queued before the reset
   // Collect unacknowledged PDUs before resetting the counters. The
   // backlog is stale (those bytes are all in the journal).
-  std::vector<Bytes> replay = session.to_target.journal.unacknowledged();
+  std::vector<BufChain> replay = session.to_target.journal.unacknowledged();
   session.to_target = DirectionState{};
   session.to_initiator = DirectionState{};
   session.upstream_backlog.clear();
@@ -365,8 +368,8 @@ void ActiveRelay::resume_session(Session& session) {
   if (session.login_pdu) {
     forward(session, Direction::kToTarget, *session.login_pdu);
   }
-  for (const Bytes& wire : replay) {
-    session.to_target.enqueued_bytes += wire.size();
+  for (const BufChain& wire : replay) {
+    session.to_target.enqueued_bytes += chain_size(wire);
     session.to_target.journal.append(wire, session.to_target.enqueued_bytes);
     send_upstream(session, wire);
   }
@@ -447,8 +450,8 @@ void ActiveRelay::adopt_sessions(RelayJournalSnapshot snapshot) {
     // cumulative watermarks restart from zero because the upstream leg
     // is a brand-new connection.
     std::uint64_t watermark = 0;
-    for (Bytes& wire : image.to_target_wires) {
-      watermark += wire.size();
+    for (BufChain& wire : image.to_target_wires) {
+      watermark += chain_size(wire);
       raw->to_target.journal.append(std::move(wire), watermark);
     }
     raw->to_target.enqueued_bytes = watermark;

@@ -34,13 +34,16 @@ struct ActiveRelayCosts {
 
 /// NVRAM journal: serialized PDUs kept until the egress TCP stack reports
 /// the bytes acknowledged. replay() hands back everything unacknowledged.
+/// Entries are chunk chains holding the wire bytes by reference — the
+/// journal shares storage with the in-flight TCP send queue instead of
+/// copying each PDU into NVRAM.
 class RelayJournal {
  public:
   /// Record `wire` as enqueued; `watermark` is the cumulative payload
   /// byte count on the outgoing connection after this PDU. `boundary`
   /// marks a safe replay point: the PDU completes an iSCSI burst, so a
   /// replay starting after it begins at a fresh command.
-  void append(Bytes wire, std::uint64_t watermark, bool boundary = true);
+  void append(BufChain wire, std::uint64_t watermark, bool boundary = true);
 
   /// Drop fully-acknowledged entries, but never split a burst: the
   /// journal always retains whole bursts so replay after a session reset
@@ -48,14 +51,14 @@ class RelayJournal {
   void trim(std::uint64_t acked_bytes);
 
   /// Unacknowledged entries, oldest first.
-  std::vector<Bytes> unacknowledged() const;
+  std::vector<BufChain> unacknowledged() const;
 
   std::size_t entries() const { return entries_.size(); }
   std::size_t bytes() const { return bytes_; }
 
  private:
   struct Entry {
-    Bytes wire;
+    BufChain wire;
     std::uint64_t watermark;
     bool boundary;
   };
@@ -71,14 +74,14 @@ struct RelayJournalSnapshot {
   struct SessionImage {
     std::uint16_t bind_port = 0;
     std::optional<iscsi::Pdu> login_pdu;
-    std::vector<Bytes> to_target_wires;  // unacknowledged, oldest first
+    std::vector<BufChain> to_target_wires;  // unacknowledged, oldest first
   };
   std::vector<SessionImage> sessions;
 
   std::size_t bytes() const {
     std::size_t total = 0;
     for (const SessionImage& s : sessions) {
-      for (const Bytes& w : s.to_target_wires) total += w.size();
+      for (const BufChain& w : s.to_target_wires) total += chain_size(w);
     }
     return total;
   }
@@ -188,7 +191,7 @@ class ActiveRelay {
     net::TcpConnection* downstream = nullptr;  // toward the initiator
     net::TcpConnection* upstream = nullptr;    // toward the target
     bool upstream_ready = false;
-    Bytes upstream_backlog;  // bytes to send once upstream establishes
+    BufChain upstream_backlog;  // chunks to send once upstream establishes
     DirectionState to_target;
     DirectionState to_initiator;
     std::unique_ptr<SessionContext> ctx;
@@ -205,11 +208,11 @@ class ActiveRelay {
   void bind_downstream(Session& session, net::TcpConnection& conn);
   void dial_upstream(Session& session);
   void resume_session(Session& session);
-  void on_stream_data(Session& session, Direction dir, Bytes bytes);
+  void on_stream_data(Session& session, Direction dir, Buf bytes);
   void pump_queue(Session& session, Direction dir);
   void forward(Session& session, Direction dir, const iscsi::Pdu& pdu);
-  void send_downstream(Session& session, const Bytes& wire);
-  void send_upstream(Session& session, const Bytes& wire);
+  void send_downstream(Session& session, const BufChain& wire);
+  void send_upstream(Session& session, const BufChain& wire);
   void trace_pdu(Session& session, Direction dir, const iscsi::Pdu& pdu,
                  std::size_t queue_depth);
   void update_journal_gauge();

@@ -66,7 +66,7 @@ void PassiveRelay::pump(const net::FourTuple& key) {
   StreamState& state = it->second;
   if (state.busy || state.inbox.empty()) return;
   state.busy = true;
-  Bytes payload = std::move(state.inbox.front());
+  Buf payload = std::move(state.inbox.front());
   state.inbox.pop_front();
 
   Direction dir = key.dst.port == iscsi::kIscsiPort
@@ -78,12 +78,12 @@ void PassiveRelay::pump(const net::FourTuple& key) {
       costs_.hook_per_packet +
       static_cast<sim::Duration>(costs_.copy_ns_per_byte *
                                  static_cast<double>(payload.size()));
-  vm_.cpu().run(cost, [this, key, dir, payload = std::move(payload)] {
+  vm_.cpu().run(cost, [this, key, dir, payload = std::move(payload)]() mutable {
     auto sit = streams_.find(key);
     if (sit == streams_.end()) return;
     StreamState& st = sit->second;
     std::vector<iscsi::Pdu> pdus;
-    Status status = st.parser.feed(payload, pdus);
+    Status status = st.parser.feed(std::move(payload), pdus);
     if (!status.is_ok()) {
       log_warn("passive-relay") << vm_.name() << ": parse error: "
                                 << status.to_string() << "; flushing raw";
@@ -99,7 +99,7 @@ void PassiveRelay::pump(const net::FourTuple& key) {
       ++pdus_;
       scope_.counter("pdus_processed").add();
       trace_pdu(key, dir, pdu);
-      std::size_t before = iscsi::serialize(pdu).size();
+      std::size_t before = iscsi::serialized_size(pdu);
       if (dir == Direction::kToTarget) {
         for (StorageService* service : services_) {
           service_cost += service->on_pdu(*ctx_, dir, pdu).cpu_cost;
@@ -170,8 +170,10 @@ void PassiveRelay::drain(StreamState& state) {
          state.transformed.size() >= state.held.front().payload.size()) {
     net::Packet pkt = std::move(state.held.front());
     state.held.pop_front();
-    std::memcpy(pkt.payload.data(), state.transformed.data(),
-                pkt.payload.size());
+    // COW: the inbox and any queued duplicates still reference the
+    // original payload bytes; rewriting gets this packet its own copy.
+    std::span<std::uint8_t> dst = pkt.payload.mutable_span();
+    std::memcpy(dst.data(), state.transformed.data(), dst.size());
     state.transformed.erase(
         state.transformed.begin(),
         state.transformed.begin() +

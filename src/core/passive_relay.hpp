@@ -65,7 +65,7 @@ class PassiveRelay {
   struct StreamState {
     iscsi::StreamParser parser;
     std::deque<net::Packet> held;  // packets awaiting transformed bytes
-    std::deque<Bytes> inbox;       // payloads awaiting processing, in order
+    std::deque<Buf> inbox;         // payloads awaiting processing, in order
     Bytes transformed;             // service-processed stream bytes
     bool busy = false;             // one payload in processing at a time
   };

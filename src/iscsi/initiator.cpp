@@ -60,7 +60,7 @@ void Initiator::dial() {
   // Pin the ephemeral port we got: a recovery dial must reuse the exact
   // four-tuple or conntrack-steered NAT paths stop matching the flow.
   local_port_ = source_port_;
-  conn_->set_on_data([this](Bytes bytes) { on_data(bytes); });
+  conn_->set_on_data([this](Buf bytes) { on_data(std::move(bytes)); });
   conn_->set_on_closed([this](Status status) { on_closed(status); });
   // Watch the login round-trip too: a recovery dial that connects but
   // never gets a login response (peer restarted again, response lost on a
@@ -113,8 +113,9 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
   }
   std::uint32_t tag = next_tag_++;
   obs::SpanId span = begin_command_span("cmd.write", tag, data.size());
+  // Wrap once; every segment below is a refcounted slice of this Buf.
   auto [it, inserted] = pending_writes_.emplace(
-      tag, PendingWrite{lba, std::move(data), std::move(done), span});
+      tag, PendingWrite{lba, Buf(std::move(data)), std::move(done), span});
   ++writes_;
   node_.simulator().telemetry().counter("iscsi.initiator.writes").add();
   update_outstanding();
@@ -125,20 +126,20 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
 }
 
 void Initiator::issue_write(std::uint32_t tag, const PendingWrite& pending) {
-  const Bytes& data = pending.data;
+  const Buf& data = pending.data;
   const std::uint32_t total = static_cast<std::uint32_t>(data.size());
   // Command PDU carries the first segment as immediate data; the rest
-  // streams as Data-Out PDUs.
+  // streams as Data-Out PDUs. Every segment is a zero-copy slice of the
+  // pending write's buffer (re-issue after recovery re-slices it).
   std::uint32_t first = std::min(kMaxDataSegment, total);
   Pdu cmd = make_write_command(tag, pending.lba, total);
-  cmd.data = Bytes(data.begin(), data.begin() + first);
+  cmd.data = data.slice(0, first);
   if (first == total) cmd.flags |= kFlagFinal;
   send_pdu(cmd);
   std::uint32_t offset = first;
   while (offset < total) {
     std::uint32_t n = std::min(kMaxDataSegment, total - offset);
-    Bytes chunk(data.begin() + offset, data.begin() + offset + n);
-    send_pdu(make_data_out(tag, offset, std::move(chunk),
+    send_pdu(make_data_out(tag, offset, data.slice(offset, n),
                            offset + n == total));
     offset += n;
   }
@@ -187,9 +188,9 @@ void Initiator::on_watchdog() {
   conn_->abort();  // enter on_closed -> recovery reconnect path
 }
 
-void Initiator::on_data(Bytes bytes) {
+void Initiator::on_data(Buf bytes) {
   std::vector<Pdu> pdus;
-  Status status = parser_.feed(bytes, pdus);
+  Status status = parser_.feed(std::move(bytes), pdus);
   if (!status.is_ok()) {
     log_warn("iscsi-init") << "protocol error: " << status.to_string();
     conn_->abort();
@@ -239,8 +240,7 @@ void Initiator::handle_pdu(Pdu pdu) {
         log_warn("iscsi-init") << "out-of-order Data-In";
         return;
       }
-      pending.data.insert(pending.data.end(), pdu.data.begin(),
-                          pdu.data.end());
+      pdu.data.append_to(pending.data);
       return;
     }
     case Opcode::kScsiResponse: {
@@ -353,7 +353,8 @@ void Initiator::fail_outstanding(Status reason) {
 
 void Initiator::send_pdu(const Pdu& pdu) {
   if (conn_ == nullptr) return;
-  conn_->send(serialize(pdu));
+  // Chunked: the data segment goes to TCP as a reference, not a copy.
+  conn_->send(serialize_chunks(pdu));
 }
 
 }  // namespace storm::iscsi

@@ -119,7 +119,7 @@ class Initiator {
   };
   struct PendingWrite {
     std::uint64_t lba;
-    Bytes data;  // retained for re-issue after recovery
+    Buf data;  // retained (by reference) for re-issue after recovery
     WriteCallback done;
     obs::SpanId span = 0;
   };
@@ -136,7 +136,7 @@ class Initiator {
   void on_watchdog();
   void issue_write(std::uint32_t tag, const PendingWrite& pending);
   void reissue_pending();
-  void on_data(Bytes bytes);
+  void on_data(Buf bytes);
   void handle_pdu(Pdu pdu);
   void on_closed(Status status);
   void send_pdu(const Pdu& pdu);

@@ -35,9 +35,23 @@ std::string Pdu::summary() const {
   return out.str();
 }
 
-Bytes serialize(const Pdu& pdu) {
-  Bytes body;
-  ByteWriter w(body);
+// Body layout: 4 one-byte fields, task_tag(4), lba(8), transfer_length(4),
+// data_offset(4), u16-prefixed text, data_size(4), data, data_digest(4),
+// body crc(4) = 38 fixed bytes + text + data.
+std::size_t serialized_body_size(const Pdu& pdu) {
+  return 38 + pdu.text.size() + pdu.data.size();
+}
+
+std::size_t serialized_size(const Pdu& pdu) {
+  return 4 + serialized_body_size(pdu);
+}
+
+namespace {
+
+/// Everything before the data segment: length prefix, fixed header
+/// fields, text, and the data-size field.
+void write_head(ByteWriter& w, const Pdu& pdu, std::size_t body_len) {
+  w.u32(static_cast<std::uint32_t>(body_len));
   w.u8(static_cast<std::uint8_t>(pdu.opcode));
   w.u8(pdu.flags);
   w.u8(pdu.status);
@@ -48,29 +62,65 @@ Bytes serialize(const Pdu& pdu) {
   w.u32(pdu.data_offset);
   w.str(pdu.text);
   w.u32(static_cast<std::uint32_t>(pdu.data.size()));
+}
+
+}  // namespace
+
+Bytes serialize(const Pdu& pdu) {
+  const std::size_t body_len = serialized_body_size(pdu);
+  Bytes out;
+  out.reserve(4 + body_len);
+  ByteWriter w(out);
+  write_head(w, pdu, body_len);
   w.raw(pdu.data);
+  bufstats::add_bytes_copied(pdu.data.size());
   w.u32(pdu.data.empty() ? 0 : crc32(pdu.data));
   // Trailing digest over the whole body (headers + text + data), so any
   // single bit flip anywhere in the PDU is detected at parse time — the
   // data_digest above only covers the data segment.
-  w.u32(crc32(body));
-
-  Bytes framed;
-  ByteWriter frame(framed);
-  frame.u32(static_cast<std::uint32_t>(body.size()));
-  frame.raw(body);
-  return framed;
+  w.u32(crc32(std::span<const std::uint8_t>(out).subspan(4)));
+  return out;
 }
 
-Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
+BufChain serialize_chunks(const Pdu& pdu) {
+  const std::size_t body_len = serialized_body_size(pdu);
+  Bytes head;
+  head.reserve(4 + body_len - pdu.data.size() - 8);
+  ByteWriter w(head);
+  write_head(w, pdu, body_len);
+
+  // The trailing whole-body digest is computed incrementally across the
+  // chunks — the data segment is digested through its refcounted view,
+  // never copied.
+  Crc32 body_crc;
+  body_crc.update(std::span<const std::uint8_t>(head).subspan(4));
+  body_crc.update(pdu.data);
+
+  Bytes tail;
+  tail.reserve(8);
+  ByteWriter t(tail);
+  t.u32(pdu.data.empty() ? 0 : crc32(pdu.data));
+  body_crc.update(tail);  // the data_digest field is inside the body crc
+  t.u32(body_crc.final());
+
+  BufChain chain;
+  chain.reserve(3);
+  chain.push_back(Buf(std::move(head)));
+  if (!pdu.data.empty()) chain.push_back(pdu.data);
+  chain.push_back(Buf(std::move(tail)));
+  return chain;
+}
+
+Result<Pdu> parse_pdu(Buf body) {
   try {
     if (body.size() < 4) {
       return error(ErrorCode::kParseError, "truncated PDU body");
     }
+    const std::span<const std::uint8_t> all = body.span();
     // Verify the trailing whole-body digest before trusting any field.
-    std::span<const std::uint8_t> inner = body.first(body.size() - 4);
+    std::span<const std::uint8_t> inner = all.first(all.size() - 4);
     {
-      ByteReader tail(body.subspan(body.size() - 4));
+      ByteReader tail(all.subspan(all.size() - 4));
       if (tail.u32() != crc32(inner)) {
         return error(ErrorCode::kParseError, "pdu digest mismatch");
       }
@@ -87,7 +137,11 @@ Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
     pdu.data_offset = r.u32();
     pdu.text = r.str();
     std::uint32_t data_len = r.u32();
-    pdu.data = r.raw(data_len);
+    const std::size_t data_off = r.position();
+    r.skip(data_len);
+    // Zero copy: the data segment is a slice of the body the caller
+    // already holds; whoever mutates it later goes through COW.
+    pdu.data = body.slice(data_off, data_len);
     pdu.data_digest = r.u32();
     if (r.remaining() != 0) {
       return error(ErrorCode::kParseError, "trailing bytes in PDU");
@@ -102,26 +156,82 @@ Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
   }
 }
 
-Status StreamParser::feed(std::span<const std::uint8_t> bytes,
-                          std::vector<Pdu>& out) {
-  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
-  std::size_t pos = 0;
-  while (buffer_.size() - pos >= 4) {
-    ByteReader r(std::span<const std::uint8_t>(buffer_.data() + pos, 4));
-    std::uint32_t body_len = r.u32();
-    if (buffer_.size() - pos - 4 < body_len) break;
-    auto result = parse_pdu(std::span<const std::uint8_t>(
-        buffer_.data() + pos + 4, body_len));
+Result<Pdu> parse_pdu(std::span<const std::uint8_t> body) {
+  return parse_pdu(Buf::copy(body));
+}
+
+std::uint32_t StreamParser::peek_u32() const {
+  std::uint32_t v = 0;
+  std::size_t idx = 0;
+  std::size_t off = head_;
+  for (int i = 0; i < 4; ++i) {
+    while (off >= chunks_[idx].size()) {
+      off = 0;
+      ++idx;
+    }
+    v = (v << 8) | chunks_[idx][off];
+    ++off;
+  }
+  return v;
+}
+
+Buf StreamParser::gather(std::size_t skip, std::size_t n) const {
+  if (n == 0) return Buf{};
+  std::size_t idx = 0;
+  std::size_t off = head_ + skip;
+  while (off >= chunks_[idx].size()) {
+    off -= chunks_[idx].size();
+    ++idx;
+  }
+  if (chunks_[idx].size() - off >= n) {
+    // Whole range inside one chunk: zero-copy slice.
+    return chunks_[idx].slice(off, n);
+  }
+  Bytes out;
+  out.reserve(n);
+  std::size_t need = n;
+  for (; need > 0; ++idx, off = 0) {
+    const Buf& chunk = chunks_[idx];
+    const std::size_t take = std::min(need, chunk.size() - off);
+    out.insert(out.end(), chunk.begin() + off, chunk.begin() + off + take);
+    need -= take;
+  }
+  bufstats::add_bytes_copied(n);
+  return Buf(std::move(out));
+}
+
+void StreamParser::consume(std::size_t n) {
+  pending_ -= n;
+  while (n > 0) {
+    const std::size_t avail = chunks_.front().size() - head_;
+    if (n >= avail) {
+      n -= avail;
+      chunks_.pop_front();
+      head_ = 0;
+    } else {
+      head_ += n;
+      n = 0;
+    }
+  }
+}
+
+Status StreamParser::feed(Buf bytes, std::vector<Pdu>& out) {
+  if (!bytes.empty()) {
+    pending_ += bytes.size();
+    chunks_.push_back(std::move(bytes));
+  }
+  while (pending_ >= 4) {
+    const std::uint32_t body_len = peek_u32();
+    if (pending_ - 4 < body_len) break;
+    auto result = parse_pdu(gather(4, body_len));
     if (!result.is_ok()) {
-      buffer_.erase(buffer_.begin(),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+      // The malformed PDU stays buffered (as in the contiguous parser);
+      // callers abort the connection on error.
       return result.status();
     }
+    consume(4 + body_len);
     out.push_back(std::move(result).take());
-    pos += 4 + body_len;
   }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
   return Status::ok();
 }
 
@@ -163,7 +273,7 @@ Pdu make_write_command(std::uint32_t task_tag, std::uint64_t lba,
   return pdu;
 }
 
-Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Buf data,
                   bool final) {
   Pdu pdu;
   pdu.opcode = Opcode::kDataOut;
@@ -174,7 +284,7 @@ Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
   return pdu;
 }
 
-Pdu make_data_in(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+Pdu make_data_in(std::uint32_t task_tag, std::uint32_t offset, Buf data,
                  bool final) {
   Pdu pdu;
   pdu.opcode = Opcode::kDataIn;

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/buf.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 
@@ -59,7 +61,7 @@ struct Pdu {
   std::uint32_t transfer_length = 0; // bytes (SCSI command)
   std::uint32_t data_offset = 0;     // bytes into the burst (Data-In/Out)
   std::string text;                  // login parameters ("iqn=...")
-  Bytes data;                        // data segment
+  Buf data;                          // data segment (refcounted view)
   std::uint32_t data_digest = 0;     // CRC32 of data (0 when data empty)
 
   bool is_final() const { return flags & kFlagFinal; }
@@ -68,25 +70,51 @@ struct Pdu {
   std::string summary() const;
 };
 
-/// Serialize with the u32 length prefix included.
+/// Serialized sizes (u32 length prefix included for serialized_size).
+std::size_t serialized_body_size(const Pdu& pdu);
+std::size_t serialized_size(const Pdu& pdu);
+
+/// Serialize with the u32 length prefix included (contiguous buffer,
+/// reserved exactly once). The data segment is copied; the zero-copy data
+/// path uses serialize_chunks instead.
 Bytes serialize(const Pdu& pdu);
 
+/// Zero-copy serialization: [prefix + headers + text, data, digests].
+/// The middle chunk *references* pdu.data — no payload byte is copied —
+/// and the concatenation is byte-identical to serialize(). Feed the chain
+/// to TcpConnection::send(BufChain).
+BufChain serialize_chunks(const Pdu& pdu);
+
 /// Parse one PDU from `body` (the bytes after the length prefix).
-/// Returns a parse-error status for malformed bodies.
+/// Returns a parse-error status for malformed bodies. The Buf form sets
+/// pdu.data as an O(1) slice of `body`; the span form copies.
+Result<Pdu> parse_pdu(Buf body);
 Result<Pdu> parse_pdu(std::span<const std::uint8_t> body);
 
-/// Incremental reassembly of PDUs from a TCP byte stream.
+/// Incremental reassembly of PDUs from a TCP byte stream. Buffers the
+/// fed chunks by reference; a PDU body that lands inside a single chunk
+/// is parsed out of a zero-copy slice, one that straddles chunk
+/// boundaries is gathered with a single counted copy.
 class StreamParser {
  public:
   /// Feed stream bytes; appends any completed PDUs to `out`.
   /// Returns an error (and stops consuming) on a malformed PDU.
-  Status feed(std::span<const std::uint8_t> bytes, std::vector<Pdu>& out);
+  Status feed(Buf bytes, std::vector<Pdu>& out);
+  Status feed(std::span<const std::uint8_t> bytes, std::vector<Pdu>& out) {
+    return feed(Buf::copy(bytes), out);
+  }
 
   /// Bytes buffered awaiting a complete PDU.
-  std::size_t pending_bytes() const { return buffer_.size(); }
+  std::size_t pending_bytes() const { return pending_; }
 
  private:
-  Bytes buffer_;
+  std::uint32_t peek_u32() const;
+  Buf gather(std::size_t skip, std::size_t n) const;
+  void consume(std::size_t n);
+
+  std::deque<Buf> chunks_;
+  std::size_t head_ = 0;     // consumed bytes of chunks_.front()
+  std::size_t pending_ = 0;  // unconsumed bytes across all chunks
 };
 
 // Convenience constructors for the PDUs the data path uses.
@@ -96,9 +124,9 @@ Pdu make_read_command(std::uint32_t task_tag, std::uint64_t lba,
                       std::uint32_t length_bytes);
 Pdu make_write_command(std::uint32_t task_tag, std::uint64_t lba,
                        std::uint32_t length_bytes);
-Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+Pdu make_data_out(std::uint32_t task_tag, std::uint32_t offset, Buf data,
                   bool final);
-Pdu make_data_in(std::uint32_t task_tag, std::uint32_t offset, Bytes data,
+Pdu make_data_in(std::uint32_t task_tag, std::uint32_t offset, Buf data,
                  bool final);
 Pdu make_scsi_response(std::uint32_t task_tag, std::uint8_t status);
 

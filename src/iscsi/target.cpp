@@ -45,13 +45,13 @@ void Target::on_accept(net::TcpConnection& conn) {
   session->src_port = conn.remote().port;
   Session* raw = session.get();
   sessions_.push_back(std::move(session));
-  conn.set_on_data([this, raw](Bytes bytes) { on_data(*raw, bytes); });
+  conn.set_on_data([this, raw](Buf bytes) { on_data(*raw, std::move(bytes)); });
   conn.set_on_closed([raw](Status) { raw->closed = true; });
 }
 
-void Target::on_data(Session& session, Bytes bytes) {
+void Target::on_data(Session& session, Buf bytes) {
   std::vector<Pdu> pdus;
-  Status status = session.parser.feed(bytes, pdus);
+  Status status = session.parser.feed(std::move(bytes), pdus);
   if (!status.is_ok()) {
     log_warn("iscsi-tgt") << node_.name()
                           << ": protocol error: " << status.to_string();
@@ -89,7 +89,7 @@ void Target::handle_pdu(Session& session, Pdu pdu) {
         return;
       }
       Session::WriteBurst& burst = it->second;
-      if (pdu.data_offset != burst.data.size()) {
+      if (pdu.data_offset != burst.bytes) {
         log_warn("iscsi-tgt") << "out-of-order Data-Out";
         command_finished(session, pdu.task_tag);
         send_pdu(session, make_scsi_response(pdu.task_tag,
@@ -97,8 +97,9 @@ void Target::handle_pdu(Session& session, Pdu pdu) {
         session.writes.erase(it);
         return;
       }
-      burst.data.insert(burst.data.end(), pdu.data.begin(), pdu.data.end());
-      if (pdu.is_final() || burst.data.size() >= burst.expected) {
+      burst.bytes += pdu.data.size();
+      if (!pdu.data.empty()) burst.chunks.push_back(std::move(pdu.data));
+      if (pdu.is_final() || burst.bytes >= burst.expected) {
         complete_write(session, pdu.task_tag);
       }
       return;
@@ -146,15 +147,17 @@ void Target::handle_command(Session& session, const Pdu& pdu) {
             send_pdu(session, make_scsi_response(tag, kStatusCheckCondition));
             return;
           }
-          // Stream the data in bounded Data-In segments.
+          // Stream the data in bounded Data-In segments — each a view into
+          // the single buffer returned by the disk.
+          Buf whole(std::move(data));
           std::uint32_t offset = 0;
-          while (offset < data.size()) {
+          while (offset < whole.size()) {
             std::uint32_t n = std::min<std::uint32_t>(
-                kMaxDataSegment, static_cast<std::uint32_t>(data.size()) - offset);
-            Bytes chunk(data.begin() + offset, data.begin() + offset + n);
-            bool final = offset + n == data.size();
+                kMaxDataSegment,
+                static_cast<std::uint32_t>(whole.size()) - offset);
+            bool final = offset + n == whole.size();
             send_pdu(session,
-                     make_data_in(tag, offset, std::move(chunk), final));
+                     make_data_in(tag, offset, whole.slice(offset, n), final));
             offset += n;
           }
           send_pdu(session, make_scsi_response(tag, kStatusGood));
@@ -165,10 +168,13 @@ void Target::handle_command(Session& session, const Pdu& pdu) {
   Session::WriteBurst burst;
   burst.lba = pdu.lba;
   burst.expected = pdu.transfer_length;
-  burst.data = pdu.data;  // immediate data, if any
+  if (!pdu.data.empty()) {  // immediate data, if any (held by reference)
+    burst.bytes = pdu.data.size();
+    burst.chunks.push_back(pdu.data);
+  }
   session.writes[pdu.task_tag] = std::move(burst);
   if (pdu.is_final() ||
-      session.writes[pdu.task_tag].data.size() >= pdu.transfer_length) {
+      session.writes[pdu.task_tag].bytes >= pdu.transfer_length) {
     complete_write(session, pdu.task_tag);
   }
 }
@@ -177,13 +183,13 @@ void Target::complete_write(Session& session, std::uint32_t task_tag) {
   auto it = session.writes.find(task_tag);
   Session::WriteBurst burst = std::move(it->second);
   session.writes.erase(it);
-  if (burst.data.size() != burst.expected) {
+  if (burst.bytes != burst.expected) {
     command_finished(session, task_tag);
     send_pdu(session, make_scsi_response(task_tag, kStatusCheckCondition));
     return;
   }
-  session.volume->disk().write(
-      burst.lba, std::move(burst.data),
+  session.volume->disk().write_gather(
+      burst.lba, std::move(burst.chunks),
       [this, &session, task_tag](Status status) {
         command_finished(session, task_tag);
         if (session.closed) return;
@@ -196,7 +202,7 @@ void Target::complete_write(Session& session, std::uint32_t task_tag) {
 
 void Target::send_pdu(Session& session, const Pdu& pdu) {
   if (session.closed) return;
-  session.conn->send(serialize(pdu));
+  session.conn->send(serialize_chunks(pdu));
 }
 
 std::size_t Target::close_sessions_for(const std::string& iqn) {

@@ -49,18 +49,20 @@ class Target {
     // Cached at accept: the conn pointer may be gone by response time.
     std::uint16_t src_port = 0;
     block::Volume* volume = nullptr;
-    // In-progress write burst per task tag.
+    // In-progress write burst per task tag. Data-Out segments are held by
+    // reference (no coalesce) and handed to the disk as a gather write.
     struct WriteBurst {
       std::uint64_t lba = 0;
       std::uint32_t expected = 0;
-      Bytes data;
+      BufChain chunks;
+      std::size_t bytes = 0;  // == chain_size(chunks)
     };
     std::map<std::uint32_t, WriteBurst> writes;
     bool closed = false;
   };
 
   void on_accept(net::TcpConnection& conn);
-  void on_data(Session& session, Bytes bytes);
+  void on_data(Session& session, Buf bytes);
   void handle_pdu(Session& session, Pdu pdu);
   void handle_command(Session& session, const Pdu& pdu);
   void complete_write(Session& session, std::uint32_t task_tag);

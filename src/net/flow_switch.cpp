@@ -38,11 +38,13 @@ void FlowSwitch::add_rule(FlowRule rule) {
                             return existing.priority < rule.priority;
                           });
   rules_.insert(pos, std::move(rule));
+  invalidate_cache();
 }
 
 std::size_t FlowSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
   auto removed = std::erase_if(
       rules_, [cookie](const FlowRule& r) { return r.cookie == cookie; });
+  invalidate_cache();
   return removed;
 }
 
@@ -61,38 +63,65 @@ void FlowSwitch::ensure_telemetry() {
   obs::Registry& reg = sim_.telemetry();
   tel_total_rule_hits_ = &reg.counter("net.flow.rule_hits");
   tel_rule_hits_ = &reg.counter("net.flow." + name() + ".rule_hits");
+  tel_cache_hits_ = &reg.counter("net.flow.cache_hits");
+  tel_cache_misses_ = &reg.counter("net.flow.cache_misses");
 }
 
 void FlowSwitch::process(int in_port, Packet pkt) {
-  for (auto& rule : rules_) {
-    if (!rule.match.matches(in_port, pkt)) continue;
-    ++rule.hits;
-    ensure_telemetry();
-    tel_total_rule_hits_->add();
-    tel_rule_hits_->add();
-    for (const auto& action : rule.actions) {
-      switch (action.type) {
-        case FlowActionType::kSetDstMac:
-          pkt.eth.dst = action.mac;
-          break;
-        case FlowActionType::kSetSrcMac:
-          pkt.eth.src = action.mac;
-          break;
-        case FlowActionType::kOutput:
-          output(action.port, std::move(pkt));
-          return;
-        case FlowActionType::kNormal:
-          forward_normal(in_port, std::move(pkt));
-          return;
-        case FlowActionType::kDrop:
-          return;
+  ensure_telemetry();
+  // Exact-match fast path: the memo stores the winning rule *index* (or
+  // kNoRule), and the full action path — rule hit counters included — is
+  // re-executed on every hit, so a cached packet is handled identically
+  // to one that took the linear scan.
+  const FlowCacheKey key{in_port,        pkt.eth.src.value,
+                         pkt.eth.dst.value, pkt.ip.src.value,
+                         pkt.ip.dst.value,  pkt.tcp.src_port,
+                         pkt.tcp.dst_port};
+  std::size_t idx = kNoRule;
+  auto cached = flow_cache_.find(key);
+  if (cached != flow_cache_.end()) {
+    ++cache_hits_;
+    tel_cache_hits_->add();
+    idx = cached->second;
+  } else {
+    ++cache_misses_;
+    tel_cache_misses_->add();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].match.matches(in_port, pkt)) {
+        idx = i;
+        break;
       }
     }
-    // Rules whose action list only rewrites headers continue to NORMAL,
-    // matching how StorM's mod_dst_mac steering rules behave in OVS.
+    flow_cache_.emplace(key, idx);
+  }
+  if (idx == kNoRule) {
     forward_normal(in_port, std::move(pkt));
     return;
   }
+  FlowRule& rule = rules_[idx];
+  ++rule.hits;
+  tel_total_rule_hits_->add();
+  tel_rule_hits_->add();
+  for (const auto& action : rule.actions) {
+    switch (action.type) {
+      case FlowActionType::kSetDstMac:
+        pkt.eth.dst = action.mac;
+        break;
+      case FlowActionType::kSetSrcMac:
+        pkt.eth.src = action.mac;
+        break;
+      case FlowActionType::kOutput:
+        output(action.port, std::move(pkt));
+        return;
+      case FlowActionType::kNormal:
+        forward_normal(in_port, std::move(pkt));
+        return;
+      case FlowActionType::kDrop:
+        return;
+    }
+  }
+  // Rules whose action list only rewrites headers continue to NORMAL,
+  // matching how StorM's mod_dst_mac steering rules behave in OVS.
   forward_normal(in_port, std::move(pkt));
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/switch.hpp"
@@ -61,6 +62,40 @@ struct FlowRule {
   std::uint64_t hits = 0;
 };
 
+/// Exact-match fast-path key: every header field a FlowMatch can
+/// discriminate on. Two packets with equal keys always select the same
+/// rule, so memoizing the scan result per key is exact, wildcards and
+/// priorities included.
+struct FlowCacheKey {
+  int in_port = -1;
+  std::uint64_t src_mac = 0;
+  std::uint64_t dst_mac = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowCacheKey&) const = default;
+};
+
+struct FlowCacheKeyHash {
+  std::size_t operator()(const FlowCacheKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+      h ^= h >> 29;
+    };
+    mix(static_cast<std::uint64_t>(k.in_port));
+    mix(k.src_mac);
+    mix(k.dst_mac);
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port);
+    return static_cast<std::size_t>(h);
+  }
+};
+
 class FlowSwitch : public L2Switch {
  public:
   using L2Switch::L2Switch;
@@ -82,17 +117,36 @@ class FlowSwitch : public L2Switch {
   std::size_t rule_count() const { return rules_.size(); }
   const std::vector<FlowRule>& rules() const { return rules_; }
 
+  /// Fast-path statistics (exported as net.flow.cache_{hits,misses}).
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::size_t cache_entries() const { return flow_cache_.size(); }
+
  protected:
   void process(int in_port, Packet pkt) override;
 
  private:
   void ensure_telemetry();
+  /// Any table mutation shifts rule indices and can change which rule any
+  /// key selects, so the whole memo is dropped (OVS's megaflow-cache
+  /// revalidation collapsed to its safe extreme).
+  void invalidate_cache() { flow_cache_.clear(); }
+
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
 
   std::vector<FlowRule> rules_;
+  // Memoized result of the linear scan: winning rule index, or kNoRule
+  // for packets that fall through to NORMAL.
+  std::unordered_map<FlowCacheKey, std::size_t, FlowCacheKeyHash>
+      flow_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   // Cached per-switch rule-hit counter ("net.flow.<name>.rule_hits").
   bool telemetry_ready_ = false;
   obs::Counter* tel_rule_hits_ = nullptr;
   obs::Counter* tel_total_rule_hits_ = nullptr;
+  obs::Counter* tel_cache_hits_ = nullptr;
+  obs::Counter* tel_cache_misses_ = nullptr;
 };
 
 }  // namespace storm::net

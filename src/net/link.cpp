@@ -42,7 +42,9 @@ void Link::send(int from_end, Packet pkt) {
       ++faults_;
       tel_faults_->add();
       if (!pkt.payload.empty()) {
-        fault_->flip_random_bit(pkt.payload);
+        // COW: a duplicated/retransmitted sibling of this packet keeps
+        // its clean bytes; only this in-flight copy is corrupted.
+        fault_->flip_random_bit(pkt.payload.mutable_span());
       } else {
         // Header-only segment: flip a bit in a checksum-covered field so
         // the corruption is detectable, as on a real wire.

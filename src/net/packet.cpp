@@ -37,7 +37,7 @@ std::string Packet::summary() const {
 
 Bytes serialize(const Packet& pkt) {
   Bytes out;
-  out.reserve(pkt.wire_size());
+  out.reserve(pkt.codec_size());
   ByteWriter w(out);
   // Ethernet
   w.u16(static_cast<std::uint16_t>(pkt.eth.dst.value >> 32));

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/buf.hpp"
 #include "common/bytes.hpp"
 #include "net/addr.hpp"
 
@@ -62,11 +63,20 @@ struct Packet {
   EthernetHeader eth;
   Ipv4Header ip;
   TcpHeader tcp;
-  Bytes payload;
+  // Refcounted view: copying a Packet (switch flood, link duplication,
+  // retransmit queues) shares the payload bytes instead of cloning them.
+  Buf payload;
 
   std::size_t wire_size() const {
     return EthernetHeader::kWireSize + Ipv4Header::kWireSize +
            TcpHeader::kWireSize + payload.size();
+  }
+
+  /// Exact serialized size (the codec's TCP header is wider than the
+  /// modeled wire size; see TcpHeader::kCodecSize).
+  std::size_t codec_size() const {
+    return EthernetHeader::kWireSize + Ipv4Header::kWireSize +
+           TcpHeader::kCodecSize + payload.size();
   }
 
   FourTuple four_tuple() const {

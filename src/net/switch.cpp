@@ -34,11 +34,21 @@ void L2Switch::forward_normal(int in_port, Packet&& pkt) {
       return;
     }
   }
-  // Flood.
-  for (int port = 0; port < port_count(); ++port) {
+  // Flood: copy for every egress port but the last, which takes the
+  // original by move. (Packet copies share the payload storage anyway;
+  // this avoids the header copy and the refcount churn.)
+  int last = -1;
+  for (int port = port_count() - 1; port >= 0; --port) {
+    if (port != in_port) {
+      last = port;
+      break;
+    }
+  }
+  for (int port = 0; port < last; ++port) {
     if (port == in_port) continue;
     output(port, Packet(pkt));
   }
+  if (last >= 0) output(last, std::move(pkt));
 }
 
 void L2Switch::output(int port, Packet&& pkt) {

@@ -139,18 +139,31 @@ TcpConnection::TcpConnection(TcpStack& stack, SocketAddr local,
       state_(initiator ? State::kSynSent : State::kSynReceived),
       send_window_cap_(window), peer_window_(window), recv_window_(window) {}
 
-void TcpConnection::send(Bytes data) {
+void TcpConnection::send(Buf data) {
   if (state_ == State::kClosed || fin_pending_) return;
-  send_buf_.insert(send_buf_.end(), data.begin(), data.end());
+  if (!data.empty()) {
+    send_size_ += data.size();
+    send_chunks_.push_back(std::move(data));
+  }
+  if (state_ == State::kEstablished) pump();
+}
+
+void TcpConnection::send(BufChain chunks) {
+  if (state_ == State::kClosed || fin_pending_) return;
+  for (Buf& chunk : chunks) {
+    if (chunk.empty()) continue;
+    send_size_ += chunk.size();
+    send_chunks_.push_back(std::move(chunk));
+  }
   if (state_ == State::kEstablished) pump();
 }
 
 void TcpConnection::set_on_data(DataCallback cb) {
   on_data_ = std::move(cb);
   if (!pending_rx_.empty() && on_data_) {
-    Bytes buffered;
+    std::vector<Buf> buffered;
     buffered.swap(pending_rx_);
-    on_data_(std::move(buffered));
+    for (Buf& chunk : buffered) on_data_(std::move(chunk));
   }
 }
 
@@ -166,7 +179,7 @@ void TcpConnection::abort() {
   enter_closed(error(ErrorCode::kConnectionFailed, "local abort"));
 }
 
-void TcpConnection::emit(std::uint8_t flags, Bytes payload,
+void TcpConnection::emit(std::uint8_t flags, Buf payload,
                          std::uint64_t seq) {
   Packet pkt;
   pkt.ip.src = local_.ip;
@@ -183,21 +196,46 @@ void TcpConnection::emit(std::uint8_t flags, Bytes payload,
 
 void TcpConnection::send_ack() { emit(kTcpAck, {}, snd_nxt_); }
 
+Buf TcpConnection::slice_send(std::size_t offset, std::size_t len) const {
+  std::size_t skip = chunk_head_ + offset;
+  std::size_t i = 0;
+  while (skip >= send_chunks_[i].size()) {
+    skip -= send_chunks_[i].size();
+    ++i;
+  }
+  const Buf& first = send_chunks_[i];
+  if (first.size() - skip >= len) {
+    // Common case: the whole segment lies inside one chunk — a refcounted
+    // view, no bytes move (retransmits re-slice the same storage).
+    return first.slice(skip, len);
+  }
+  // Segment straddles a chunk boundary: gather into fresh storage.
+  Bytes out;
+  out.reserve(len);
+  std::size_t need = len;
+  for (std::size_t off = skip; need > 0; ++i, off = 0) {
+    const Buf& chunk = send_chunks_[i];
+    const std::size_t take = std::min(need, chunk.size() - off);
+    out.insert(out.end(), chunk.begin() + off, chunk.begin() + off + take);
+    need -= take;
+  }
+  bufstats::add_bytes_copied(len);
+  return Buf(std::move(out));
+}
+
 void TcpConnection::pump() {
   if (state_ != State::kEstablished && state_ != State::kFinSent) return;
   const std::uint32_t window = std::min(send_window_cap_, peer_window_);
   while (true) {
     const std::uint64_t in_flight = snd_nxt_ - snd_una_;
     if (in_flight >= window) break;
-    if (in_flight >= send_buf_.size()) break;  // nothing unsent
+    if (in_flight >= send_size_) break;  // nothing unsent
     const std::size_t offset = static_cast<std::size_t>(in_flight);
     const std::size_t len =
-        std::min({kTcpMss, send_buf_.size() - offset,
+        std::min({kTcpMss, send_size_ - offset,
                   static_cast<std::size_t>(window - in_flight)});
     if (len == 0) break;
-    Bytes payload(send_buf_.begin() + static_cast<std::ptrdiff_t>(offset),
-                  send_buf_.begin() + static_cast<std::ptrdiff_t>(offset + len));
-    emit(kTcpAck, std::move(payload), snd_nxt_);
+    emit(kTcpAck, slice_send(offset, len), snd_nxt_);
     snd_nxt_ += len;
     if (snd_nxt_ > max_seq_sent_) {
       // Count only never-before-sent bytes; retransmissions don't inflate
@@ -214,7 +252,7 @@ void TcpConnection::pump() {
     }
     arm_rto();
   }
-  if (fin_pending_ && !fin_sent_ && send_buf_.empty() &&
+  if (fin_pending_ && !fin_sent_ && send_size_ == 0 &&
       snd_una_ == snd_nxt_) {
     emit(kTcpFin | kTcpAck, {}, snd_nxt_);
     snd_nxt_ += 1;  // FIN consumes a sequence number
@@ -347,10 +385,23 @@ void TcpConnection::handle_segment(const Packet& pkt) {
   if (pkt.tcp.flags & kTcpAck) {
     if (pkt.tcp.ack > snd_una_) {
       const std::uint64_t limit = std::min(pkt.tcp.ack, snd_nxt_);
-      const std::size_t pop = std::min<std::uint64_t>(
-          limit - snd_una_, send_buf_.size());
-      send_buf_.erase(send_buf_.begin(),
-                      send_buf_.begin() + static_cast<std::ptrdiff_t>(pop));
+      // O(1) trim: advance the head offset, popping (refcount-dropping)
+      // whole chunks as they fully fall below the ACK watermark. No byte
+      // is touched.
+      std::size_t pop = static_cast<std::size_t>(
+          std::min<std::uint64_t>(limit - snd_una_, send_size_));
+      send_size_ -= pop;
+      while (pop > 0) {
+        const std::size_t avail = send_chunks_.front().size() - chunk_head_;
+        if (pop >= avail) {
+          pop -= avail;
+          send_chunks_.pop_front();
+          chunk_head_ = 0;
+        } else {
+          chunk_head_ += pop;
+          pop = 0;
+        }
+      }
       snd_una_ = limit;
       if (rtt_probe_armed_ && snd_una_ >= rtt_probe_seq_) {
         rtt_probe_armed_ = false;
@@ -401,10 +452,9 @@ void TcpConnection::handle_segment(const Packet& pkt) {
       rcv_nxt_ += pkt.payload.size();
       bytes_received_ += pkt.payload.size();
       if (on_data_) {
-        on_data_(pkt.payload);
+        on_data_(pkt.payload);  // refcounted share, not a byte copy
       } else {
-        pending_rx_.insert(pending_rx_.end(), pkt.payload.begin(),
-                           pkt.payload.end());
+        pending_rx_.push_back(pkt.payload);
       }
       if (state_ == State::kClosed) return;  // on_data_ may have closed us
     } else if (pkt.tcp.seq + pkt.payload.size() <= rcv_nxt_) {

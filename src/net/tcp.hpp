@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buf.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "net/packet.hpp"
@@ -57,7 +58,7 @@ inline constexpr unsigned kTcpStallRetries = 3;
 
 class TcpConnection {
  public:
-  using DataCallback = std::function<void(Bytes)>;
+  using DataCallback = std::function<void(Buf)>;
   using EstablishedCallback = std::function<void()>;
   using ClosedCallback = std::function<void(Status)>;
 
@@ -71,8 +72,15 @@ class TcpConnection {
 
   ~TcpConnection() { cancel_rto(); }
 
-  /// Queue bytes for transmission. No-op after close()/abort().
-  void send(Bytes data);
+  /// Queue bytes for transmission. No-op after close()/abort(). The Buf
+  /// is adopted by reference — no copy until (and unless) a segment
+  /// straddles a chunk boundary.
+  void send(Buf data);
+  void send(Bytes data) { send(Buf(std::move(data))); }
+  /// Queue a chunked wire message; all chunks are enqueued before the
+  /// send window is pumped, so segmentation on the wire is identical to
+  /// sending the flattened message.
+  void send(BufChain chunks);
 
   /// Register the in-order data sink. Bytes arriving before registration
   /// are buffered and flushed on registration.
@@ -111,7 +119,7 @@ class TcpConnection {
     return snd_una_ > 0 ? snd_una_ - 1 : 0;
   }
   /// Bytes queued locally and not yet acknowledged (sent or unsent).
-  std::size_t send_backlog() const { return send_buf_.size(); }
+  std::size_t send_backlog() const { return send_size_; }
   std::uint64_t unacked() const { return snd_nxt_ - snd_una_; }
 
  private:
@@ -122,7 +130,11 @@ class TcpConnection {
 
   void handle_segment(const Packet& pkt);
   void pump();
-  void emit(std::uint8_t flags, Bytes payload, std::uint64_t seq);
+  void emit(std::uint8_t flags, Buf payload, std::uint64_t seq);
+  /// View of send-buffer bytes [offset, offset+len) relative to snd_una_.
+  /// O(1) zero-copy slice when the range lies within one chunk; a counted
+  /// gather copy when a segment straddles chunk boundaries.
+  Buf slice_send(std::size_t offset, std::size_t len) const;
   void send_ack();
   void send_syn() { emit(kTcpSyn, {}, 0); }
   void send_synack() { emit(kTcpSyn | kTcpAck, {}, 0); }
@@ -140,12 +152,18 @@ class TcpConnection {
   SocketAddr remote_;
   State state_;
 
-  // Sender state. send_buf_ holds every payload byte from snd_una_ on —
-  // both unsent bytes and sent-but-unacknowledged bytes (the
+  // Sender state. send_chunks_ holds every payload byte from snd_una_ on
+  // — both unsent bytes and sent-but-unacknowledged bytes (the
   // retransmission buffer); the sent prefix has length snd_nxt_ - snd_una_.
+  // The buffer is an offset-indexed deque of refcounted chunks:
+  // chunk_head_ bytes of the front chunk are already acknowledged, so an
+  // ACK trim advances chunk_head_ / pops whole chunks — amortized O(1),
+  // no memmove — and segmentation slices views out of the chunks.
   std::uint64_t snd_una_ = 0;  // oldest unacknowledged
   std::uint64_t snd_nxt_ = 0;  // next to send
-  std::deque<std::uint8_t> send_buf_;
+  std::deque<Buf> send_chunks_;
+  std::size_t chunk_head_ = 0;  // acked bytes of send_chunks_.front()
+  std::size_t send_size_ = 0;   // unacked bytes buffered, across chunks
   std::uint32_t send_window_cap_;
   std::uint32_t peer_window_;
   bool fin_pending_ = false;
@@ -168,7 +186,7 @@ class TcpConnection {
   // Receiver state.
   std::uint64_t rcv_nxt_ = 0;
   std::uint32_t recv_window_;
-  Bytes pending_rx_;  // buffered until set_on_data
+  std::vector<Buf> pending_rx_;  // buffered until set_on_data
 
   DataCallback on_data_;
   EstablishedCallback on_established_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/buf.hpp"
 #include "sim/simulator.hpp"
 
 namespace storm::obs {
@@ -60,7 +61,12 @@ Histogram& Scope::histogram(const std::string& name) const {
   return registry_->histogram(prefix_ + name);
 }
 
-Registry::Registry(sim::Simulator& simulator) : sim_(simulator) {}
+Registry::Registry(sim::Simulator& simulator)
+    : sim_(simulator), copy_baseline_(bufstats::bytes_copied()) {
+  // Pre-register so the counter appears (as 0) even in dumps taken
+  // before any payload byte was copied.
+  counter("net.bytes_copied");
+}
 
 Counter& Registry::counter(const std::string& name) {
   auto& slot = counters_[name];
@@ -96,7 +102,13 @@ void Registry::record_event(std::string what) {
   recorder_.record(sim_.now(), std::move(what));
 }
 
-std::string Registry::to_json(bool include_spans) const {
+std::string Registry::to_json(bool include_spans) {
+  // Sync the data-path copy tally: counters only add, so bring the
+  // exported counter up to the current delta.
+  Counter& copied = counter("net.bytes_copied");
+  const std::uint64_t delta = bufstats::bytes_copied() - copy_baseline_;
+  if (delta > copied.value()) copied.add(delta - copied.value());
+
   std::string out;
   out += "{\n  \"sim_time_ns\": " + std::to_string(sim_.now());
 

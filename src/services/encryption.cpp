@@ -19,10 +19,10 @@ EncryptionService::EncryptionService(Bytes key, EncryptionConfig config)
 }
 
 void EncryptionService::crypt(bool encrypt, std::uint64_t first_sector,
-                              Bytes& data) {
+                              std::span<std::uint8_t> data) {
   for (std::size_t off = 0; off + block::kSectorSize <= data.size();
        off += block::kSectorSize) {
-    std::span<std::uint8_t> sector(data.data() + off, block::kSectorSize);
+    std::span<std::uint8_t> sector = data.subspan(off, block::kSectorSize);
     if (encrypt) {
       xts_->encrypt_sector(first_sector + off / block::kSectorSize, sector,
                            sector);
@@ -40,8 +40,10 @@ core::ServiceVerdict EncryptionService::on_pdu(core::ServiceContext& ctx,
   if (dir == core::Direction::kToTarget) {
     if (pdu.opcode == iscsi::Opcode::kScsiCommand && !pdu.is_read() &&
         !pdu.data.empty()) {
-      // Immediate data starts at the command's LBA.
-      crypt(true, pdu.lba, pdu.data);
+      // Immediate data starts at the command's LBA. mutable_span() clones
+      // the payload iff another holder (journal, retransmit queue) still
+      // references the plaintext bytes.
+      crypt(true, pdu.lba, pdu.data.mutable_span());
       encrypted_ += pdu.data.size();
       ctx.scope().counter("encryption.bytes_encrypted").add(pdu.data.size());
       verdict.cpu_cost = config_.per_io + static_cast<sim::Duration>(
@@ -54,7 +56,7 @@ core::ServiceVerdict EncryptionService::on_pdu(core::ServiceContext& ctx,
       auto lba = write_lbas_.find(pdu.task_tag);
       if (lba != write_lbas_.end()) {
         crypt(true, lba->second + pdu.data_offset / block::kSectorSize,
-              pdu.data);
+              pdu.data.mutable_span());
         encrypted_ += pdu.data.size();
         ctx.scope().counter("encryption.bytes_encrypted").add(pdu.data.size());
         verdict.cpu_cost = static_cast<sim::Duration>(
@@ -73,7 +75,7 @@ core::ServiceVerdict EncryptionService::on_pdu(core::ServiceContext& ctx,
     auto info = tracker_.read_info(pdu.task_tag);
     if (info) {
       crypt(false, info->lba + pdu.data_offset / block::kSectorSize,
-            pdu.data);
+            pdu.data.mutable_span());
       decrypted_ += pdu.data.size();
       ctx.scope().counter("encryption.bytes_decrypted").add(pdu.data.size());
       verdict.cpu_cost = config_.per_io + static_cast<sim::Duration>(

@@ -38,7 +38,8 @@ class EncryptionService : public core::StorageService {
   std::uint64_t bytes_decrypted() const { return decrypted_; }
 
  private:
-  void crypt(bool encrypt, std::uint64_t first_sector, Bytes& data);
+  void crypt(bool encrypt, std::uint64_t first_sector,
+             std::span<std::uint8_t> data);
 
   std::unique_ptr<crypto::AesXts> xts_;
   EncryptionConfig config_;

@@ -66,19 +66,19 @@ void ReplicationService::serve_read_from_replica(std::size_t replica_index,
           // command toward the primary volume.
           mark_dead(replica_index);
           iscsi::Pdu retry = command;
-          retry.data.clear();
+          retry.data = Buf{};
           ctx.inject_to_target(retry);
           return;
         }
+        Buf whole(std::move(data));
         std::uint32_t offset = 0;
-        while (offset < data.size()) {
+        while (offset < whole.size()) {
           std::uint32_t n = std::min<std::uint32_t>(
               iscsi::kMaxDataSegment,
-              static_cast<std::uint32_t>(data.size()) - offset);
-          Bytes chunk(data.begin() + offset, data.begin() + offset + n);
+              static_cast<std::uint32_t>(whole.size()) - offset);
           ctx.inject_to_initiator(iscsi::make_data_in(
-              command.task_tag, offset, std::move(chunk),
-              offset + n == data.size()));
+              command.task_tag, offset, whole.slice(offset, n),
+              offset + n == whole.size()));
           offset += n;
         }
         ctx.inject_to_initiator(

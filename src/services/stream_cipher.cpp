@@ -17,7 +17,8 @@ StreamCipherService::StreamCipherService(Bytes key,
   std::memcpy(key_.data(), key.data(), 32);
 }
 
-void StreamCipherService::crypt(std::uint64_t byte_position, Bytes& data) {
+void StreamCipherService::crypt(std::uint64_t byte_position,
+                                std::span<std::uint8_t> data) {
   // Key the stream to the 64-byte-block-aligned volume position so random
   // access stays self-consistent; handle intra-block offsets by
   // processing the unaligned head separately.
@@ -51,13 +52,16 @@ core::ServiceVerdict StreamCipherService::on_pdu(core::ServiceContext& ctx,
   if (dir == core::Direction::kToTarget) {
     if (pdu.opcode == iscsi::Opcode::kScsiCommand && !pdu.is_read() &&
         !pdu.data.empty()) {
-      crypt(pdu.lba * block::kSectorSize, pdu.data);
+      // COW: clones the payload iff the journal or a retransmit queue
+      // still references the plaintext bytes.
+      crypt(pdu.lba * block::kSectorSize, pdu.data.mutable_span());
       verdict.cpu_cost = cost_of(pdu.data.size());
       if (!pdu.is_final()) write_lbas_[pdu.task_tag] = pdu.lba;
     } else if (pdu.opcode == iscsi::Opcode::kDataOut && !pdu.data.empty()) {
       auto lba = write_lbas_.find(pdu.task_tag);
       if (lba != write_lbas_.end()) {
-        crypt(lba->second * block::kSectorSize + pdu.data_offset, pdu.data);
+        crypt(lba->second * block::kSectorSize + pdu.data_offset,
+              pdu.data.mutable_span());
         verdict.cpu_cost = cost_of(pdu.data.size());
         if (pdu.is_final()) write_lbas_.erase(lba);
       }
@@ -68,7 +72,8 @@ core::ServiceVerdict StreamCipherService::on_pdu(core::ServiceContext& ctx,
   }
   if (pdu.opcode == iscsi::Opcode::kDataIn && !pdu.data.empty()) {
     if (auto info = tracker_.read_info(pdu.task_tag)) {
-      crypt(info->lba * block::kSectorSize + pdu.data_offset, pdu.data);
+      crypt(info->lba * block::kSectorSize + pdu.data_offset,
+            pdu.data.mutable_span());
       verdict.cpu_cost = cost_of(pdu.data.size());
     }
   } else if (pdu.opcode == iscsi::Opcode::kScsiResponse) {

@@ -33,7 +33,7 @@ class StreamCipherService : public core::StorageService {
   std::uint64_t bytes_processed() const { return processed_; }
 
  private:
-  void crypt(std::uint64_t byte_position, Bytes& data);
+  void crypt(std::uint64_t byte_position, std::span<std::uint8_t> data);
 
   std::array<std::uint8_t, 32> key_{};
   StreamCipherConfig config_;

@@ -38,7 +38,7 @@ class IoTracker {
           WriteBurst burst;
           burst.lba = pdu.lba;
           burst.expected = pdu.transfer_length;
-          burst.data = pdu.data;
+          burst.data = pdu.data.to_bytes();
           if (burst.complete()) return burst;
           writes_[pdu.task_tag] = std::move(burst);
           return std::nullopt;
@@ -46,8 +46,7 @@ class IoTracker {
       case iscsi::Opcode::kDataOut: {
         auto it = writes_.find(pdu.task_tag);
         if (it == writes_.end()) return std::nullopt;
-        it->second.data.insert(it->second.data.end(), pdu.data.begin(),
-                               pdu.data.end());
+        pdu.data.append_to(it->second.data);
         if (it->second.complete()) {
           WriteBurst burst = std::move(it->second);
           writes_.erase(it);

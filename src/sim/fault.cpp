@@ -37,7 +37,7 @@ PacketFaultDecision FaultPlan::decide(const PacketFaultProfile& profile,
   return d;
 }
 
-void FaultPlan::flip_random_bit(Bytes& buf) {
+void FaultPlan::flip_random_bit(std::span<std::uint8_t> buf) {
   if (buf.empty()) return;
   std::uint64_t bit = rng_.below(buf.size() * 8);
   buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));

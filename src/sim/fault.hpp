@@ -69,7 +69,11 @@ class FaultPlan {
                              const std::string& label);
 
   /// Flip one uniformly-chosen bit in `buf` (no-op on empty buffers).
-  void flip_random_bit(Bytes& buf);
+  /// The span form is what the link uses on a packet's COW payload view.
+  void flip_random_bit(std::span<std::uint8_t> buf);
+  void flip_random_bit(Bytes& buf) {
+    flip_random_bit(std::span<std::uint8_t>(buf));
+  }
 
   /// Schedule a named fault action; it is recorded in the trace when it
   /// fires.

@@ -41,13 +41,14 @@ void FtpServer::start() {
 void FtpServer::on_accept(net::TcpConnection& conn) {
   auto session = std::make_shared<Session>();
   session->conn = &conn;
-  conn.set_on_data([this, session](Bytes data) { on_data(session, data); });
+  conn.set_on_data(
+      [this, session](Buf data) { on_data(session, std::move(data)); });
 }
 
-void FtpServer::on_data(std::shared_ptr<Session> session, Bytes data) {
+void FtpServer::on_data(std::shared_ptr<Session> session, Buf data) {
   if (session->finished) return;
   if (!session->header_done) {
-    session->buffer.insert(session->buffer.end(), data.begin(), data.end());
+    data.append_to(session->buffer);
     auto line = take_line(session->buffer);
     if (!line) return;
     std::istringstream header(*line);
@@ -83,7 +84,7 @@ void FtpServer::on_data(std::shared_ptr<Session> session, Bytes data) {
     return;
   }
   // Upload payload bytes.
-  session->pending.insert(session->pending.end(), data.begin(), data.end());
+  data.append_to(session->pending);
   session->received += data.size();
   pump_upload(session);
 }
@@ -187,7 +188,7 @@ void FtpClient::upload(const std::string& name, std::uint64_t bytes,
   };
   (*step)();
 
-  conn.set_on_data([done, started, bytes, sim, conn_ptr](Bytes reply) {
+  conn.set_on_data([done, started, bytes, sim, conn_ptr](Buf reply) {
     if (reply.empty()) return;
     FtpTransferResult result;
     result.bytes = bytes;
@@ -211,9 +212,9 @@ void FtpClient::download(const std::string& name,
   auto header = std::make_shared<Bytes>();
   auto conn_ptr = &conn;
   conn.set_on_data([state, header, done, started, sim,
-                    conn_ptr](Bytes data) {
+                    conn_ptr](Buf data) {
     if (state->first < 0) {
-      header->insert(header->end(), data.begin(), data.end());
+      data.append_to(*header);
       auto line = take_line(*header);
       if (!line) return;
       state->first = std::stoll(*line);

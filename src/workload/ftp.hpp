@@ -44,7 +44,7 @@ class FtpServer {
   };
 
   void on_accept(net::TcpConnection& conn);
-  void on_data(std::shared_ptr<Session> session, Bytes data);
+  void on_data(std::shared_ptr<Session> session, Buf data);
   void pump_upload(std::shared_ptr<Session> session);
   void serve_download(std::shared_ptr<Session> session,
                       const std::string& name);

@@ -124,7 +124,7 @@ DbServer::DbServer(cloud::Vm& vm, MiniDb& db, std::uint16_t port)
 void DbServer::start() {
   vm_.node().tcp().listen(port_, [this](net::TcpConnection& conn) {
     auto pending = std::make_shared<std::size_t>(0);
-    conn.set_on_data([this, &conn, pending](Bytes data) {
+    conn.set_on_data([this, &conn, pending](Buf data) {
       // Each newline is one transaction request.
       for (std::uint8_t byte : data) {
         if (byte != '\n') continue;
@@ -175,7 +175,7 @@ void OltpClient::thread_loop(net::TcpConnection* conn) {
   }
   conn->send(to_bytes("TXN\n"));
   // One outstanding request per thread: wait for the reply line.
-  conn->set_on_data([this, conn](Bytes reply) {
+  conn->set_on_data([this, conn](Buf reply) {
     auto& sim2 = vm_.node().simulator();
     for (std::uint8_t byte : reply) {
       if (byte != '\n') continue;

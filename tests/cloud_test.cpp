@@ -38,7 +38,7 @@ TEST_F(CloudTest, VmToVmTcpAcrossHosts) {
   Vm& b = cloud_.create_vm("vm-b", "tenant1", 1);
   Bytes received;
   b.node().tcp().listen(7000, [&](net::TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });

@@ -54,9 +54,9 @@ TEST(Policy, RejectsMalformedInput) {
 
 TEST(RelayJournal, AppendTrimReplay) {
   RelayJournal journal;
-  journal.append(Bytes(100, 1), 100);
-  journal.append(Bytes(50, 2), 150);
-  journal.append(Bytes(25, 3), 175);
+  journal.append({Buf(Bytes(100, 1))}, 100);
+  journal.append({Buf(Bytes(50, 2))}, 150);
+  journal.append({Buf(Bytes(25, 3))}, 175);
   EXPECT_EQ(journal.entries(), 3u);
   EXPECT_EQ(journal.bytes(), 175u);
 
@@ -68,7 +68,7 @@ TEST(RelayJournal, AppendTrimReplay) {
   EXPECT_EQ(journal.entries(), 1u);
   auto replay = journal.unacknowledged();
   ASSERT_EQ(replay.size(), 1u);
-  EXPECT_EQ(replay[0], Bytes(25, 3));
+  EXPECT_EQ(chain_to_bytes(replay[0]), Bytes(25, 3));
   journal.trim(175);
   EXPECT_EQ(journal.bytes(), 0u);
 }
@@ -89,7 +89,7 @@ class XorService : public StorageService {
     bool is_read_data = dir == Direction::kToInitiator &&
                         pdu.opcode == iscsi::Opcode::kDataIn;
     if (is_write_data || is_read_data) {
-      for (auto& byte : pdu.data) byte ^= 0x5A;
+      for (auto& byte : pdu.data.mutable_span()) byte ^= 0x5A;
       ++transformed_;
     }
     return {};

@@ -98,7 +98,7 @@ Bytes transfer_through(TwoNodeNet& net, sim::FaultPlan& plan,
   net.link.set_fault(&plan, profile, "ab");
   Bytes received;
   net.b.tcp().listen(80, [&](net::TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });
@@ -190,10 +190,10 @@ Bytes wire_of(const iscsi::Pdu& pdu) { return iscsi::serialize(pdu); }
 TEST(RelayJournal, TrimNeverSplitsABurst) {
   core::RelayJournal journal;
   // Burst 1: A (final). Burst 2: B (mid) + C (final). Burst 3: D (mid).
-  journal.append(Bytes(10, 1), 10, true);
-  journal.append(Bytes(10, 2), 20, false);
-  journal.append(Bytes(10, 3), 30, true);
-  journal.append(Bytes(10, 4), 40, false);
+  journal.append({Buf(Bytes(10, 1))}, 10, true);
+  journal.append({Buf(Bytes(10, 2))}, 20, false);
+  journal.append({Buf(Bytes(10, 3))}, 30, true);
+  journal.append({Buf(Bytes(10, 4))}, 40, false);
   ASSERT_EQ(journal.entries(), 4u);
 
   // Ack lands mid-burst-2: only whole burst 1 may go.
@@ -204,7 +204,7 @@ TEST(RelayJournal, TrimNeverSplitsABurst) {
   // Ack covers burst 2 exactly: B and C go, the torn tail D stays.
   journal.trim(30);
   EXPECT_EQ(journal.entries(), 1u);
-  EXPECT_EQ(journal.unacknowledged().front(), Bytes(10, 4));
+  EXPECT_EQ(chain_to_bytes(journal.unacknowledged().front()), Bytes(10, 4));
 
   // Acks past a non-boundary tail never drop it.
   journal.trim(1000);
@@ -221,7 +221,7 @@ TEST(RelayJournal, ReplayHeadIsAlwaysAFreshCommand) {
     iscsi::Pdu cmd = iscsi::make_write_command(burst + 1, burst * 64, 16384);
     Bytes w = wire_of(cmd);
     watermark += w.size();
-    journal.append(w, watermark, cmd.is_final());
+    journal.append({Buf(std::move(w))}, watermark, cmd.is_final());
     watermarks.push_back(watermark);
     for (std::uint32_t off = 0; off < 16384; off += iscsi::kMaxDataSegment) {
       iscsi::Pdu data = iscsi::make_data_out(
@@ -229,7 +229,7 @@ TEST(RelayJournal, ReplayHeadIsAlwaysAFreshCommand) {
           off + iscsi::kMaxDataSegment == 16384);
       Bytes dw = wire_of(data);
       watermark += dw.size();
-      journal.append(dw, watermark, data.is_final());
+      journal.append({Buf(std::move(dw))}, watermark, data.is_final());
       watermarks.push_back(watermark);
     }
   }
@@ -244,8 +244,9 @@ TEST(RelayJournal, ReplayHeadIsAlwaysAFreshCommand) {
     copy.trim(ack);
     auto replay = copy.unacknowledged();
     if (replay.empty()) continue;
-    auto parsed = iscsi::parse_pdu(std::span<const std::uint8_t>(
-        replay.front().data() + 4, replay.front().size() - 4));
+    Bytes head = chain_to_bytes(replay.front());
+    auto parsed = iscsi::parse_pdu(
+        std::span<const std::uint8_t>(head.data() + 4, head.size() - 4));
     ASSERT_TRUE(parsed.is_ok()) << "ack=" << ack;
     EXPECT_EQ(parsed.value().opcode, iscsi::Opcode::kScsiCommand)
         << "replay after ack=" << ack << " starts mid-burst with "
@@ -255,8 +256,8 @@ TEST(RelayJournal, ReplayHeadIsAlwaysAFreshCommand) {
 
 TEST(RelayJournal, WatermarkTrimmingTracksBytes) {
   core::RelayJournal journal;
-  journal.append(Bytes(100, 1), 100, true);
-  journal.append(Bytes(50, 2), 150, true);
+  journal.append({Buf(Bytes(100, 1))}, 100, true);
+  journal.append({Buf(Bytes(50, 2))}, 150, true);
   EXPECT_EQ(journal.bytes(), 150u);
   journal.trim(99);  // nothing fully acked
   EXPECT_EQ(journal.bytes(), 150u);

@@ -34,8 +34,9 @@ Pdu random_pdu(Rng& rng) {
     pdu.text.push_back(static_cast<char>('a' + rng.below(26)));
   }
   std::size_t data_len = rng.below(3000);
-  pdu.data.resize(data_len);
-  for (auto& b : pdu.data) b = static_cast<std::uint8_t>(rng.below(256));
+  Bytes data(data_len);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  pdu.data = std::move(data);
   return pdu;
 }
 
@@ -97,7 +98,7 @@ TEST(PduFuzz, EveryTruncationIsARejectedParseNotACrash) {
 TEST(PduFuzz, EverySingleBitFlipInBodyIsDetected) {
   Rng rng(8);
   Pdu pdu = random_pdu(rng);
-  pdu.data.resize(std::min<std::size_t>(pdu.data.size(), 200));
+  pdu.data = pdu.data.slice(0, std::min<std::size_t>(pdu.data.size(), 200));
   pdu.data_digest = 0;
   Bytes wire = serialize(pdu);
   const std::size_t body_len = wire.size() - 4;

@@ -53,14 +53,14 @@ TEST(Tcp, TransfersDataBothWays) {
   TwoNodeNet net;
   Bytes server_got, client_got;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&server_got, &conn](Bytes data) {
+    conn.set_on_data([&server_got, &conn](Buf data) {
       server_got.insert(server_got.end(), data.begin(), data.end());
       conn.send(to_bytes("pong"));
     });
   });
   TcpConnection& client =
       net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
-  client.set_on_data([&](Bytes data) {
+  client.set_on_data([&](Buf data) {
     client_got.insert(client_got.end(), data.begin(), data.end());
   });
   client.send(to_bytes("ping"));
@@ -74,7 +74,7 @@ TEST(Tcp, LargeTransferPreservesBytes) {
   const Bytes payload = testutil::pattern_bytes(1'000'000);
   Bytes received;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });
@@ -90,7 +90,7 @@ TEST(Tcp, SendBeforeEstablishedIsBuffered) {
   TwoNodeNet net;
   Bytes received;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });
@@ -108,7 +108,7 @@ TEST(Tcp, WindowLimitsInFlightBytes) {
   const std::size_t total = 1'000'000;
   Bytes received;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });
@@ -130,7 +130,7 @@ TEST(Tcp, BiggerWindowIsFaster) {
     net.b.tcp().set_default_window(window);
     std::size_t received = 0;
     net.b.tcp().listen(80, [&](TcpConnection& conn) {
-      conn.set_on_data([&](Bytes data) { received += data.size(); });
+      conn.set_on_data([&](Buf data) { received += data.size(); });
     });
     TcpConnection& client =
         net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
@@ -152,7 +152,7 @@ TEST(Tcp, AdvertisedWindowCapsSender) {
   net.a.tcp().set_default_window(1024 * 1024); // sender cap huge
   std::size_t received = 0;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) { received += data.size(); });
+    conn.set_on_data([&](Buf data) { received += data.size(); });
   });
   TcpConnection& client =
       net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
@@ -174,7 +174,7 @@ TEST(Tcp, GracefulCloseDeliversFinAfterData) {
   bool server_closed = false;
   Status server_status = error(ErrorCode::kIoError, "unset");
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
     conn.set_on_closed([&](Status s) {
@@ -219,7 +219,7 @@ TEST(Tcp, SendAfterCloseIsIgnored) {
   TwoNodeNet net;
   Bytes received;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
-    conn.set_on_data([&](Bytes data) {
+    conn.set_on_data([&](Buf data) {
       received.insert(received.end(), data.begin(), data.end());
     });
   });
@@ -238,7 +238,7 @@ TEST(Tcp, ManyConcurrentConnections) {
   std::size_t total_received = 0;
   net.b.tcp().listen(80, [&](TcpConnection& conn) {
     ++accepted;
-    conn.set_on_data([&](Bytes data) { total_received += data.size(); });
+    conn.set_on_data([&](Buf data) { total_received += data.size(); });
   });
   constexpr int kConns = 20;
   for (int i = 0; i < kConns; ++i) {
