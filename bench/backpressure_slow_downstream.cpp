@@ -1,0 +1,161 @@
+// Slow-downstream backpressure bench (flow-control spine): the storage
+// backend stalls for 500 ms of sim time while the initiator pushes a
+// sustained stream of 64 KiB writes through an active relay. With the
+// journal watermarks configured the relay's buffering (queue + NVRAM
+// journal) must stay under hwm + one burst + one ingress TCP window;
+// with watermarks disabled the same workload journals megabytes. The
+// bounded scenario runs twice and must produce byte-identical telemetry
+// JSON (determinism is load-bearing for the CI perf smoke). Results go
+// to BENCH_backpressure.json; exit is non-zero if the bound is blown,
+// the unbounded baseline fails to demonstrate the problem, any write
+// fails, or the two seeded runs diverge.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/active_relay.hpp"
+#include "core/platform.hpp"
+#include "services/registry.hpp"
+
+using namespace storm;
+
+namespace {
+
+constexpr int kWrites = 48;
+constexpr std::uint32_t kSectors = 128;  // 64 KiB per write
+constexpr std::size_t kBurstBytes = kSectors * block::kSectorSize;
+constexpr std::size_t kHwm = 256 * 1024;
+constexpr std::size_t kLwm = 64 * 1024;
+// Watermark + the complete burst that is allowed to finish past it + one
+// ingress TCP receive window of in-flight credit + header/parse slop.
+constexpr std::size_t kBoundedCap = kHwm + kBurstBytes + 36 * 1024 + 32 * 1024;
+
+struct ScenarioResult {
+  std::size_t peak_buffered = 0;
+  int completed = 0;
+  int failed = 0;
+  double done_at_s = 0.0;
+  std::string telemetry;
+};
+
+ScenarioResult run_scenario(std::size_t hwm_kb, std::size_t lwm_kb) {
+  sim::Simulator sim;
+  cloud::Cloud cloud(sim, cloud::CloudConfig{});
+  core::StormPlatform platform(cloud);
+  services::register_builtin_services(platform);
+
+  cloud::Vm& vm = cloud.create_vm("vm", "tenant", 0);
+  if (!cloud.create_volume("vol", 10'000).is_ok()) return {};
+
+  core::ServiceSpec spec;
+  spec.type = "noop";
+  spec.relay = core::RelayMode::kActive;
+  spec.params["journal_hwm_kb"] = std::to_string(hwm_kb);
+  spec.params["journal_lwm_kb"] = std::to_string(lwm_kb);
+  core::DeploymentHandle dep;
+  Status status = error(ErrorCode::kIoError, "unset");
+  platform.attach_with_chain("vm", "vol", {spec},
+                             [&](Result<core::DeploymentHandle> r) {
+                               status = r.status();
+                               if (r.is_ok()) dep = r.value();
+                             });
+  sim.run();
+  if (!status.is_ok() || !dep.valid()) return {};
+  core::ActiveRelay* relay = dep.active_relay(0);
+  if (relay == nullptr) return {};
+
+  // Stall the backend for 500 ms of sim time; the initiator issues the
+  // whole 3 MiB workload up front, so without backpressure everything
+  // the early-ACK loop can pull in lands in the relay during the stall.
+  cloud.storage(0).node().set_down(true);
+  sim.after(sim::milliseconds(500),
+            [&] { cloud.storage(0).node().set_down(false); });
+
+  ScenarioResult result;
+  for (int i = 0; i < kWrites; ++i) {
+    vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,
+                     Bytes(kBurstBytes, static_cast<std::uint8_t>(i + 1)),
+                     [&, i](Status s) {
+                       ++result.completed;
+                       if (!s.is_ok()) ++result.failed;
+                     });
+  }
+  while (result.completed < kWrites) {
+    sim.run_until(sim.now() + sim::milliseconds(5));
+    result.peak_buffered =
+        std::max(result.peak_buffered, relay->buffered_bytes());
+    if (sim.empty()) break;
+  }
+  result.done_at_s = sim::to_seconds(sim.now());
+  sim.run();
+  result.peak_buffered =
+      std::max(result.peak_buffered, relay->peak_buffered_bytes());
+  result.telemetry = sim.telemetry().to_json(false);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("backpressure: slow downstream, 500 ms stall");
+
+  ScenarioResult bounded = run_scenario(kHwm / 1024, kLwm / 1024);
+  ScenarioResult repeat = run_scenario(kHwm / 1024, kLwm / 1024);
+  ScenarioResult unbounded = run_scenario(0, 0);
+
+  std::printf("workload: %d x %zu KiB writes, backend down 500 ms\n",
+              kWrites, kBurstBytes / 1024);
+  std::printf("bounded   (hwm %zu KiB): peak buffered %zu KiB, cap %zu KiB, "
+              "done at %.3f s (%d ok, %d failed)\n",
+              kHwm / 1024, bounded.peak_buffered / 1024, kBoundedCap / 1024,
+              bounded.done_at_s, bounded.completed, bounded.failed);
+  std::printf("unbounded (hwm 0):       peak buffered %zu KiB, "
+              "done at %.3f s (%d ok, %d failed)\n",
+              unbounded.peak_buffered / 1024, unbounded.done_at_s,
+              unbounded.completed, unbounded.failed);
+
+  const bool deterministic =
+      !bounded.telemetry.empty() && bounded.telemetry == repeat.telemetry;
+  std::printf("determinism: two seeded bounded runs %s\n",
+              deterministic ? "byte-identical" : "DIVERGED");
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"backpressure_slow_downstream\","
+      "\"writes\":%d,\"write_bytes\":%zu,\"stall_ms\":500,"
+      "\"hwm_bytes\":%zu,\"lwm_bytes\":%zu,\"cap_bytes\":%zu,"
+      "\"bounded_peak_bytes\":%zu,\"unbounded_peak_bytes\":%zu,"
+      "\"bounded_done_s\":%.6f,\"unbounded_done_s\":%.6f,"
+      "\"deterministic\":%s}",
+      kWrites, kBurstBytes, kHwm, kLwm, kBoundedCap, bounded.peak_buffered,
+      unbounded.peak_buffered, bounded.done_at_s, unbounded.done_at_s,
+      deterministic ? "true" : "false");
+  std::printf("%s\n", json);
+  std::ofstream("BENCH_backpressure.json") << json << "\n";
+
+  bool ok = true;
+  if (bounded.completed != kWrites || bounded.failed != 0 ||
+      unbounded.completed != kWrites || unbounded.failed != 0) {
+    std::fprintf(stderr, "FAIL: writes lost or failed\n");
+    ok = false;
+  }
+  if (bounded.peak_buffered > kBoundedCap) {
+    std::fprintf(stderr, "FAIL: bounded peak %zu exceeds cap %zu\n",
+                 bounded.peak_buffered, kBoundedCap);
+    ok = false;
+  }
+  if (unbounded.peak_buffered < 1024 * 1024) {
+    std::fprintf(stderr,
+                 "FAIL: unbounded peak %zu under 1 MiB — the baseline no "
+                 "longer demonstrates the problem\n",
+                 unbounded.peak_buffered);
+    ok = false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: seeded runs produced different telemetry\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

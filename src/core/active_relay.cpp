@@ -11,7 +11,12 @@ namespace storm::core {
 
 void RelayJournal::append(BufChain wire, std::uint64_t watermark,
                           bool boundary) {
-  bytes_ += chain_size(wire);
+  const std::size_t size = chain_size(wire);
+  bytes_ += size;
+  // A boundary PDU closes the open burst: everything accumulated in the
+  // torn tail becomes part of a complete burst. A non-boundary PDU
+  // extends the torn tail.
+  torn_tail_bytes_ = boundary ? 0 : torn_tail_bytes_ + size;
   entries_.push_back(Entry{std::move(wire), watermark, boundary});
 }
 
@@ -40,10 +45,15 @@ std::vector<BufChain> RelayJournal::unacknowledged() const {
 
 ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
                          std::vector<StorageService*> services,
-                         std::string volume, ActiveRelayCosts costs)
+                         std::string volume, ActiveRelayCosts costs,
+                         RelayFlowControl flow)
     : vm_(mb_vm), upstream_(upstream), services_(std::move(services)),
-      volume_(std::move(volume)), costs_(costs),
-      scope_(telemetry().scope("relay." + vm_.name() + ".")) {}
+      volume_(std::move(volume)), costs_(costs), flow_(flow),
+      scope_(telemetry().scope("relay." + vm_.name() + ".")) {
+  // A resume threshold above the pause threshold could never be crossed
+  // downward while paused — clamp rather than deadlock.
+  flow_.low_watermark = std::min(flow_.low_watermark, flow_.high_watermark);
+}
 
 obs::Registry& ActiveRelay::telemetry() {
   return vm_.node().simulator().telemetry();
@@ -92,12 +102,23 @@ void ActiveRelay::bind_downstream(Session& session,
   Session* raw = &session;
   net::TcpConnection* cp = &conn;
   session.downstream = cp;
+  // A fresh connection starts with a full receive window: credit owed to
+  // a previous incarnation is void.
+  session.to_target.uncredited = 0;
+  session.to_target.paused = false;
+  // Credit-based delivery (before set_on_data, so flushed pending bytes
+  // are charged too): received bytes stay counted against the advertised
+  // window until update_backpressure() releases them, which is what lets
+  // the relay close the window back toward the initiator at the journal
+  // high watermark.
+  conn.set_credit_based(flow_.high_watermark > 0);
   conn.set_on_data([this, raw](Buf bytes) {
     on_stream_data(*raw, Direction::kToTarget, std::move(bytes));
   });
   conn.set_on_ack([this, raw, cp] {
     raw->to_initiator.journal.trim(cp->bytes_acked());
     update_journal_gauge();
+    update_backpressure(*raw, Direction::kToInitiator);
   });
   conn.set_on_closed([this, raw, cp](Status status) {
     if (raw->downstream == cp) raw->downstream = nullptr;
@@ -122,12 +143,16 @@ void ActiveRelay::dial_upstream(Session& session) {
         }
       },
       session.bind_port);
+  session.to_initiator.uncredited = 0;
+  session.to_initiator.paused = false;
+  session.upstream->set_credit_based(flow_.high_watermark > 0);
   session.upstream->set_on_data([this, &session](Buf bytes) {
     on_stream_data(session, Direction::kToInitiator, std::move(bytes));
   });
   session.upstream->set_on_ack([this, &session] {
     session.to_target.journal.trim(session.upstream->bytes_acked());
     update_journal_gauge();
+    update_backpressure(session, Direction::kToTarget);
   });
   session.upstream->set_on_closed([this, &session](Status status) {
     session.upstream_ready = false;
@@ -149,6 +174,7 @@ void ActiveRelay::dial_upstream(Session& session) {
 void ActiveRelay::on_stream_data(Session& session, Direction dir,
                                  Buf bytes) {
   DirectionState& st = state(session, dir);
+  if (flow_.high_watermark > 0) st.uncredited += bytes.size();
   std::vector<iscsi::Pdu> pdus;
   Status status = st.parser.feed(std::move(bytes), pdus);
   if (!status.is_ok()) {
@@ -171,8 +197,11 @@ void ActiveRelay::on_stream_data(Session& session, Direction dir,
   const sim::Time now = vm_.node().simulator().now();
   for (auto& pdu : pdus) {
     trace_pdu(session, dir, pdu, st.queue.size());
-    st.queue.push_back(QueuedPdu{now, std::move(pdu)});
+    const std::size_t wire = iscsi::serialized_size(pdu);
+    st.queue_bytes += wire;
+    st.queue.push_back(QueuedPdu{now, wire, std::move(pdu)});
   }
+  update_backpressure(session, dir);
   pump_queue(session, dir);
 }
 
@@ -210,12 +239,63 @@ void ActiveRelay::update_journal_gauge() {
   scope_.gauge("journal_bytes").set(static_cast<std::int64_t>(journal_bytes()));
 }
 
+// Re-evaluate one direction's ingress credit after any change to its
+// journal or queue. Crossing the high watermark withholds credit (the
+// ingress window closes as the uncredited bytes accumulate); draining
+// below the low watermark releases everything withheld in one update,
+// reopening the window. Below the watermark the credit is returned
+// immediately, so early-ACK latency is untouched in the common case.
+//
+// The load deliberately excludes the journal's torn tail (the trailing
+// incomplete burst): those bytes only drain once the burst's remaining
+// PDUs arrive, and closing the window over them would make the pause
+// permanent — the burst can neither complete (window shut) nor trim
+// (burst-atomic journal). Counting complete bursts only means an open
+// burst is always allowed to finish, bounding a direction's buffering at
+// high_watermark + largest-burst + ingress TCP window (+ parse slop)
+// instead of deadlocking.
+void ActiveRelay::update_backpressure(Session& session, Direction dir) {
+  DirectionState& st = state(session, dir);
+  net::TcpConnection* ingress =
+      dir == Direction::kToTarget ? session.downstream : session.upstream;
+  if (flow_.high_watermark > 0) {
+    const std::size_t load = st.journal.complete_bytes() + st.queue_bytes;
+    if (!st.paused && load >= flow_.high_watermark) {
+      st.paused = true;
+      scope_.counter("bp_pauses").add();
+      telemetry().record_event(
+          "relay " + vm_.name() + ": backpressure pause (" +
+          std::to_string(load) + " bytes buffered)");
+    } else if (st.paused && load <= flow_.low_watermark) {
+      st.paused = false;
+      scope_.counter("bp_resumes").add();
+    }
+    if (!st.paused && ingress != nullptr && st.uncredited > 0) {
+      const std::size_t credit = st.uncredited;
+      st.uncredited = 0;
+      ingress->consume(credit);
+    }
+  }
+  std::size_t queued = 0;
+  for (const auto& s : sessions_) {
+    queued += s->to_target.queue_bytes + s->to_initiator.queue_bytes;
+  }
+  const std::size_t buffered = queued + journal_bytes();
+  if (buffered > peak_buffered_) {
+    peak_buffered_ = buffered;
+    scope_.gauge("buffered_bytes_peak")
+        .set(static_cast<std::int64_t>(buffered));
+  }
+  scope_.gauge("queue_bytes").set(static_cast<std::int64_t>(queued));
+}
+
 void ActiveRelay::pump_queue(Session& session, Direction dir) {
   DirectionState& st = state(session, dir);
   if (st.processing || st.queue.empty()) return;
   st.processing = true;
   QueuedPdu entry = std::move(st.queue.front());
   st.queue.pop_front();
+  st.queue_bytes -= std::min(entry.bytes, st.queue_bytes);
   iscsi::Pdu pdu = std::move(entry.pdu);
   const sim::Time enqueued = entry.enqueued;
 
@@ -275,6 +355,9 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
           vm_.node().simulator().now() - enqueued));
       DirectionState& st3 = state(session, dir);
       st3.processing = false;
+      // The PDU moved from the queue into the journal (or was consumed):
+      // re-evaluate crediting with the new journal + queue load.
+      update_backpressure(session, dir);
       pump_queue(session, dir);
     };
     if (service_cost > 0) {
@@ -498,6 +581,24 @@ std::size_t ActiveRelay::journal_bytes() const {
     total += session->to_initiator.journal.bytes();
   }
   return total;
+}
+
+std::size_t ActiveRelay::queue_bytes() const {
+  std::size_t total = 0;
+  for (const auto& session : sessions_) {
+    total += session->to_target.queue_bytes;
+    total += session->to_initiator.queue_bytes;
+  }
+  return total;
+}
+
+std::size_t ActiveRelay::paused_directions() const {
+  std::size_t paused = 0;
+  for (const auto& session : sessions_) {
+    paused += session->to_target.paused ? 1 : 0;
+    paused += session->to_initiator.paused ? 1 : 0;
+  }
+  return paused;
 }
 
 }  // namespace storm::core

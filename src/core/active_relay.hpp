@@ -32,6 +32,24 @@ struct ActiveRelayCosts {
   double ns_per_byte = 0.15;
 };
 
+/// Ingress flow control: real NVRAM is finite, so the early-ACK relay
+/// must eventually push back. When a direction's journal + processing
+/// queue reach the high watermark the relay stops crediting its ingress
+/// TCP receive window — the advertised window closes back toward the
+/// data source — and once the load drains below the low watermark all
+/// withheld credit is released at once. Early-ACK semantics are
+/// untouched below the watermark; journal replay is unaffected (the
+/// journal only ever holds bounded state). Only *complete* bursts count
+/// toward the watermarks — the trailing incomplete burst is always
+/// allowed to finish arriving (see update_backpressure), so the per-
+/// direction bound is high_watermark + largest burst + the ingress TCP
+/// window rather than high_watermark alone. high_watermark == 0 disables
+/// the mechanism (legacy unbounded behaviour).
+struct RelayFlowControl {
+  std::size_t high_watermark = 256 * 1024;
+  std::size_t low_watermark = 64 * 1024;
+};
+
 /// NVRAM journal: serialized PDUs kept until the egress TCP stack reports
 /// the bytes acknowledged. replay() hands back everything unacknowledged.
 /// Entries are chunk chains holding the wire bytes by reference — the
@@ -56,6 +74,17 @@ class RelayJournal {
   std::size_t entries() const { return entries_.size(); }
   std::size_t bytes() const { return bytes_; }
 
+  /// Bytes in the trailing *incomplete* burst (entries after the last
+  /// boundary). trim() can never drop them — their burst's final PDU has
+  /// not been forwarded yet — so they must not count toward the
+  /// backpressure watermark: an open burst whose tail is still behind a
+  /// closed ingress window could otherwise pin the load above the low
+  /// watermark forever (pause that can never resume).
+  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
+  /// Bytes in complete bursts — the drainable portion of the journal,
+  /// and the quantity the flow-control watermarks compare against.
+  std::size_t complete_bytes() const { return bytes_ - torn_tail_bytes_; }
+
  private:
   struct Entry {
     BufChain wire;
@@ -64,6 +93,7 @@ class RelayJournal {
   };
   std::deque<Entry> entries_;
   std::size_t bytes_ = 0;
+  std::size_t torn_tail_bytes_ = 0;
 };
 
 /// One failed relay's NVRAM contents, exportable across VM instances:
@@ -97,7 +127,7 @@ class ActiveRelay {
   /// services through their ServiceContext.
   ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
               std::vector<StorageService*> services, std::string volume = {},
-              ActiveRelayCosts costs = {});
+              ActiveRelayCosts costs = {}, RelayFlowControl flow = {});
 
   ActiveRelay(const ActiveRelay&) = delete;
   ActiveRelay& operator=(const ActiveRelay&) = delete;
@@ -150,6 +180,18 @@ class ActiveRelay {
 
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t journal_bytes() const;
+  /// Bytes parsed into PDUs and awaiting service processing.
+  std::size_t queue_bytes() const;
+  /// journal_bytes() + queue_bytes(): everything this relay holds.
+  std::size_t buffered_bytes() const {
+    return journal_bytes() + queue_bytes();
+  }
+  /// High-watermark of buffered_bytes() over the relay's lifetime — the
+  /// quantity the flow-control watermarks exist to bound.
+  std::size_t peak_buffered_bytes() const { return peak_buffered_; }
+  /// Directions currently refusing ingress credit (window closed).
+  std::size_t paused_directions() const;
+  const RelayFlowControl& flow_control() const { return flow_; }
   std::uint64_t pdus_relayed() const { return pdus_relayed_; }
   std::uint64_t journal_replays() const { return journal_replays_; }
 
@@ -176,15 +218,22 @@ class ActiveRelay {
 
   struct QueuedPdu {
     sim::Time enqueued;  // arrival into the processing queue
+    std::size_t bytes;   // wire-size estimate, for queue accounting
     iscsi::Pdu pdu;
   };
 
   struct DirectionState {
     iscsi::StreamParser parser;
     std::deque<QueuedPdu> queue;  // PDUs awaiting processing, in order
+    std::size_t queue_bytes = 0;  // bytes held in `queue`
     bool processing = false;
     RelayJournal journal;
     std::uint64_t enqueued_bytes = 0;  // cumulative payload sent downstream
+    // Backpressure: ingress bytes delivered by TCP but not yet credited
+    // back (consume()d), and whether crediting is currently withheld
+    // because journal + queue sit above the high watermark.
+    std::size_t uncredited = 0;
+    bool paused = false;
   };
 
   struct Session {
@@ -216,6 +265,7 @@ class ActiveRelay {
   void trace_pdu(Session& session, Direction dir, const iscsi::Pdu& pdu,
                  std::size_t queue_depth);
   void update_journal_gauge();
+  void update_backpressure(Session& session, Direction dir);
   obs::Registry& telemetry();
   DirectionState& state(Session& session, Direction dir) {
     return dir == Direction::kToTarget ? session.to_target
@@ -227,6 +277,8 @@ class ActiveRelay {
   std::vector<StorageService*> services_;
   std::string volume_;
   ActiveRelayCosts costs_;
+  RelayFlowControl flow_;
+  std::size_t peak_buffered_ = 0;
   obs::Scope scope_;  // "relay.<mb-vm>."
   std::vector<std::unique_ptr<Session>> sessions_;
   // Open per-command child spans ("relay.<mb-vm>"), keyed by the

@@ -55,9 +55,21 @@ bool PassiveRelay::on_packet(net::Packet& pkt) {
   const net::FourTuple key = pkt.four_tuple();
   StreamState& state = streams_[key];
   state.held.push_back(pkt);
+  account_inbox(static_cast<std::ptrdiff_t>(pkt.payload.size()));
   state.inbox.push_back(pkt.payload);
   pump(key);
   return true;
+}
+
+void PassiveRelay::account_inbox(std::ptrdiff_t delta) {
+  inbox_bytes_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(inbox_bytes_) + delta);
+  if (inbox_bytes_ > peak_inbox_bytes_) {
+    peak_inbox_bytes_ = inbox_bytes_;
+    scope_.gauge("queue_bytes_peak")
+        .set(static_cast<std::int64_t>(inbox_bytes_));
+  }
+  scope_.gauge("queue_bytes").set(static_cast<std::int64_t>(inbox_bytes_));
 }
 
 void PassiveRelay::pump(const net::FourTuple& key) {
@@ -68,6 +80,7 @@ void PassiveRelay::pump(const net::FourTuple& key) {
   state.busy = true;
   Buf payload = std::move(state.inbox.front());
   state.inbox.pop_front();
+  account_inbox(-static_cast<std::ptrdiff_t>(payload.size()));
 
   Direction dir = key.dst.port == iscsi::kIscsiPort
                       ? Direction::kToTarget

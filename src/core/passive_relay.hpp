@@ -46,6 +46,14 @@ class PassiveRelay {
   std::uint64_t packets_hooked() const { return packets_; }
   std::uint64_t pdus_processed() const { return pdus_; }
 
+  /// Payload bytes awaiting service processing across all streams. The
+  /// passive relay needs no watermarks: held data packets stall the
+  /// source's ACK clock, so this is inherently bounded by the flow's TCP
+  /// window — but the gauge makes that bound observable alongside the
+  /// active relay's.
+  std::size_t queue_bytes() const { return inbox_bytes_; }
+  std::size_t peak_queue_bytes() const { return peak_inbox_bytes_; }
+
   /// No packet or payload buffered in the hook and nothing mid-service —
   /// the drain protocol polls this before tearing rules.
   bool quiescent() const {
@@ -93,6 +101,7 @@ class PassiveRelay {
   bool on_packet(net::Packet& pkt);
   void pump(const net::FourTuple& key);
   void drain(StreamState& state);
+  void account_inbox(std::ptrdiff_t delta);
   void trace_pdu(const net::FourTuple& key, Direction dir,
                  const iscsi::Pdu& pdu);
 
@@ -108,6 +117,8 @@ class PassiveRelay {
   std::unique_ptr<HookContext> ctx_;
   std::uint64_t packets_ = 0;
   std::uint64_t pdus_ = 0;
+  std::size_t inbox_bytes_ = 0;
+  std::size_t peak_inbox_bytes_ = 0;
 };
 
 }  // namespace storm::core

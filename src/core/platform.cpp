@@ -218,6 +218,26 @@ Result<std::unique_ptr<MiddleboxInstance>> StormPlatform::build_box(
   return box;
 }
 
+namespace {
+
+// Tenant-tunable relay flow control: the NVRAM watermarks come from the
+// service stanza (`journal_hwm_kb=... journal_lwm_kb=...`); 0 disables
+// backpressure for that box. Unspecified keys keep the defaults.
+RelayFlowControl relay_flow_control(const ServiceSpec& spec) {
+  RelayFlowControl flow;
+  const std::string hwm = spec.param("journal_hwm_kb");
+  if (!hwm.empty()) {
+    flow.high_watermark = std::stoul(hwm) * 1024;
+  }
+  const std::string lwm = spec.param("journal_lwm_kb");
+  if (!lwm.empty()) {
+    flow.low_watermark = std::stoul(lwm) * 1024;
+  }
+  return flow;
+}
+
+}  // namespace
+
 void StormPlatform::wire_relays(Deployment& deployment) {
   net::SocketAddr upstream{deployment.splice.gateways.egress_instance_ip(),
                            iscsi::kIscsiPort};
@@ -235,7 +255,8 @@ void StormPlatform::wire_relays(Deployment& deployment) {
         box->active_relay = std::make_unique<ActiveRelay>(
             *box->vm, upstream,
             std::vector<StorageService*>{box->service.get()},
-            deployment.volume);
+            deployment.volume, ActiveRelayCosts{},
+            relay_flow_control(box->spec));
         box->active_relay->start();
         break;
     }
@@ -245,7 +266,8 @@ void StormPlatform::wire_relays(Deployment& deployment) {
       box->standby->active_relay = std::make_unique<ActiveRelay>(
           *box->standby->vm, upstream,
           std::vector<StorageService*>{box->standby->service.get()},
-          deployment.volume);
+          deployment.volume, ActiveRelayCosts{},
+          relay_flow_control(box->standby->spec));
       box->standby->active_relay->start();
     }
   }
@@ -394,6 +416,7 @@ void StormPlatform::apply_policy(
     done(valid);
     return;
   }
+  if (policy.qos.enabled) set_tenant_qos(policy.tenant, policy.qos);
   auto volumes = std::make_shared<std::vector<VolumePolicy>>(policy.volumes);
   auto handles = std::make_shared<std::vector<DeploymentHandle>>();
   auto step = std::make_shared<std::function<void(std::size_t)>>();
@@ -417,6 +440,35 @@ void StormPlatform::apply_policy(
   (*step)(0);
 }
 
+void StormPlatform::set_tenant_qos(const std::string& tenant,
+                                   const QosSpec& qos) {
+  GatewayPair& gateways = splicer_.tenant_gateways(tenant);
+  if (!qos.enabled || qos.rate_bytes_per_sec == 0) {
+    gateways.ingress->set_rate_limiter(nullptr);
+    qos_buckets_.erase(tenant);
+    return;
+  }
+  auto bucket = std::make_unique<net::TokenBucket>(
+      cloud_.simulator(), qos.rate_bytes_per_sec, qos.burst_bytes);
+  obs::Registry& reg = telemetry();
+  bucket->bind_telemetry(&reg.counter("qos." + tenant + ".throttled_bytes"),
+                         &reg.gauge("qos." + tenant + ".queue_bytes"));
+  // The bucket paces the ingress gateway's FORWARD path: every spliced
+  // flow of the tenant funnels through it, locally-terminated traffic
+  // (relay pseudo-endpoints) is exempt.
+  gateways.ingress->set_rate_limiter(bucket.get());
+  reg.record_event("qos: tenant " + tenant + " limited to " +
+                   std::to_string(qos.rate_bytes_per_sec) + " B/s (burst " +
+                   std::to_string(qos.burst_bytes) + ")");
+  qos_buckets_[tenant] = std::move(bucket);
+}
+
+const net::TokenBucket* StormPlatform::tenant_qos(
+    const std::string& tenant) const {
+  auto it = qos_buckets_.find(tenant);
+  return it == qos_buckets_.end() ? nullptr : it->second.get();
+}
+
 void StormPlatform::teardown_rules(Deployment* dep) {
   splicer_.remove_all_rules(dep->splice);
   sdn_.remove_chain_rules(dep->splice.cookie);
@@ -427,7 +479,8 @@ void StormPlatform::teardown_rules(Deployment* dep) {
     cloud_.compute(vm->host_index())
         .node()
         .nat()
-        .remove_rules_by_cookie(dep->splice.cookie);
+        .remove_rules_by_cookie(dep->splice.cookie,
+                                /*flush_conntrack=*/true);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "core/sdn_controller.hpp"
 #include "core/service.hpp"
 #include "core/splicer.hpp"
+#include "net/qos.hpp"
 #include "obs/registry.hpp"
 
 namespace storm::core {
@@ -177,6 +178,16 @@ class StormPlatform {
                          std::vector<ServiceSpec> chain,
                          std::function<void(Result<DeploymentHandle>)> done);
 
+  /// Install (or replace) the tenant's token-bucket rate limit on its
+  /// ingress gateway, creating the gateway pair if needed; a disabled
+  /// spec removes the limiter. apply_policy calls this for policies
+  /// carrying a `qos` stanza, so every chain of the tenant shares one
+  /// bucket — one tenant's burst queues behind its own limit instead of
+  /// starving another tenant's chain.
+  void set_tenant_qos(const std::string& tenant, const QosSpec& qos);
+  /// The tenant's installed bucket, or nullptr.
+  const net::TokenBucket* tenant_qos(const std::string& tenant) const;
+
   /// Handle to an existing deployment; invalid handle if none matches.
   DeploymentHandle find_deployment(const std::string& vm,
                                    const std::string& volume);
@@ -252,6 +263,7 @@ class StormPlatform {
   SdnController sdn_;
   std::map<std::string, ServiceFactory> factories_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::map<std::string, std::unique_ptr<net::TokenBucket>> qos_buckets_;
   std::unique_ptr<ChainHealthManager> health_;
   sim::Duration drain_timeout_ = sim::seconds(2);
   std::uint64_t next_cookie_ = 1;

@@ -68,6 +68,36 @@ Result<TenantPolicy> parse_policy(const std::string& text) {
     if (tokens[0] == "tenant") {
       if (tokens.size() != 2) return fail("expected: tenant <name>");
       policy.tenant = tokens[1];
+    } else if (tokens[0] == "qos") {
+      if (tokens.size() < 2) {
+        return fail("expected: qos rate_mbps=<n> [burst_kb=<n>]");
+      }
+      policy.qos.enabled = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          return fail("expected key=value, got: " + tokens[i]);
+        }
+        std::string key = tokens[i].substr(0, eq);
+        std::string value = tokens[i].substr(eq + 1);
+        if (key == "rate_mbps") {
+          policy.qos.rate_bytes_per_sec =
+              std::stoull(value) * 1'000'000ull / 8ull;
+        } else if (key == "rate_bytes") {
+          policy.qos.rate_bytes_per_sec = std::stoull(value);
+        } else if (key == "burst_kb") {
+          policy.qos.burst_bytes = std::stoull(value) * 1024ull;
+        } else if (key == "burst_bytes") {
+          policy.qos.burst_bytes = std::stoull(value);
+        } else {
+          return fail("unknown qos key: " + key);
+        }
+      }
+      // A burst below one rate-quantum would deadlock large packets at
+      // admission; default to 64 KiB when unspecified.
+      if (policy.qos.burst_bytes == 0) {
+        policy.qos.burst_bytes = 64 * 1024;
+      }
     } else if (tokens[0] == "volume") {
       if (tokens.size() != 3) return fail("expected: volume <vm> <volume>");
       policy.volumes.push_back(VolumePolicy{tokens[1], tokens[2], {}});
@@ -118,6 +148,10 @@ Result<TenantPolicy> parse_policy(const std::string& text) {
 Status validate_policy(const TenantPolicy& policy) {
   if (policy.volumes.empty()) {
     return error(ErrorCode::kInvalidArgument, "policy lists no volumes");
+  }
+  if (policy.qos.enabled && policy.qos.rate_bytes_per_sec == 0) {
+    return error(ErrorCode::kInvalidArgument,
+                 "qos stanza requires a non-zero rate");
   }
   for (const auto& volume : policy.volumes) {
     if (volume.chain.empty()) {

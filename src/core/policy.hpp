@@ -63,14 +63,24 @@ struct VolumePolicy {
   std::vector<ServiceSpec> chain;  // traversal order, VM side first
 };
 
+/// Per-tenant rate limit, enforced by a token bucket on the tenant's
+/// ingress gateway so one tenant's burst cannot starve another's chain.
+struct QosSpec {
+  bool enabled = false;
+  std::uint64_t rate_bytes_per_sec = 0;
+  std::uint64_t burst_bytes = 0;
+};
+
 struct TenantPolicy {
   std::string tenant;
+  QosSpec qos;
   std::vector<VolumePolicy> volumes;
 };
 
 /// Parse the tenant policy text format:
 ///
 ///   tenant alice
+///   qos rate_mbps=800 burst_kb=256
 ///   volume vm1 vol1
 ///     service monitor relay=active vcpus=2
 ///     service encryption relay=active key=0011..ff

@@ -91,11 +91,18 @@ void NetworkSplicer::refresh_capture_rules(const SpliceContext& ctx) {
 }
 
 std::size_t NetworkSplicer::remove_all_rules(const SpliceContext& ctx) {
+  // Full detach: unlike the post-login redirect removal (where conntrack
+  // must survive to keep the established flow spliced), here the flows
+  // themselves are going away — flush their conntrack entries too, or a
+  // detached volume's traffic would keep translating forever.
   std::size_t removed = 0;
-  removed += ctx.gateways.ingress->nat().remove_rules_by_cookie(ctx.cookie);
-  removed += ctx.gateways.egress->nat().remove_rules_by_cookie(ctx.cookie);
+  removed += ctx.gateways.ingress->nat().remove_rules_by_cookie(
+      ctx.cookie, /*flush_conntrack=*/true);
+  removed += ctx.gateways.egress->nat().remove_rules_by_cookie(
+      ctx.cookie, /*flush_conntrack=*/true);
   for (const Hop& hop : ctx.chain) {
-    removed += hop.vm->node().nat().remove_rules_by_cookie(ctx.cookie);
+    removed += hop.vm->node().nat().remove_rules_by_cookie(
+        ctx.cookie, /*flush_conntrack=*/true);
   }
   return removed;
 }

@@ -34,9 +34,12 @@ std::string NatRule::to_string() const {
   return out.str();
 }
 
-std::size_t NatEngine::remove_rules_by_cookie(std::uint64_t cookie) {
-  return std::erase_if(
+std::size_t NatEngine::remove_rules_by_cookie(std::uint64_t cookie,
+                                              bool flush_conntrack) {
+  const std::size_t removed = std::erase_if(
       rules_, [cookie](const NatRule& r) { return r.cookie == cookie; });
+  if (flush_conntrack) flush_conntrack_by_cookie(cookie);
+  return removed;
 }
 
 void NatEngine::apply(Packet& pkt, const FourTuple& to) {
@@ -52,13 +55,13 @@ bool NatEngine::translate(Packet& pkt) {
   if (auto it = forward_.find(key); it != forward_.end()) {
     ++conntrack_hits_;
     if (tel_conntrack_hits_ != nullptr) tel_conntrack_hits_->add();
-    apply(pkt, it->second);
+    apply(pkt, it->second.to);
     return true;
   }
   if (auto it = reverse_.find(key); it != reverse_.end()) {
     ++conntrack_hits_;
     if (tel_conntrack_hits_ != nullptr) tel_conntrack_hits_->add();
-    apply(pkt, it->second);
+    apply(pkt, it->second.to);
     return true;
   }
 
@@ -73,9 +76,9 @@ bool NatEngine::translate(Packet& pkt) {
 
     ++rule_hits_;
     if (tel_rule_hits_ != nullptr) tel_rule_hits_->add();
-    forward_[key] = translated;
+    forward_[key] = Conntrack{translated, rule.cookie};
     reverse_[FourTuple{translated.dst, translated.src}] =
-        FourTuple{key.dst, key.src};
+        Conntrack{FourTuple{key.dst, key.src}, rule.cookie};
     apply(pkt, translated);
     return true;
   }
@@ -85,6 +88,14 @@ bool NatEngine::translate(Packet& pkt) {
 void NatEngine::flush_conntrack() {
   forward_.clear();
   reverse_.clear();
+}
+
+std::size_t NatEngine::flush_conntrack_by_cookie(std::uint64_t cookie) {
+  const std::size_t dropped = std::erase_if(
+      forward_, [cookie](const auto& e) { return e.second.cookie == cookie; });
+  std::erase_if(
+      reverse_, [cookie](const auto& e) { return e.second.cookie == cookie; });
+  return dropped;
 }
 
 }  // namespace storm::net

@@ -42,7 +42,15 @@ struct NatRule {
 class NatEngine {
  public:
   void add_rule(NatRule rule) { rules_.push_back(std::move(rule)); }
-  std::size_t remove_rules_by_cookie(std::uint64_t cookie);
+  /// Remove every rule tagged `cookie`. By default the conntrack entries
+  /// those rules created stay alive — that survival is what makes atomic
+  /// volume attachment work (the platform removes the redirect right
+  /// after login and the established flow keeps translating). Pass
+  /// `flush_conntrack = true` on detach/teardown paths, where leaving
+  /// the entries would keep a detached volume's flows translating
+  /// forever.
+  std::size_t remove_rules_by_cookie(std::uint64_t cookie,
+                                     bool flush_conntrack = false);
   std::size_t rule_count() const { return rules_.size(); }
 
   /// Translate a packet traversing this node's IP layer. Returns true if
@@ -51,6 +59,8 @@ class NatEngine {
 
   std::size_t conntrack_size() const { return forward_.size(); }
   void flush_conntrack();
+  /// Drop conntrack entries created by rules tagged `cookie`.
+  std::size_t flush_conntrack_by_cookie(std::uint64_t cookie);
 
   /// Wire hit accounting into the telemetry registry (NetNode does this;
   /// an unbound engine just keeps its local counts). `rule_hits` counts
@@ -71,9 +81,16 @@ class NatEngine {
   std::uint64_t conntrack_hits_ = 0;
   obs::Counter* tel_rule_hits_ = nullptr;
   obs::Counter* tel_conntrack_hits_ = nullptr;
+  /// Conntrack value: the rewrite plus the cookie of the rule that
+  /// created the entry, so detach can flush exactly its own flows.
+  struct Conntrack {
+    FourTuple to;
+    std::uint64_t cookie = 0;
+  };
+
   std::vector<NatRule> rules_;
-  std::map<FourTuple, FourTuple> forward_;  // orig -> translated
-  std::map<FourTuple, FourTuple> reverse_;  // reverse(translated) -> reverse(orig)
+  std::map<FourTuple, Conntrack> forward_;  // orig -> translated
+  std::map<FourTuple, Conntrack> reverse_;  // reverse(translated) -> reverse(orig)
 };
 
 }  // namespace storm::net

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "net/qos.hpp"
 #include "net/tcp.hpp"
 #include "obs/registry.hpp"
 
@@ -106,6 +107,16 @@ void NetNode::deliver_or_forward(Packet pkt) {
   ++forwarded_;
   if (forward_hook_ && forward_hook_(pkt)) {
     return;  // hook consumed it; it will call emit_forward()
+  }
+  if (limiter_ != nullptr) {
+    // Tenant QoS: the token bucket paces forwarded bytes, releasing the
+    // packet (in FIFO order) when credit accrues. Never dropped — TCP
+    // above sees latency and closed windows, not loss.
+    const std::size_t bytes = pkt.wire_size();
+    limiter_->admit(bytes, [this, p = std::move(pkt)]() mutable {
+      if (!down_) route_and_send(std::move(p));
+    });
+    return;
   }
   route_and_send(std::move(pkt));
 }

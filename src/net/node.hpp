@@ -43,6 +43,7 @@ class ArpRegistry {
 };
 
 class TcpStack;
+class TokenBucket;
 
 class NetNode {
  public:
@@ -71,6 +72,13 @@ class NetNode {
   /// reinjection via emit_forward); false to let forwarding continue.
   using ForwardHook = std::function<bool(Packet&)>;
   void set_forward_hook(ForwardHook hook) { forward_hook_ = std::move(hook); }
+
+  /// Rate-limit forwarded traffic through `bucket` (tc-style egress
+  /// shaping on the FORWARD path; locally-terminated flows are exempt).
+  /// The platform installs a per-tenant bucket on the tenant's ingress
+  /// gateway. Pass nullptr to remove. Not owned.
+  void set_rate_limiter(TokenBucket* bucket) { limiter_ = bucket; }
+  TokenBucket* rate_limiter() const { return limiter_; }
 
   /// Send a locally-originated IP packet: NAT, route, fill L2, transmit.
   void send_ip(Packet pkt);
@@ -124,6 +132,7 @@ class NetNode {
   Ipv4Addr default_gw_{};
   NatEngine nat_;
   ForwardHook forward_hook_;
+  TokenBucket* limiter_ = nullptr;
   std::unique_ptr<TcpStack> tcp_;
 
   sim::Cpu* cpu_ = nullptr;

@@ -1,0 +1,85 @@
+#include "net/qos.hpp"
+
+#include <algorithm>
+
+namespace storm::net {
+
+TokenBucket::TokenBucket(sim::Simulator& simulator,
+                         std::uint64_t rate_bytes_per_sec,
+                         std::uint64_t burst_bytes)
+    : sim_(simulator), rate_(rate_bytes_per_sec),
+      burst_(std::max<std::uint64_t>(burst_bytes, 1)),
+      tokens_(static_cast<double>(std::max<std::uint64_t>(burst_bytes, 1))),
+      last_refill_(simulator.now()) {}
+
+void TokenBucket::refill() {
+  const sim::Time now = sim_.now();
+  if (now > last_refill_) {
+    tokens_ += static_cast<double>(now - last_refill_) *
+               static_cast<double>(rate_) / 1e9;
+    tokens_ = std::min(tokens_, static_cast<double>(burst_));
+  }
+  last_refill_ = now;
+}
+
+sim::Duration TokenBucket::eta(double deficit) const {
+  if (deficit <= 0) return 0;
+  return static_cast<sim::Duration>(deficit * 1e9 /
+                                    static_cast<double>(rate_)) +
+         1;
+}
+
+void TokenBucket::admit(std::size_t bytes, std::function<void()> release) {
+  if (rate_ == 0) {  // unconfigured: pass-through
+    release();
+    return;
+  }
+  refill();
+  if (queue_.empty() && tokens_ >= 0) {
+    // Deficit model: charge even when the balance doesn't fully cover
+    // the packet — the debt is repaid out of the refill stream before
+    // anything else passes, so a packet larger than the whole burst is
+    // paced rather than deadlocked.
+    tokens_ -= static_cast<double>(bytes);
+    admitted_bytes_ += bytes;
+    release();
+    return;
+  }
+  throttled_bytes_ += bytes;
+  if (tel_throttled_ != nullptr) {
+    tel_throttled_->add(static_cast<std::int64_t>(bytes));
+  }
+  queued_bytes_ += bytes;
+  queue_.push_back(Pending{bytes, std::move(release)});
+  if (tel_queue_ != nullptr) {
+    tel_queue_->set(static_cast<std::int64_t>(queued_bytes_));
+  }
+  schedule_drain();
+}
+
+void TokenBucket::drain() {
+  drain_token_.cancel();  // the fired token would otherwise read as armed
+  refill();
+  while (!queue_.empty() && tokens_ >= 0) {
+    Pending head = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= std::min(head.bytes, queued_bytes_);
+    tokens_ -= static_cast<double>(head.bytes);
+    admitted_bytes_ += head.bytes;
+    head.release();
+  }
+  if (tel_queue_ != nullptr) {
+    tel_queue_->set(static_cast<std::int64_t>(queued_bytes_));
+  }
+  schedule_drain();
+}
+
+void TokenBucket::schedule_drain() {
+  if (drain_token_.armed() || queue_.empty()) return;
+  const double deficit = tokens_ < 0 ? -tokens_ : 0.0;
+  sim::Duration wait = eta(deficit);
+  if (wait <= 0) wait = 1;
+  drain_token_ = sim_.after_cancellable(wait, [this] { drain(); });
+}
+
+}  // namespace storm::net

@@ -1,0 +1,79 @@
+// Per-tenant token-bucket rate limiter (paper §III-D tenant policies;
+// QoS in the spirit of IOArbiter's per-tenant backend throttling).
+//
+// Installed on a tenant's ingress gateway NetNode, the bucket admits
+// forwarded packets at a configured byte rate with a bounded burst.
+// Packets that exceed the available tokens are queued FIFO and released
+// by a deterministic sim-clock drain — never dropped, so TCP above sees
+// added latency (and eventually closed windows via the flow-control
+// spine), not loss. A packet larger than the whole burst still passes:
+// the bucket lets the balance go negative and charges the debt to the
+// refill stream (deficit model), so rate_bytes_per_sec is honored
+// without deadlocking jumbo segments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace storm::net {
+
+class TokenBucket {
+ public:
+  TokenBucket(sim::Simulator& simulator, std::uint64_t rate_bytes_per_sec,
+              std::uint64_t burst_bytes);
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+  ~TokenBucket() { drain_token_.cancel(); }
+
+  /// Wire accounting into the telemetry registry. `throttled_bytes`
+  /// counts bytes that had to wait for tokens; `queue_bytes` gauges the
+  /// bytes currently held back.
+  void bind_telemetry(obs::Counter* throttled_bytes, obs::Gauge* queue_bytes) {
+    tel_throttled_ = throttled_bytes;
+    tel_queue_ = queue_bytes;
+  }
+
+  /// Admit `bytes` of traffic: runs `release` immediately when the
+  /// bucket covers it (and earlier queued traffic has drained),
+  /// otherwise queues it until refill. FIFO order is preserved.
+  void admit(std::size_t bytes, std::function<void()> release);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t queued_bytes() const { return queued_bytes_; }
+  std::uint64_t throttled_bytes() const { return throttled_bytes_; }
+  std::uint64_t admitted_bytes() const { return admitted_bytes_; }
+  std::uint64_t rate_bytes_per_sec() const { return rate_; }
+  std::uint64_t burst_bytes() const { return burst_; }
+
+ private:
+  struct Pending {
+    std::size_t bytes;
+    std::function<void()> release;
+  };
+
+  void refill();
+  void drain();
+  void schedule_drain();
+  /// Nanoseconds until `deficit` bytes worth of tokens accrue.
+  sim::Duration eta(double deficit) const;
+
+  sim::Simulator& sim_;
+  std::uint64_t rate_;   // bytes per second
+  std::uint64_t burst_;  // token cap (and initial fill)
+  double tokens_;        // may go negative under the deficit model
+  sim::Time last_refill_ = 0;
+  std::deque<Pending> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t throttled_bytes_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+  sim::CancelToken drain_token_;
+  obs::Counter* tel_throttled_ = nullptr;
+  obs::Gauge* tel_queue_ = nullptr;
+};
+
+}  // namespace storm::net

@@ -20,7 +20,27 @@ void TcpStack::ensure_telemetry() {
   tel_retransmits_ = &reg.counter("tcp.retransmits");
   tel_fast_retransmits_ = &reg.counter("tcp.fast_retransmits");
   tel_rto_fired_ = &reg.counter("tcp.rto_fired");
+  tel_window_stalls_ = &reg.counter("tcp.window_stalls");
+  tel_zero_window_probes_ = &reg.counter("tcp.zero_window_probes");
+  tel_window_overrun_drops_ = &reg.counter("tcp.window_overrun_drops");
   tel_rtt_ = &reg.histogram("tcp.rtt_ns");
+}
+
+void TcpStack::note_window_stall() {
+  ++window_stalls_;
+  ensure_telemetry();
+  tel_window_stalls_->add();
+}
+
+void TcpStack::note_zero_window_probe() {
+  ensure_telemetry();
+  tel_zero_window_probes_->add();
+}
+
+void TcpStack::note_window_overrun(std::size_t bytes) {
+  window_overrun_drops_ += bytes;
+  ensure_telemetry();
+  tel_window_overrun_drops_->add(static_cast<std::int64_t>(bytes));
 }
 
 void TcpStack::listen(std::uint16_t port, AcceptCallback on_accept) {
@@ -163,8 +183,23 @@ void TcpConnection::set_on_data(DataCallback cb) {
   if (!pending_rx_.empty() && on_data_) {
     std::vector<Buf> buffered;
     buffered.swap(pending_rx_);
-    for (Buf& chunk : buffered) on_data_(std::move(chunk));
+    for (Buf& chunk : buffered) {
+      const std::size_t n = chunk.size();
+      on_data_(std::move(chunk));
+      // Without credit-based delivery the handoff itself frees the
+      // buffer — and may reopen a window pending_rx_ had closed.
+      if (!credit_based_) consume(n);
+    }
   }
+}
+
+void TcpConnection::consume(std::size_t bytes) {
+  rcv_buffered_ -= std::min(bytes, rcv_buffered_);
+  if (state_ == State::kClosed) return;
+  // Reopening a window that was advertised closed: push the update —
+  // the sender may be idle in persist with nothing in flight to clock
+  // an ACK back to us.
+  if (advertised_closed_ && advertised_window() > 0) send_ack();
 }
 
 void TcpConnection::close() {
@@ -189,8 +224,16 @@ void TcpConnection::emit(std::uint8_t flags, Buf payload,
   pkt.tcp.flags = flags;
   pkt.tcp.seq = seq;
   pkt.tcp.ack = rcv_nxt_;
-  pkt.tcp.window = recv_window_;
+  const std::uint32_t window = advertised_window();
+  pkt.tcp.window = window;
   pkt.payload = std::move(payload);
+  // Every segment ACKs rcv_nxt_, so it (re)advertises the right edge
+  // rcv_nxt_ + window; remember the furthest edge ever granted — that,
+  // not the instantaneous window, is what receive() may accept up to.
+  if (rcv_nxt_ + window > rcv_window_edge_) {
+    rcv_window_edge_ = rcv_nxt_ + window;
+  }
+  advertised_closed_ = window == 0;
   stack_.transmit(std::move(pkt));
 }
 
@@ -260,6 +303,54 @@ void TcpConnection::pump() {
     state_ = State::kFinSent;
     arm_rto();
   }
+  maybe_arm_persist();
+}
+
+void TcpConnection::maybe_arm_persist() {
+  // Persist applies only when the peer's window is shut with data still
+  // queued and nothing in flight: no outstanding segment means no ACK
+  // will ever come back to re-open us, so a timer has to.
+  const bool blocked = state_ == State::kEstablished && send_size_ > 0 &&
+                       snd_una_ == snd_nxt_ &&
+                       std::min(send_window_cap_, peer_window_) == 0;
+  if (!blocked) {
+    persist_token_.cancel();
+    persist_backoff_ = kTcpInitialRto;
+    window_stalled_ = false;
+    return;
+  }
+  if (!window_stalled_) {
+    window_stalled_ = true;
+    stack_.note_window_stall();
+  }
+  if (!persist_token_.armed()) {
+    persist_token_ = stack_.node().simulator().after_cancellable(
+        persist_backoff_, [this] { on_persist(); });
+  }
+}
+
+void TcpConnection::on_persist() {
+  persist_token_.cancel();  // the fired token would otherwise read as armed
+  if (state_ != State::kEstablished) return;
+  if (send_size_ == 0 || snd_una_ != snd_nxt_ ||
+      std::min(send_window_cap_, peer_window_) != 0) {
+    pump();  // window opened while the timer was pending
+    return;
+  }
+  // One-byte window probe into the closed window. The receiver trims it
+  // at its window edge and answers with a duplicate ACK carrying the
+  // current window; if the window reopened and the update ACK was lost,
+  // the probe's byte is accepted and the cumulative ACK reopens us.
+  // Either way progress resumes — probes are never counted as retries,
+  // so a flow-controlled peer can stall us indefinitely without the
+  // connection being declared dead.
+  ++zero_window_probes_;
+  stack_.note_zero_window_probe();
+  emit(kTcpAck, slice_send(0, 1), snd_nxt_);
+  persist_backoff_ =
+      std::min<sim::Duration>(persist_backoff_ * 2, kTcpMaxRto);
+  persist_token_ = stack_.node().simulator().after_cancellable(
+      persist_backoff_, [this] { on_persist(); });
 }
 
 void TcpConnection::arm_rto() {
@@ -448,16 +539,39 @@ void TcpConnection::handle_segment(const Packet& pkt) {
   // gap (go-back-N sender interprets the duplicates as loss).
   if (!pkt.payload.empty()) {
     should_ack = true;
-    if (pkt.tcp.seq == rcv_nxt_) {
-      rcv_nxt_ += pkt.payload.size();
-      bytes_received_ += pkt.payload.size();
-      if (on_data_) {
-        on_data_(pkt.payload);  // refcounted share, not a byte copy
-      } else {
-        pending_rx_.push_back(pkt.payload);
+    const std::uint64_t seg_end = pkt.tcp.seq + pkt.payload.size();
+    if (pkt.tcp.seq <= rcv_nxt_ && seg_end > rcv_nxt_) {
+      // In-order, possibly partially duplicate — a go-back-N resend
+      // overlapping bytes we already accepted, or a full segment resent
+      // after we trimmed its tail at the window edge, or a zero-window
+      // probe's byte racing our window update. Accept the fresh suffix.
+      Buf fresh = pkt.payload.slice(
+          static_cast<std::size_t>(rcv_nxt_ - pkt.tcp.seq));
+      // Window enforcement: bytes past the furthest right edge we ever
+      // advertised were never permitted — trim them off un-ACKed. The
+      // sender retransmits them once consume() reopens the window.
+      if (rcv_nxt_ + fresh.size() > rcv_window_edge_) {
+        const std::size_t fit = static_cast<std::size_t>(
+            rcv_window_edge_ > rcv_nxt_ ? rcv_window_edge_ - rcv_nxt_ : 0);
+        stack_.note_window_overrun(fresh.size() - fit);
+        fresh = fresh.slice(0, fit);
       }
-      if (state_ == State::kClosed) return;  // on_data_ may have closed us
-    } else if (pkt.tcp.seq + pkt.payload.size() <= rcv_nxt_) {
+      if (!fresh.empty()) {
+        const std::size_t n = fresh.size();
+        rcv_nxt_ += n;
+        bytes_received_ += n;
+        rcv_buffered_ += n;
+        if (on_data_) {
+          on_data_(std::move(fresh));  // refcounted share, not a byte copy
+          // Without credit-based delivery the handoff frees the buffer;
+          // the ACK below advertises the refreshed window.
+          if (!credit_based_) rcv_buffered_ -= std::min(n, rcv_buffered_);
+        } else {
+          pending_rx_.push_back(std::move(fresh));
+        }
+        if (state_ == State::kClosed) return;  // on_data_ may have closed us
+      }
+    } else if (seg_end <= rcv_nxt_) {
       // Fully duplicate segment: re-ACK only.
     } else {
       log_debug("tcp") << "out-of-order segment (seq=" << pkt.tcp.seq

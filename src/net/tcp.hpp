@@ -70,7 +70,10 @@ class TcpConnection {
     kClosed,
   };
 
-  ~TcpConnection() { cancel_rto(); }
+  ~TcpConnection() {
+    cancel_rto();
+    persist_token_.cancel();
+  }
 
   /// Queue bytes for transmission. No-op after close()/abort(). The Buf
   /// is adopted by reference — no copy until (and unless) a segment
@@ -107,6 +110,31 @@ class TcpConnection {
 
   /// Cap on un-ACKed bytes in flight (sender side).
   void set_send_window(std::uint32_t bytes) { send_window_cap_ = bytes; }
+
+  // --- receive-side flow control ------------------------------------
+  /// Credit-based delivery: bytes handed to the data callback stay
+  /// charged against the advertised receive window until the
+  /// application releases them with consume(). Off by default, where
+  /// delivery itself frees the buffer and the window only closes while
+  /// data waits in pending_rx_ for set_on_data.
+  void set_credit_based(bool enabled) { credit_based_ = enabled; }
+
+  /// Release receive-buffer credit. When the release reopens a window
+  /// that was advertised closed, a window-update ACK goes out
+  /// immediately — the peer may be idle in zero-window persist with
+  /// nothing in flight to clock an ACK back to it.
+  void consume(std::size_t bytes);
+
+  /// Receive window currently advertised to the peer.
+  std::uint32_t advertised_window() const {
+    return rcv_buffered_ >= recv_window_
+               ? 0
+               : recv_window_ - static_cast<std::uint32_t>(rcv_buffered_);
+  }
+  /// Delivered-or-pending bytes not yet released with consume().
+  std::size_t recv_buffered() const { return rcv_buffered_; }
+  /// One-byte window probes sent while the peer's window was closed.
+  std::uint64_t zero_window_probes() const { return zero_window_probes_; }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
@@ -147,6 +175,10 @@ class TcpConnection {
   void on_rto();
   void rewind_and_resend();
 
+  // Zero-window persist (sender side).
+  void maybe_arm_persist();
+  void on_persist();
+
   TcpStack& stack_;
   SocketAddr local_;
   SocketAddr remote_;
@@ -186,7 +218,26 @@ class TcpConnection {
   // Receiver state.
   std::uint64_t rcv_nxt_ = 0;
   std::uint32_t recv_window_;
+  std::size_t rcv_buffered_ = 0;  // delivered/pending, not yet consumed
+  // Highest receive-window right edge ever advertised. In-order payload
+  // beyond it was never permitted by any ACK we sent, so those bytes
+  // are trimmed un-ACKed: a sender that ignores our window cannot
+  // overrun the receive buffer, and pending_rx_ stays bounded by
+  // recv_window_.
+  std::uint64_t rcv_window_edge_ = 0;
+  bool advertised_closed_ = false;  // last emitted window was zero
+  bool credit_based_ = false;
   std::vector<Buf> pending_rx_;  // buffered until set_on_data
+
+  // Zero-window persist: when the peer closes its window with data
+  // still queued here and nothing in flight, probe with one byte on a
+  // backed-off timer so a lost window update cannot deadlock the
+  // connection. Probes never touch retries_ — a flow-controlled peer is
+  // alive, not dead.
+  sim::CancelToken persist_token_;
+  sim::Duration persist_backoff_ = kTcpInitialRto;
+  bool window_stalled_ = false;  // one window_stalls count per episode
+  std::uint64_t zero_window_probes_ = 0;
 
   DataCallback on_data_;
   EstablishedCallback on_established_;
@@ -264,12 +315,22 @@ class TcpStack {
   std::uint64_t checksum_drops() const { return checksum_drops_; }
   /// Total segments retransmitted by connections of this stack.
   std::uint64_t retransmits() const { return retransmits_; }
+  /// Send-side stall episodes: a connection entered zero-window persist.
+  std::uint64_t window_stalls() const { return window_stalls_; }
+  /// In-order payload bytes dropped (un-ACKed) for landing beyond the
+  /// advertised receive-window edge.
+  std::uint64_t window_overrun_drops() const {
+    return window_overrun_drops_;
+  }
 
  private:
   friend class TcpConnection;
 
   void transmit(Packet pkt);
   void ensure_telemetry();
+  void note_window_stall();
+  void note_zero_window_probe();
+  void note_window_overrun(std::size_t bytes);
 
   NetNode& node_;
   std::map<FourTuple, std::unique_ptr<TcpConnection>> connections_;
@@ -280,6 +341,8 @@ class TcpStack {
   std::uint32_t default_window_ = kDefaultWindow;
   std::uint64_t checksum_drops_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t window_stalls_ = 0;
+  std::uint64_t window_overrun_drops_ = 0;
   // Cached cluster-wide tcp.* metrics (stable registry addresses).
   bool telemetry_ready_ = false;
   obs::Counter* tel_segments_tx_ = nullptr;
@@ -288,6 +351,9 @@ class TcpStack {
   obs::Counter* tel_retransmits_ = nullptr;
   obs::Counter* tel_fast_retransmits_ = nullptr;
   obs::Counter* tel_rto_fired_ = nullptr;
+  obs::Counter* tel_window_stalls_ = nullptr;
+  obs::Counter* tel_zero_window_probes_ = nullptr;
+  obs::Counter* tel_window_overrun_drops_ = nullptr;
   obs::Histogram* tel_rtt_ = nullptr;
 };
 

@@ -50,6 +50,57 @@ TEST(Policy, RejectsMalformedInput) {
       << "replication must demand an active relay";
 }
 
+TEST(Policy, ParsesQosStanza) {
+  auto policy = parse_policy(R"(
+tenant alice
+qos rate_mbps=800 burst_kb=256
+volume vm1 vol1
+  service noop relay=active
+)");
+  ASSERT_TRUE(policy.is_ok()) << policy.status().to_string();
+  const QosSpec& qos = policy.value().qos;
+  EXPECT_TRUE(qos.enabled);
+  EXPECT_EQ(qos.rate_bytes_per_sec, 100'000'000u);  // 800 Mbps in bytes
+  EXPECT_EQ(qos.burst_bytes, 256u * 1024u);
+  EXPECT_TRUE(validate_policy(policy.value()).is_ok());
+
+  // Raw-byte keys and the default burst.
+  auto raw = parse_policy(
+      "tenant t\nqos rate_bytes=1000000\nvolume vm1 vol1\n"
+      "  service noop relay=active\n");
+  ASSERT_TRUE(raw.is_ok());
+  EXPECT_EQ(raw.value().qos.rate_bytes_per_sec, 1'000'000u);
+  EXPECT_EQ(raw.value().qos.burst_bytes, 64u * 1024u);
+
+  // No stanza: disabled.
+  auto none = parse_policy(
+      "tenant t\nvolume vm1 vol1\n  service noop relay=active\n");
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_FALSE(none.value().qos.enabled);
+}
+
+TEST(Policy, RejectsMalformedQos) {
+  EXPECT_FALSE(parse_policy("tenant t\nqos\nvolume vm1 vol1\n"
+                            "  service noop relay=active\n")
+                   .is_ok());
+  EXPECT_FALSE(parse_policy("tenant t\nqos turbo=yes\nvolume vm1 vol1\n"
+                            "  service noop relay=active\n")
+                   .is_ok())
+      << "unknown qos key must be a parse error";
+  // A qos stanza without a rate fails validation (parse_policy runs it).
+  EXPECT_FALSE(parse_policy("tenant t\nqos burst_kb=4\nvolume vm1 vol1\n"
+                            "  service noop relay=active\n")
+                   .is_ok());
+  TenantPolicy no_rate;
+  no_rate.tenant = "t";
+  ServiceSpec noop;
+  noop.type = "noop";
+  no_rate.volumes.push_back({"vm1", "vol1", {noop}});
+  ASSERT_TRUE(validate_policy(no_rate).is_ok());
+  no_rate.qos.enabled = true;  // enabled but rate_bytes_per_sec == 0
+  EXPECT_FALSE(validate_policy(no_rate).is_ok());
+}
+
 // --- relay journal -------------------------------------------------------------
 
 TEST(RelayJournal, AppendTrimReplay) {
@@ -445,6 +496,52 @@ volume vm2 vol2
   Bytes data = testutil::pattern_bytes(2 * block::kSectorSize);
   EXPECT_EQ(write_read_roundtrip(*cloud_.find_vm("vm1"), 0, data), data);
   EXPECT_EQ(write_read_roundtrip(*cloud_.find_vm("vm2"), 0, data), data);
+}
+
+TEST_F(StormTest, ApplyPolicyInstallsTenantQosAndPacesWrites) {
+  cloud_.create_vm("vm1", "alice", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol1", 10'000).is_ok());
+  auto policy = parse_policy(R"(
+tenant alice
+qos rate_mbps=100 burst_kb=64
+volume vm1 vol1
+  service noop relay=active
+)");
+  ASSERT_TRUE(policy.is_ok()) << policy.status().to_string();
+  Status status = error(ErrorCode::kIoError, "unset");
+  platform_.apply_policy(policy.value(),
+                         [&](Result<std::vector<DeploymentHandle>> r) {
+                           status = r.status();
+                         });
+  sim_.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  const net::TokenBucket* bucket = platform_.tenant_qos("alice");
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->rate_bytes_per_sec(), 12'500'000u);  // 100 Mbps
+  EXPECT_EQ(bucket->burst_bytes(), 64u * 1024u);
+  EXPECT_EQ(platform_.splicer().tenant_gateways("alice").ingress
+                ->rate_limiter(),
+            bucket)
+      << "the bucket must shape the tenant's ingress gateway";
+
+  // The limiter actually paces: 512 KiB through a 12.5 MB/s bucket with
+  // a 64 KiB burst cannot finish faster than ~36 ms of sim time.
+  cloud::Vm& vm = *cloud_.find_vm("vm1");
+  const sim::Time start = sim_.now();
+  Bytes data = testutil::pattern_bytes(1024 * block::kSectorSize);
+  EXPECT_EQ(write_read_roundtrip(vm, 0, data), data);
+  EXPECT_GT(sim_.now() - start, sim::milliseconds(30))
+      << "rate limit had no effect on the data path";
+  EXPECT_GT(sim_.telemetry().counter("qos.alice.throttled_bytes").value(),
+            0u);
+
+  // A disabled spec removes the limiter.
+  platform_.set_tenant_qos("alice", QosSpec{});
+  EXPECT_EQ(platform_.tenant_qos("alice"), nullptr);
+  EXPECT_EQ(
+      platform_.splicer().tenant_gateways("alice").ingress->rate_limiter(),
+      nullptr);
 }
 
 TEST_F(StormTest, UnknownServiceTypeFailsDeploy) {

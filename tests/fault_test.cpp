@@ -373,6 +373,151 @@ TEST_F(PlatformFaultTest, CrashAndRestartReplaysJournal) {
   EXPECT_EQ(volume.value()->disk().store().read_sync(64, 128), payload);
 }
 
+// ------------------------------------------- backpressure under stall
+
+/// Active-relay deployment with tenant-tuned NVRAM watermarks: pause
+/// ingress credit at 32 KiB buffered, resume at 8 KiB.
+core::DeploymentHandle deploy_with_watermarks(core::StormPlatform& platform,
+                                              sim::Simulator& sim) {
+  core::ServiceSpec spec;
+  spec.type = "noop";
+  spec.relay = core::RelayMode::kActive;
+  spec.params["journal_hwm_kb"] = "32";
+  spec.params["journal_lwm_kb"] = "8";
+  Status status = error(ErrorCode::kIoError, "unset");
+  core::DeploymentHandle dep;
+  platform.attach_with_chain("vm", "vol", {spec},
+                             [&](Result<core::DeploymentHandle> r) {
+                               status = r.status();
+                               if (r.is_ok()) dep = r.value();
+                             });
+  sim.run();
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+  return dep;
+}
+
+TEST_F(PlatformFaultTest, WatermarksBoundRelayBufferingAcrossStall) {
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
+  core::DeploymentHandle dep = deploy_with_watermarks(platform_, sim_);
+  ASSERT_TRUE(dep.valid());
+  core::ActiveRelay* relay = dep.active_relay(0);
+  ASSERT_NE(relay, nullptr);
+  ASSERT_EQ(relay->flow_control().high_watermark, 32u * 1024u);
+
+  // Stall the backend for 500 ms of sim time while the initiator keeps
+  // four 64 KiB writes in flight (each completion issues the next).
+  cloud_.storage(0).node().set_down(true);
+  sim_.after(sim::milliseconds(500),
+             [&] { cloud_.storage(0).node().set_down(false); });
+
+  constexpr int kWrites = 24;
+  constexpr std::uint32_t kSectors = 128;  // 64 KiB each, distinct LBAs
+  int completed = 0, failed = 0, next = 0;
+  std::function<void()> issue = [&] {
+    const int i = next++;
+    Bytes data = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                         static_cast<std::uint8_t>(i + 1));
+    vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,
+                     std::move(data), [&](Status s) {
+                       ++completed;
+                       if (!s.is_ok()) ++failed;
+                       if (next < kWrites) issue();
+                     });
+  };
+  for (int i = 0; i < 4; ++i) issue();
+
+  // Mid-stall the relay must be paused with its buffering pinned near
+  // the watermark, and the stalled-but-alive initiator must not have
+  // lost its connection.
+  sim_.run_until(sim::milliseconds(300));
+  EXPECT_GE(relay->paused_directions(), 1u);
+  EXPECT_GE(relay->buffered_bytes(), 32u * 1024u);
+
+  sim_.run();
+  EXPECT_EQ(completed, kWrites);
+  EXPECT_EQ(failed, 0);
+  // Bound: one complete 64 KiB burst (the watermarks only count complete
+  // bursts, so a burst already past the 32 KiB watermark finishes) + one
+  // receive window of in-flight credit for the next torn burst + header/
+  // segmentation slack. Without backpressure the early-ACK loop would
+  // have journaled the whole 1.5 MiB workload during the stall.
+  EXPECT_GE(relay->peak_buffered_bytes(), 32u * 1024u);
+  EXPECT_LE(relay->peak_buffered_bytes(), 64u * 1024u + 36u * 1024u + 28u * 1024u);
+  // Fully drained and unpaused once the backend caught up.
+  EXPECT_EQ(relay->queue_bytes(), 0u);
+  EXPECT_EQ(relay->paused_directions(), 0u);
+  EXPECT_EQ(relay->journal_bytes(), 0u);
+
+  // Early-ACK semantics below the watermark survived: every byte landed.
+  auto volume = cloud_.storage(0).volumes().find_by_name("vol");
+  ASSERT_TRUE(volume.is_ok());
+  for (int i = 0; i < kWrites; ++i) {
+    Bytes expect = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                           static_cast<std::uint8_t>(i + 1));
+    EXPECT_EQ(volume.value()->disk().store().read_sync(
+                  static_cast<std::uint64_t>(i) * kSectors, kSectors),
+              expect)
+        << "write " << i << " corrupted or lost";
+  }
+}
+
+TEST_F(PlatformFaultTest, JournalReplaysAfterBackpressurePausedCrash) {
+  // Crash the relay while backpressure has it paused at the watermark:
+  // restart must replay the journal and the paused ingress state must
+  // not leak into the rebuilt sessions.
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
+  core::DeploymentHandle dep = deploy_with_watermarks(platform_, sim_);
+  ASSERT_TRUE(dep.valid());
+  dep.attachment()->initiator->set_recovery({.enabled = true});
+  core::ActiveRelay* relay = dep.active_relay(0);
+
+  cloud_.storage(0).node().set_down(true);
+
+  constexpr int kWrites = 8;
+  constexpr std::uint32_t kSectors = 128;
+  int completed = 0, failed = 0, next = 0;
+  std::function<void()> issue = [&] {
+    const int i = next++;
+    Bytes data = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                         static_cast<std::uint8_t>(i + 1));
+    vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,
+                     std::move(data), [&](Status s) {
+                       ++completed;
+                       if (!s.is_ok()) ++failed;
+                       if (next < kWrites) issue();
+                     });
+  };
+  for (int i = 0; i < 4; ++i) issue();
+
+  sim_.run_until(sim::milliseconds(200));
+  ASSERT_GE(relay->paused_directions(), 1u) << "pause must precede crash";
+  ASSERT_GE(relay->journal_bytes(), 1u);
+
+  ASSERT_TRUE(dep.crash_middlebox(0).is_ok());
+  cloud_.storage(0).node().set_down(false);
+  sim_.run_for(sim::milliseconds(20));
+  ASSERT_TRUE(dep.restart_middlebox(0).is_ok());
+  sim_.run();
+
+  EXPECT_EQ(completed, kWrites);
+  EXPECT_EQ(failed, 0) << "a paused crash must not lose acknowledged writes";
+  EXPECT_GT(relay->journal_replays(), 0u);
+  EXPECT_GT(dep.attachment()->initiator->recoveries(), 0u);
+  EXPECT_EQ(relay->paused_directions(), 0u);
+  auto volume = cloud_.storage(0).volumes().find_by_name("vol");
+  ASSERT_TRUE(volume.is_ok());
+  for (int i = 0; i < kWrites; ++i) {
+    Bytes expect = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                           static_cast<std::uint8_t>(i + 1));
+    EXPECT_EQ(volume.value()->disk().store().read_sync(
+                  static_cast<std::uint64_t>(i) * kSectors, kSectors),
+              expect)
+        << "write " << i << " corrupted or lost";
+  }
+}
+
 // ------------------------------------------------------------- chaos test
 
 struct ChaosOutcome {

@@ -197,6 +197,57 @@ TEST_F(HealthTest, BypassIsRejectedAtDeployTimeForConfidentialityServices) {
   EXPECT_EQ(parsed.status().code(), ErrorCode::kPermissionDenied);
 }
 
+TEST_F(HealthTest, BackpressureStallIsNotAFailure) {
+  // A chain throttled by flow control looks idle, not dead: the relay
+  // answers heartbeats and the initiator sits in zero-window persist
+  // (which never burns retransmission retries), so the health manager
+  // must not fence a healthy-but-paused deployment.
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 20'000).is_ok());
+  ServiceSpec spec = noop_spec(RelayMode::kActive, RecoveryPolicyKind::kFence);
+  spec.params["journal_hwm_kb"] = "32";
+  spec.params["journal_lwm_kb"] = "8";
+  DeploymentHandle dep = deploy("vm", "vol", {spec});
+  ASSERT_TRUE(dep.valid());
+  platform_.health().start();
+
+  // Backend dark for 300 ms of sim time with four 64 KiB writes kept in
+  // flight: the relay hits its watermark and pauses ingress.
+  cloud_.storage(0).node().set_down(true);
+  sim_.after(sim::milliseconds(300),
+             [&] { cloud_.storage(0).node().set_down(false); });
+  constexpr int kWrites = 12;
+  constexpr std::uint32_t kSectors = 128;
+  int completed = 0, failed = 0, next = 0;
+  std::function<void()> issue = [&] {
+    const int i = next++;
+    vm.disk()->write(
+        static_cast<std::uint64_t>(i) * kSectors,
+        Bytes(kSectors * block::kSectorSize,
+              static_cast<std::uint8_t>(i + 1)),
+        [&](Status s) {
+          ++completed;
+          if (!s.is_ok()) ++failed;
+          if (next < kWrites) issue();
+        });
+  };
+  for (int i = 0; i < 4; ++i) issue();
+
+  sim_.run_until(sim::milliseconds(200));
+  ASSERT_GE(dep.active_relay(0)->paused_directions(), 1u)
+      << "test must actually exercise the paused state";
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0), RelayHealth::kAlive);
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+
+  sim_.run_for(sim::seconds(3));  // heartbeats re-arm forever; bound the run
+  EXPECT_EQ(completed, kWrites);
+  EXPECT_EQ(failed, 0);
+  EXPECT_FALSE(dep.fenced()) << "backpressure misread as a failure";
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+  EXPECT_EQ(platform_.health().status(dep.cookie(), 0), RelayHealth::kAlive);
+  platform_.health().stop();
+}
+
 // ------------------------------------------- standby promotion (kStandby)
 
 struct FailoverOutcome {

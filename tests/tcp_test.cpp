@@ -5,6 +5,7 @@
 #include "crypto/sha256.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "obs/registry.hpp"
 #include "testutil.hpp"
 
 namespace storm::net {
@@ -280,6 +281,137 @@ TEST(Tcp, StallSignalFiresEarlyAndAtExhaustion) {
   EXPECT_EQ(stalled_flow.src, client.local());
   EXPECT_EQ(stalled_flow.dst, client.remote());
   EXPECT_EQ(client.state(), TcpConnection::State::kClosed);
+}
+
+TEST(Tcp, ZeroWindowStallProbesAndReopensOnConsume) {
+  // Credit-based receiver that never consumes: the advertised window
+  // closes after one window's worth of data, the sender enters
+  // zero-window persist (counted once, probing on a backed-off timer),
+  // and an explicit consume() reopens the window and completes the
+  // transfer with the stream intact.
+  TwoNodeNet net;
+  net.b.tcp().set_default_window(8 * 1024);
+  const Bytes payload = testutil::pattern_bytes(32 * 1024);
+  Bytes got;
+  TcpConnection* server_conn = nullptr;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.set_credit_based(true);
+    conn.set_on_data([&](Buf data) {
+      got.insert(got.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(payload);
+  net.sim.run_until(sim::milliseconds(900));
+
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(got.size(), 8u * 1024u) << "delivery must stop at the window";
+  EXPECT_EQ(server_conn->recv_buffered(), 8u * 1024u);
+  EXPECT_EQ(server_conn->advertised_window(), 0u);
+  EXPECT_EQ(client.send_backlog(), 24u * 1024u);
+  EXPECT_EQ(net.a.tcp().window_stalls(), 1u) << "one stall episode";
+  EXPECT_GE(client.zero_window_probes(), 1u);
+  EXPECT_LE(client.zero_window_probes(), 3u) << "probes must back off";
+  EXPECT_EQ(net.sim.telemetry().counter("tcp.window_stalls").value(), 1u);
+  EXPECT_GE(net.sim.telemetry().counter("tcp.zero_window_probes").value(),
+            1u);
+
+  // Release the credit: the window-update ACK restarts the sender even
+  // though it has nothing in flight to clock an ACK back.
+  server_conn->set_credit_based(false);
+  server_conn->consume(server_conn->recv_buffered());
+  net.sim.run();
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload) << "probe bytes must not corrupt the stream";
+  EXPECT_EQ(client.bytes_acked(), payload.size());
+  EXPECT_EQ(client.state(), TcpConnection::State::kEstablished)
+      << "a flow-controlled peer is alive, not dead";
+}
+
+TEST(Tcp, ReceiverDropsBytesBeyondAdvertisedWindowEdge) {
+  // A sender that ignores flow control cannot overrun the receive
+  // buffer: in-order payload past the advertised right edge is trimmed
+  // un-ACKed and counted, never buffered.
+  TwoNodeNet net;
+  net.b.tcp().set_default_window(2048);
+  Bytes got;
+  TcpConnection* server_conn = nullptr;
+  net.b.tcp().listen(80, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.set_credit_based(true);
+    conn.set_on_data([&](Buf data) {
+      got.insert(got.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  net.sim.run();
+  ASSERT_NE(server_conn, nullptr);
+
+  // Forge one in-order segment far larger than the 2 KiB window the
+  // server ever advertised (a well-behaved stack cannot emit this).
+  Packet pkt;
+  pkt.ip.src = ip("10.0.0.1");
+  pkt.ip.dst = ip("10.0.0.2");
+  pkt.tcp.src_port = client.local().port;
+  pkt.tcp.dst_port = 80;
+  pkt.tcp.seq = 1;  // first payload byte after the SYN
+  pkt.tcp.ack = 1;
+  pkt.tcp.flags = kTcpAck;
+  pkt.tcp.window = kDefaultWindow;
+  pkt.payload = Buf(testutil::pattern_bytes(5000));
+  pkt.tcp.checksum = tcp_checksum(pkt);
+  net.a.send_ip(pkt);
+  net.sim.run();
+
+  EXPECT_EQ(got.size(), 2048u) << "only the advertised window is accepted";
+  EXPECT_EQ(server_conn->bytes_received(), 2048u);
+  EXPECT_EQ(server_conn->recv_buffered(), 2048u);
+  EXPECT_EQ(server_conn->advertised_window(), 0u);
+  EXPECT_EQ(net.b.tcp().window_overrun_drops(), 5000u - 2048u);
+  EXPECT_EQ(
+      net.sim.telemetry().counter("tcp.window_overrun_drops").value(),
+      5000u - 2048u);
+  EXPECT_EQ(client.state(), TcpConnection::State::kEstablished)
+      << "the clamped ACK must not desync the real sender";
+
+  // Releasing the credit reopens exactly the configured window.
+  server_conn->consume(2048);
+  EXPECT_EQ(server_conn->advertised_window(), 2048u);
+}
+
+TEST(Tcp, PendingRxIsBoundedByReceiveWindow) {
+  // No data sink registered: arrivals park in pending_rx_, which the
+  // window bounds — the sender stalls instead of growing the buffer.
+  TwoNodeNet net;
+  net.b.tcp().set_default_window(4096);
+  const Bytes payload = testutil::pattern_bytes(16 * 1024);
+  TcpConnection* server_conn = nullptr;
+  net.b.tcp().listen(80,
+                     [&](TcpConnection& conn) { server_conn = &conn; });
+  TcpConnection& client =
+      net.a.tcp().connect(SocketAddr{ip("10.0.0.2"), 80}, [] {});
+  client.send(payload);
+  net.sim.run_until(sim::milliseconds(500));
+
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->bytes_received(), 4096u)
+      << "pending_rx_ must stop growing at the window";
+  EXPECT_EQ(server_conn->recv_buffered(), 4096u);
+  EXPECT_EQ(server_conn->advertised_window(), 0u);
+  EXPECT_GE(net.a.tcp().window_stalls(), 1u);
+
+  // Registering the sink flushes and (auto-consume) reopens the window.
+  Bytes got;
+  server_conn->set_on_data([&](Buf data) {
+    got.insert(got.end(), data.begin(), data.end());
+  });
+  net.sim.run();
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(server_conn->recv_buffered(), 0u);
 }
 
 TEST(Tcp, LastConnectPortIsExposed) {
