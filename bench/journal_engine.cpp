@@ -1,0 +1,148 @@
+// Journal engine throughput and commit latency: group commit vs the
+// per-record baseline, on an identical bursty append schedule. Group
+// commit stages every record that arrives while an NVRAM write is in
+// flight and flushes them as one batch, so bursts cost ~2 writes instead
+// of one per record. Reports journal MB/s (simulated time to drain) and
+// mean/p99 commit latency from the engine's own telemetry, writes
+// BENCH_journal.json, and gates on group commit actually improving both
+// throughput and mean latency — plus determinism: two same-seed group
+// runs must export byte-identical telemetry.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "journal/log.hpp"
+#include "sim/simulator.hpp"
+
+using namespace storm;
+
+namespace {
+
+constexpr int kRounds = 400;       // bursts
+constexpr int kBurst = 8;          // records per burst
+constexpr std::size_t kRecord = 4096;  // payload bytes per record
+constexpr sim::Duration kGap = sim::microseconds(20);  // burst inter-arrival
+
+struct RunResult {
+  double mbps = 0;
+  double mean_commit_ns = 0;
+  double p99_commit_ns = 0;
+  std::uint64_t commits = 0;
+  double mean_group_records = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t elapsed_ns = 0;
+  std::string telemetry;
+};
+
+RunResult run_mode(bool group_commit, std::uint64_t seed) {
+  sim::Simulator sim;
+  journal::Config config;
+  config.group_commit = group_commit;
+  journal::Device device(sim, sim.telemetry().scope("journal."), config);
+
+  Rng rng(seed);
+  constexpr int kStreams = 4;
+  journal::Stream streams[kStreams];
+  std::uint64_t watermarks[kStreams] = {};
+  for (auto& s : streams) s = journal::Stream(device);
+
+  RunResult out;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kBurst; ++i) {
+      const std::size_t idx = rng.below(kStreams);
+      Bytes payload(kRecord);
+      for (std::size_t b = 0; b < payload.size(); b += 64) {
+        payload[b] = static_cast<std::uint8_t>(rng.next_u32());
+      }
+      watermarks[idx] += payload.size();
+      streams[idx].append({Buf(std::move(payload))}, watermarks[idx],
+                          /*boundary=*/true);
+      out.bytes += kRecord;
+    }
+    // Acks arrive between bursts: trim everything committed so far, so
+    // checkpointing and segment reclamation run as part of the workload.
+    if (round % 16 == 15) {
+      for (int s = 0; s < kStreams; ++s) streams[s].trim(watermarks[s]);
+    }
+    sim.run_until(sim.now() + kGap);
+  }
+  sim.run();  // drain the flush pipeline
+
+  out.elapsed_ns = static_cast<std::int64_t>(sim.now());
+  out.mbps = out.elapsed_ns > 0
+                 ? static_cast<double>(out.bytes) * 1e9 /
+                       (1024.0 * 1024.0 * static_cast<double>(out.elapsed_ns))
+                 : 0.0;
+  obs::Registry& reg = sim.telemetry();
+  out.mean_commit_ns = reg.histogram("journal.commit_latency_ns").mean();
+  out.p99_commit_ns = reg.histogram("journal.commit_latency_ns").percentile(99);
+  out.commits = reg.counter("journal.commits").value();
+  out.mean_group_records = reg.histogram("journal.group_records").mean();
+  out.telemetry = reg.to_json(/*include_spans=*/false);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("journal engine: group commit vs per-record baseline");
+
+  const RunResult baseline = run_mode(/*group_commit=*/false, 0xB5);
+  const RunResult grouped = run_mode(/*group_commit=*/true, 0xB5);
+  const RunResult grouped2 = run_mode(/*group_commit=*/true, 0xB5);
+  const bool deterministic = grouped.telemetry == grouped2.telemetry;
+
+  std::printf("baseline: %7.1f MB/s  commits %5llu  mean %7.0f ns  "
+              "p99 %7.0f ns\n",
+              baseline.mbps,
+              static_cast<unsigned long long>(baseline.commits),
+              baseline.mean_commit_ns, baseline.p99_commit_ns);
+  std::printf("grouped:  %7.1f MB/s  commits %5llu  mean %7.0f ns  "
+              "p99 %7.0f ns  (%.1f records/write)\n",
+              grouped.mbps, static_cast<unsigned long long>(grouped.commits),
+              grouped.mean_commit_ns, grouped.p99_commit_ns,
+              grouped.mean_group_records);
+  std::printf("same-seed group runs byte-identical telemetry: %s\n",
+              deterministic ? "yes" : "NO");
+
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"journal_group_commit\",\"record_bytes\":%zu,"
+      "\"bursts\":%d,\"burst_records\":%d,"
+      "\"baseline_mb_s\":%.2f,\"group_mb_s\":%.2f,"
+      "\"baseline_mean_commit_ns\":%.0f,\"group_mean_commit_ns\":%.0f,"
+      "\"baseline_p99_commit_ns\":%.0f,\"group_p99_commit_ns\":%.0f,"
+      "\"baseline_commits\":%llu,\"group_commits\":%llu,"
+      "\"group_records_per_write\":%.2f,\"deterministic\":%s}",
+      kRecord, kRounds, kBurst, baseline.mbps, grouped.mbps,
+      baseline.mean_commit_ns, grouped.mean_commit_ns, baseline.p99_commit_ns,
+      grouped.p99_commit_ns,
+      static_cast<unsigned long long>(baseline.commits),
+      static_cast<unsigned long long>(grouped.commits),
+      grouped.mean_group_records, deterministic ? "true" : "false");
+  std::printf("%s\n", json);
+  std::ofstream("BENCH_journal.json") << json << "\n";
+
+  // Acceptance: group commit must beat the per-record baseline on both
+  // throughput and mean commit latency, and the engine is deterministic.
+  int rc = 0;
+  if (grouped.mbps <= baseline.mbps) {
+    std::fprintf(stderr, "FAIL: group commit MB/s %.2f <= baseline %.2f\n",
+                 grouped.mbps, baseline.mbps);
+    rc = 1;
+  }
+  if (grouped.mean_commit_ns >= baseline.mean_commit_ns) {
+    std::fprintf(stderr,
+                 "FAIL: group mean commit %.0f ns >= baseline %.0f ns\n",
+                 grouped.mean_commit_ns, baseline.mean_commit_ns);
+    rc = 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: same-seed runs diverged\n");
+    rc = 1;
+  }
+  return rc;
+}

@@ -7,49 +7,18 @@
 
 namespace storm::core {
 
-// ------------------------------------------------------------ RelayJournal
-
-void RelayJournal::append(BufChain wire, std::uint64_t watermark,
-                          bool boundary) {
-  const std::size_t size = chain_size(wire);
-  bytes_ += size;
-  // A boundary PDU closes the open burst: everything accumulated in the
-  // torn tail becomes part of a complete burst. A non-boundary PDU
-  // extends the torn tail.
-  torn_tail_bytes_ = boundary ? 0 : torn_tail_bytes_ + size;
-  entries_.push_back(Entry{std::move(wire), watermark, boundary});
-}
-
-void RelayJournal::trim(std::uint64_t acked_bytes) {
-  // Find the furthest acknowledged burst boundary, then drop the whole
-  // prefix up to it (never leaving a torn burst at the journal head).
-  std::size_t drop = 0;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].watermark > acked_bytes) break;
-    if (entries_[i].boundary) drop = i + 1;
-  }
-  for (std::size_t i = 0; i < drop; ++i) {
-    bytes_ -= chain_size(entries_.front().wire);
-    entries_.pop_front();
-  }
-}
-
-std::vector<BufChain> RelayJournal::unacknowledged() const {
-  std::vector<BufChain> out;
-  out.reserve(entries_.size());
-  for (const Entry& entry : entries_) out.push_back(entry.wire);
-  return out;
-}
-
 // ------------------------------------------------------------- ActiveRelay
 
 ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
                          std::vector<StorageService*> services,
                          std::string volume, ActiveRelayCosts costs,
-                         RelayFlowControl flow)
+                         RelayFlowControl flow, journal::Config journal_config)
     : vm_(mb_vm), upstream_(upstream), services_(std::move(services)),
       volume_(std::move(volume)), costs_(costs), flow_(flow),
-      scope_(telemetry().scope("relay." + vm_.name() + ".")) {
+      scope_(telemetry().scope("relay." + vm_.name() + ".")),
+      journal_dev_(mb_vm.node().simulator(),
+                   telemetry().scope("relay." + vm_.name() + ".journal."),
+                   journal_config) {
   // A resume threshold above the pause threshold could never be crossed
   // downward while paused — clamp rather than deadlock.
   flow_.low_watermark = std::min(flow_.low_watermark, flow_.high_watermark);
@@ -74,6 +43,12 @@ void ActiveRelay::on_accept(net::TcpConnection& conn) {
   for (auto& existing : sessions_) {
     if (existing->bind_port == conn.remote().port &&
         existing->downstream == nullptr) {
+      // Like the receive-window credit below, journaled responses are
+      // owed to the previous downstream incarnation and void with it:
+      // the new connection's ack count starts at zero, so records
+      // watermarked for the old one could never trim, and the initiator
+      // re-issues anything it never saw answered.
+      reset_direction(existing->to_initiator);
       bind_downstream(*existing, conn);
       // If the upstream leg is dead too (its loss is what tore the
       // initiator's side down in the first place), resume fully: re-dial
@@ -90,6 +65,10 @@ void ActiveRelay::on_accept(net::TcpConnection& conn) {
   Session* raw = session.get();
   session->bind_port = conn.remote().port;
   session->ctx = std::make_unique<SessionContext>(*this, *raw);
+  // Both directions multiplex into the relay's shared journal device,
+  // each on its own stream.
+  session->to_target.journal = journal::Stream(journal_dev_);
+  session->to_initiator.journal = journal::Stream(journal_dev_);
   sessions_.push_back(std::move(session));
   scope_.counter("sessions_accepted").add();
 
@@ -371,9 +350,12 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
 
 void ActiveRelay::forward(Session& session, Direction dir,
                           const iscsi::Pdu& pdu) {
-  // Serialize once; the journal and the TCP send queue share the chunks
-  // by reference (the payload chunk still references the received PDU's
-  // storage), so journaling no longer copies the wire bytes.
+  // Serialize once; the journal's live index and the TCP send queue share
+  // the chunks by reference (the payload chunk still references the
+  // received PDU's storage). The journal device additionally stores the
+  // frame into its NVRAM segment — that store is the persistence image
+  // replay recovers from, accounted on the journal's own byte counters,
+  // not a data-path copy.
   BufChain wire = iscsi::serialize_chunks(pdu);
   DirectionState& st = state(session, dir);
   st.enqueued_bytes += chain_size(wire);
@@ -432,14 +414,23 @@ void ActiveRelay::recover_upstream() {
   }
 }
 
+void ActiveRelay::reset_direction(DirectionState& st) {
+  journal::Stream stream = st.journal;
+  st = DirectionState{};
+  // Drop the dead incarnation's records from the device index and carry
+  // on under a fresh stream id, still bound to the same device.
+  stream.reset();
+  st.journal = stream;
+}
+
 void ActiveRelay::resume_session(Session& session) {
   session.failed = false;
   ++session.epoch;  // invalidate CPU work queued before the reset
   // Collect unacknowledged PDUs before resetting the counters. The
   // backlog is stale (those bytes are all in the journal).
   std::vector<BufChain> replay = session.to_target.journal.unacknowledged();
-  session.to_target = DirectionState{};
-  session.to_initiator = DirectionState{};
+  reset_direction(session.to_target);
+  reset_direction(session.to_initiator);
   session.upstream_backlog.clear();
   session.upstream_ready = false;
   ++journal_replays_;
@@ -482,13 +473,23 @@ void ActiveRelay::crash() {
     ++session->epoch;  // invalidate CPU work queued by the dead incarnation
   }
   vm_.node().tcp().reset();
+  // Power failure hits the journal device too: the volatile stream index
+  // and any in-flight NVRAM write die; only the segment bytes survive.
+  journal_dev_.crash();
 }
 
 void ActiveRelay::restart() {
   if (!crashed_) return;
   crashed_ = false;
   vm_.node().set_down(false);
-  telemetry().record_event("relay " + vm_.name() + ": restart");
+  // Replay the NVRAM segments before anything else: the recovered stream
+  // index is what resume_session reads its unacknowledged tail from.
+  const journal::Device::ReplayStats stats = journal_dev_.recover();
+  telemetry().record_event(
+      "relay " + vm_.name() + ": restart (journal replay recovered " +
+      std::to_string(stats.recovered) + " records, skipped " +
+      std::to_string(stats.skipped) + " below checkpoint, " +
+      std::to_string(stats.torn) + " torn)");
   start();  // re-listen for the initiator's reconnection
   for (auto& session : sessions_) {
     if (session->failed) resume_session(*session);
@@ -510,7 +511,11 @@ void ActiveRelay::shutdown() {
   }
 }
 
-RelayJournalSnapshot ActiveRelay::export_journal() const {
+RelayJournalSnapshot ActiveRelay::export_journal() {
+  // A crashed relay's volatile index is gone; the standby reads the dead
+  // box's NVRAM, so rebuild the index from the segments first. recover()
+  // is idempotent, so a later restart() replays the same state again.
+  if (crashed_) journal_dev_.recover();
   RelayJournalSnapshot snapshot;
   for (const auto& session : sessions_) {
     RelayJournalSnapshot::SessionImage image;
@@ -529,6 +534,8 @@ void ActiveRelay::adopt_sessions(RelayJournalSnapshot snapshot) {
     raw->bind_port = image.bind_port;
     raw->ctx = std::make_unique<SessionContext>(*this, *raw);
     raw->login_pdu = std::move(image.login_pdu);
+    raw->to_target.journal = journal::Stream(journal_dev_);
+    raw->to_initiator.journal = journal::Stream(journal_dev_);
     // Seed the journal with the dead relay's unacknowledged tail; the
     // cumulative watermarks restart from zero because the upstream leg
     // is a brand-new connection.
@@ -562,7 +569,9 @@ bool ActiveRelay::quiescent() const {
       return false;
     }
   }
-  return true;
+  // The device write pipeline must have drained too — "quiescent" means
+  // no journal write is still in flight.
+  return journal_dev_.flush_idle();
 }
 
 bool ActiveRelay::sessions_established() const {

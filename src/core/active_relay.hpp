@@ -19,6 +19,7 @@
 #include "cloud/cloud.hpp"
 #include "core/service.hpp"
 #include "iscsi/pdu.hpp"
+#include "journal/log.hpp"
 #include "net/tcp.hpp"
 #include "obs/registry.hpp"
 
@@ -48,52 +49,6 @@ struct ActiveRelayCosts {
 struct RelayFlowControl {
   std::size_t high_watermark = 256 * 1024;
   std::size_t low_watermark = 64 * 1024;
-};
-
-/// NVRAM journal: serialized PDUs kept until the egress TCP stack reports
-/// the bytes acknowledged. replay() hands back everything unacknowledged.
-/// Entries are chunk chains holding the wire bytes by reference — the
-/// journal shares storage with the in-flight TCP send queue instead of
-/// copying each PDU into NVRAM.
-class RelayJournal {
- public:
-  /// Record `wire` as enqueued; `watermark` is the cumulative payload
-  /// byte count on the outgoing connection after this PDU. `boundary`
-  /// marks a safe replay point: the PDU completes an iSCSI burst, so a
-  /// replay starting after it begins at a fresh command.
-  void append(BufChain wire, std::uint64_t watermark, bool boundary = true);
-
-  /// Drop fully-acknowledged entries, but never split a burst: the
-  /// journal always retains whole bursts so replay after a session reset
-  /// re-issues complete (idempotent) commands.
-  void trim(std::uint64_t acked_bytes);
-
-  /// Unacknowledged entries, oldest first.
-  std::vector<BufChain> unacknowledged() const;
-
-  std::size_t entries() const { return entries_.size(); }
-  std::size_t bytes() const { return bytes_; }
-
-  /// Bytes in the trailing *incomplete* burst (entries after the last
-  /// boundary). trim() can never drop them — their burst's final PDU has
-  /// not been forwarded yet — so they must not count toward the
-  /// backpressure watermark: an open burst whose tail is still behind a
-  /// closed ingress window could otherwise pin the load above the low
-  /// watermark forever (pause that can never resume).
-  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
-  /// Bytes in complete bursts — the drainable portion of the journal,
-  /// and the quantity the flow-control watermarks compare against.
-  std::size_t complete_bytes() const { return bytes_ - torn_tail_bytes_; }
-
- private:
-  struct Entry {
-    BufChain wire;
-    std::uint64_t watermark;
-    bool boundary;
-  };
-  std::deque<Entry> entries_;
-  std::size_t bytes_ = 0;
-  std::size_t torn_tail_bytes_ = 0;
 };
 
 /// One failed relay's NVRAM contents, exportable across VM instances:
@@ -127,7 +82,8 @@ class ActiveRelay {
   /// services through their ServiceContext.
   ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
               std::vector<StorageService*> services, std::string volume = {},
-              ActiveRelayCosts costs = {}, RelayFlowControl flow = {});
+              ActiveRelayCosts costs = {}, RelayFlowControl flow = {},
+              journal::Config journal_config = {});
 
   ActiveRelay(const ActiveRelay&) = delete;
   ActiveRelay& operator=(const ActiveRelay&) = delete;
@@ -162,7 +118,10 @@ class ActiveRelay {
   // --- standby failover (chain health manager) ---
   /// Snapshot every session's NVRAM journal and stored login PDU — the
   /// state that survives the VM's death and gets replayed into a standby.
-  RelayJournalSnapshot export_journal() const;
+  /// On a crashed relay this first replays the (simulated) NVRAM segments
+  /// to rebuild the index — the standby reads the dead box's NVRAM, not
+  /// its volatile memory.
+  RelayJournalSnapshot export_journal();
   /// Standby promotion: recreate each session from a failed relay's
   /// snapshot, re-dial the upstream leg, and replay login + journal. The
   /// initiator's reconnection (same pinned source port) is adopted into
@@ -198,6 +157,12 @@ class ActiveRelay {
   const obs::Scope& scope() const { return scope_; }
   const std::string& volume() const { return volume_; }
 
+  /// The relay's log-structured NVRAM engine. All sessions multiplex
+  /// their per-direction streams into this one device (tests and the
+  /// crash harness drive it directly).
+  journal::Device& journal_device() { return journal_dev_; }
+  const journal::Device& journal_device() const { return journal_dev_; }
+
  private:
   struct Session;
 
@@ -227,7 +192,7 @@ class ActiveRelay {
     std::deque<QueuedPdu> queue;  // PDUs awaiting processing, in order
     std::size_t queue_bytes = 0;  // bytes held in `queue`
     bool processing = false;
-    RelayJournal journal;
+    journal::Stream journal;
     std::uint64_t enqueued_bytes = 0;  // cumulative payload sent downstream
     // Backpressure: ingress bytes delivered by TCP but not yet credited
     // back (consume()d), and whether crediting is currently withheld
@@ -254,6 +219,10 @@ class ActiveRelay {
   };
 
   void on_accept(net::TcpConnection& conn);
+  /// Wipe a direction back to its initial state while keeping it bound to
+  /// the relay's journal device on a fresh stream id (the old stream's
+  /// records are dropped from the device index).
+  void reset_direction(DirectionState& st);
   void bind_downstream(Session& session, net::TcpConnection& conn);
   void dial_upstream(Session& session);
   void resume_session(Session& session);
@@ -280,6 +249,7 @@ class ActiveRelay {
   RelayFlowControl flow_;
   std::size_t peak_buffered_ = 0;
   obs::Scope scope_;  // "relay.<mb-vm>."
+  journal::Device journal_dev_;  // shared log, one per relay VM
   std::vector<std::unique_ptr<Session>> sessions_;
   // Open per-command child spans ("relay.<mb-vm>"), keyed by the
   // command's trace key; closed when the final SCSI response passes

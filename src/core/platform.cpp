@@ -236,6 +236,28 @@ RelayFlowControl relay_flow_control(const ServiceSpec& spec) {
   return flow;
 }
 
+// Tenant-tunable journal engine knobs, also from the service stanza:
+// `journal_segment_kb` sizes log segments, `journal_group_commit=0`
+// falls back to one NVRAM write per record (the bench baseline), and
+// `journal_checkpoint_kb` sets the dead-byte threshold that triggers an
+// automatic checkpoint (0 = explicit checkpoints only).
+journal::Config relay_journal_config(const ServiceSpec& spec) {
+  journal::Config config;
+  const std::string seg = spec.param("journal_segment_kb");
+  if (!seg.empty()) {
+    config.segment_bytes = std::stoul(seg) * 1024;
+  }
+  const std::string group = spec.param("journal_group_commit");
+  if (!group.empty()) {
+    config.group_commit = group != "0";
+  }
+  const std::string ckpt = spec.param("journal_checkpoint_kb");
+  if (!ckpt.empty()) {
+    config.checkpoint_dead_bytes = std::stoul(ckpt) * 1024;
+  }
+  return config;
+}
+
 }  // namespace
 
 void StormPlatform::wire_relays(Deployment& deployment) {
@@ -256,7 +278,7 @@ void StormPlatform::wire_relays(Deployment& deployment) {
             *box->vm, upstream,
             std::vector<StorageService*>{box->service.get()},
             deployment.volume, ActiveRelayCosts{},
-            relay_flow_control(box->spec));
+            relay_flow_control(box->spec), relay_journal_config(box->spec));
         box->active_relay->start();
         break;
     }
@@ -267,7 +289,8 @@ void StormPlatform::wire_relays(Deployment& deployment) {
           *box->standby->vm, upstream,
           std::vector<StorageService*>{box->standby->service.get()},
           deployment.volume, ActiveRelayCosts{},
-          relay_flow_control(box->standby->spec));
+          relay_flow_control(box->standby->spec),
+          relay_journal_config(box->standby->spec));
       box->standby->active_relay->start();
     }
   }

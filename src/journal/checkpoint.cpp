@@ -1,0 +1,39 @@
+#include "journal/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace storm::journal {
+
+Bytes encode_checkpoint(const Checkpoint& checkpoint) {
+  Bytes out;
+  ByteWriter writer(out);
+  writer.u32(static_cast<std::uint32_t>(checkpoint.cursors.size()));
+  for (const auto& [stream, cursor] : checkpoint.cursors) {
+    writer.u32(stream);
+    writer.u64(cursor);
+  }
+  writer.u32(static_cast<std::uint32_t>(checkpoint.dropped.size()));
+  for (StreamId stream : checkpoint.dropped) writer.u32(stream);
+  return out;
+}
+
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> payload) {
+  Checkpoint checkpoint;
+  try {
+    ByteReader reader(payload);
+    const std::uint32_t cursors = reader.u32();
+    for (std::uint32_t i = 0; i < cursors; ++i) {
+      const StreamId stream = reader.u32();
+      checkpoint.cursors[stream] = reader.u64();
+    }
+    const std::uint32_t dropped = reader.u32();
+    for (std::uint32_t i = 0; i < dropped; ++i) {
+      checkpoint.dropped.insert(reader.u32());
+    }
+  } catch (const std::out_of_range&) {
+    return Checkpoint{};
+  }
+  return checkpoint;
+}
+
+}  // namespace storm::journal

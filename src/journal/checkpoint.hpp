@@ -1,0 +1,54 @@
+// Checkpoint records: the durable trim horizon of the journal.
+//
+// Ack-driven trims only move in-memory cursors; what makes a trim stick
+// across a power failure is the checkpoint record — a meta-stream record
+// whose payload is the cursor table (stream id -> highest trimmed burst
+// watermark) plus the set of streams that were dropped outright. On
+// replay, the latest checkpoint in the valid prefix is applied: records
+// at or below their stream's cursor (or belonging to a dropped stream)
+// are skipped as already-acknowledged. Records trimmed *after* the last
+// checkpoint may therefore be resurrected by a crash — that is the
+// documented at-least-once window, and it is safe because journaled
+// bursts replay burst-atomically onto idempotent sector writes.
+//
+// Checkpoints are also the space-reclaim trigger: once a checkpoint
+// record has made the horizon durable, whole segments below it can be
+// dropped (see Device::checkpoint), replacing byte-level ack-trim with
+// segment truncation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "journal/segment.hpp"
+
+namespace storm::journal {
+
+struct Checkpoint {
+  /// Highest trimmed (acknowledged) burst-boundary watermark per stream.
+  std::map<StreamId, std::uint64_t> cursors;
+  /// Streams dropped whole (session resets): every record is dead
+  /// regardless of watermark.
+  std::set<StreamId> dropped;
+
+  /// True if `stream`'s record at `watermark` is at or below the horizon.
+  bool covers(StreamId stream, std::uint64_t watermark) const {
+    if (dropped.count(stream) != 0) return true;
+    auto it = cursors.find(stream);
+    return it != cursors.end() && watermark <= it->second;
+  }
+};
+
+/// Payload codec for checkpoint records (big-endian, like every wire
+/// format in the repo).
+Bytes encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Decode a checkpoint payload. Malformed payloads (possible only via
+/// image corruption that still passed CRC — i.e. never in practice, but
+/// the fuzzer insists) yield an empty checkpoint.
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> payload);
+
+}  // namespace storm::journal

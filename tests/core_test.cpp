@@ -104,7 +104,11 @@ TEST(Policy, RejectsMalformedQos) {
 // --- relay journal -------------------------------------------------------------
 
 TEST(RelayJournal, AppendTrimReplay) {
-  RelayJournal journal;
+  // The relay journals through a journal::Stream on a shared
+  // journal::Device now; the append/trim/replay semantics are unchanged.
+  sim::Simulator sim;
+  journal::Device device(sim, sim.telemetry().scope("journal."));
+  journal::Stream journal(device);
   journal.append({Buf(Bytes(100, 1))}, 100);
   journal.append({Buf(Bytes(50, 2))}, 150);
   journal.append({Buf(Bytes(25, 3))}, 175);

@@ -10,6 +10,7 @@
 #include "common/buf.hpp"
 #include "core/active_relay.hpp"
 #include "core/service.hpp"
+#include "journal/log.hpp"
 #include "crypto/sha256.hpp"
 #include "iscsi/pdu.hpp"
 #include "net/flow_switch.hpp"
@@ -145,7 +146,8 @@ TEST(CowAliasing, CipherRewriteNeverReachesTheJournalReference) {
   pdu.flags |= iscsi::kFlagFinal;
   const Bytes plaintext = pdu.data.to_bytes();
 
-  core::RelayJournal journal;
+  journal::Device device(sim, sim.telemetry().scope("journal."));
+  journal::Stream journal(device);
   BufChain wire = iscsi::serialize_chunks(pdu);
   journal.append(wire, chain_size(wire));
   // serialize_chunks() embeds the data segment by reference.

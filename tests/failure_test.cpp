@@ -2,10 +2,13 @@
 // middle-boxes and sessions die — the paper's dependability claims.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/active_relay.hpp"
 #include "core/platform.hpp"
 #include "core/reconstruction.hpp"
 #include "fs/simext.hpp"
+#include "journal/log.hpp"
 #include "services/registry.hpp"
 #include "testutil.hpp"
 
@@ -43,6 +46,97 @@ class FailureTest : public ::testing::Test {
   cloud::Cloud cloud_;
   core::StormPlatform platform_;
 };
+
+// Ported from the PR-5 backpressure suite and re-pointed at the journal
+// engine: crash the relay while backpressure has it paused at the NVRAM
+// watermark. Restart must replay the engine's segmented log (not the old
+// per-session buffer), the paused ingress state must not leak into the
+// rebuilt sessions, and no acknowledged write may be lost.
+TEST_F(FailureTest, JournalReplaysAfterBackpressurePausedCrash) {
+  cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("vol", 40'000).is_ok());
+
+  ServiceSpec spec;
+  spec.type = "noop";
+  spec.relay = RelayMode::kActive;
+  spec.params["journal_hwm_kb"] = "32";
+  spec.params["journal_lwm_kb"] = "8";
+  spec.params["journal_segment_kb"] = "64";  // several segments in play
+  Status status = error(ErrorCode::kIoError, "unset");
+  DeploymentHandle dep;
+  platform_.attach_with_chain("vm", "vol", {spec},
+                              [&](Result<DeploymentHandle> r) {
+                                status = r.status();
+                                if (r.is_ok()) dep = r.value();
+                              });
+  sim_.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  ASSERT_TRUE(dep.valid());
+  dep.attachment()->initiator->set_recovery({.enabled = true});
+  core::ActiveRelay* relay = dep.active_relay(0);
+  ASSERT_NE(relay, nullptr);
+  ASSERT_EQ(relay->journal_device().config().segment_bytes, 64u * 1024u);
+
+  cloud_.storage(0).node().set_down(true);
+
+  constexpr int kWrites = 8;
+  constexpr std::uint32_t kSectors = 128;
+  int completed = 0, failed = 0, next = 0;
+  std::function<void()> issue = [&] {
+    const int i = next++;
+    Bytes data = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                         static_cast<std::uint8_t>(i + 1));
+    vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,
+                     std::move(data), [&](Status s) {
+                       ++completed;
+                       if (!s.is_ok()) ++failed;
+                       if (next < kWrites) issue();
+                     });
+  };
+  for (int i = 0; i < 4; ++i) issue();
+
+  sim_.run_until(sim::milliseconds(200));
+  ASSERT_GE(relay->paused_directions(), 1u) << "pause must precede crash";
+  ASSERT_GE(relay->journal_bytes(), 1u);
+  // The buffered PDUs live in the engine's NVRAM segments, not in
+  // volatile session state: the physical image must cover them.
+  journal::Device& device = relay->journal_device();
+  EXPECT_GE(device.device_bytes(), relay->journal_bytes());
+  EXPECT_GE(device.export_image().bytes(), relay->journal_bytes());
+
+  ASSERT_TRUE(dep.crash_middlebox(0).is_ok());
+  cloud_.storage(0).node().set_down(false);
+  sim_.run_for(sim::milliseconds(20));
+  ASSERT_TRUE(dep.restart_middlebox(0).is_ok());
+  sim_.run();
+
+  EXPECT_EQ(completed, kWrites);
+  EXPECT_EQ(failed, 0) << "a paused crash must not lose acknowledged writes";
+  EXPECT_GT(relay->journal_replays(), 0u);
+  EXPECT_GT(dep.attachment()->initiator->recoveries(), 0u);
+  EXPECT_EQ(relay->paused_directions(), 0u);
+  // Engine-level replay telemetry: the restart went through a segment
+  // scan, and everything drained after recovery.
+  const std::string journal_scope =
+      "relay." + dep.mb_vm(0)->name() + ".journal.";
+  EXPECT_GE(sim_.telemetry().counter(journal_scope + "replays").value(), 1u);
+  EXPECT_GT(
+      sim_.telemetry().counter(journal_scope + "replay_records_recovered")
+          .value(),
+      0u);
+  EXPECT_EQ(relay->journal_bytes(), 0u);
+
+  auto volume = cloud_.storage(0).volumes().find_by_name("vol");
+  ASSERT_TRUE(volume.is_ok());
+  for (int i = 0; i < kWrites; ++i) {
+    Bytes expect = testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                           static_cast<std::uint8_t>(i + 1));
+    EXPECT_EQ(volume.value()->disk().store().read_sync(
+                  static_cast<std::uint64_t>(i) * kSectors, kSectors),
+              expect)
+        << "write " << i << " corrupted or lost";
+  }
+}
 
 TEST_F(FailureTest, TargetSessionCloseFailsTenantIoThroughChain) {
   cloud::Vm& vm = cloud_.create_vm("vm", "t", 0);

@@ -262,6 +262,11 @@ struct FailoverOutcome {
   std::int64_t detect_ns = 0;
   RelayHealth outcome = RelayHealth::kAlive;
   std::string first_error;
+  // Journal-engine parity: the handoff must read the dead box's NVRAM
+  // segments (a replay on its journal device) and seed the standby's own
+  // journal device with the adopted records.
+  std::uint64_t failed_journal_replays = 0;
+  std::uint64_t standby_journal_seq = 0;
 };
 
 /// One full failover chaos run: active-relay chain with a warm standby,
@@ -292,6 +297,9 @@ FailoverOutcome run_failover(std::uint64_t seed) {
   sim.run();
   if (!status.is_ok() || !dep.valid()) return {};
   if (dep.standby_relay(0) == nullptr) return {};
+  // Promotion destroys the failed box; remember its VM name now so we can
+  // read its journal-engine telemetry after the run.
+  const std::string failed_vm = dep.mb_vm(0)->name();
   dep.attachment()->initiator->set_recovery({.enabled = true});
   platform.health().start();
 
@@ -333,6 +341,14 @@ FailoverOutcome run_failover(std::uint64_t seed) {
   out.mttr_count = sim.telemetry().histogram("health.mttr_ns").count();
   out.mttr_ns = sim.telemetry().histogram("health.mttr_ns").max();
   out.detect_ns = sim.telemetry().histogram("health.detect_ns").max();
+  out.failed_journal_replays =
+      sim.telemetry()
+          .counter("relay." + failed_vm + ".journal.replays")
+          .value();
+  // After promotion the standby occupies the primary slot.
+  if (core::ActiveRelay* promoted = dep.active_relay(0)) {
+    out.standby_journal_seq = promoted->journal_device().appended_seq();
+  }
   out.telemetry = sim.telemetry().to_json(/*include_spans=*/true);
 
   auto volume = cloud.storage(0).volumes().find_by_name("vol");
@@ -350,6 +366,14 @@ TEST_F(HealthTest, StandbyPromotionPreservesEveryAcknowledgedWrite) {
   EXPECT_EQ(out.failures, 1u);
   EXPECT_EQ(out.recoveries, 1u);
   EXPECT_EQ(out.outcome, RelayHealth::kStandbyPromoted);
+
+  // Engine parity: export_journal on the dead box replayed its NVRAM
+  // segments (its volatile index died with it), and the standby's own
+  // journal device carries the adopted session's records.
+  EXPECT_GE(out.failed_journal_replays, 1u)
+      << "handoff must scan the dead box's segments, not trust RAM";
+  EXPECT_GT(out.standby_journal_seq, 0u)
+      << "standby promotion journaled nothing";
 
   // Detection within the heartbeat deadline (miss_threshold intervals,
   // plus one probe of phase slack).
