@@ -69,7 +69,7 @@ ScenarioResult run_scenario(std::size_t hwm_kb, std::size_t lwm_kb) {
   // whole 3 MiB workload up front, so without backpressure everything
   // the early-ACK loop can pull in lands in the relay during the stall.
   cloud.storage(0).node().set_down(true);
-  sim.after(sim::milliseconds(500),
+  sim.schedule_in(sim::milliseconds(500),
             [&] { cloud.storage(0).node().set_down(false); });
 
   ScenarioResult result;

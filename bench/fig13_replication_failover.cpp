@@ -93,7 +93,7 @@ RunResult run_case(unsigned replicas, bool inject_failure,
   }
 
   if (inject_failure && replicas > 0) {
-    sim.after(sim::seconds(60), [&] {
+    sim.schedule_in(sim::seconds(60), [&] {
       auto attachment =
           cloud.find_attachment(deployment.mb_vm(0)->name(), "dbvol-r0");
       if (attachment) {
@@ -176,7 +176,7 @@ MttrResult run_mttr_case() {
   constexpr int kWrites = 64;
   constexpr std::uint32_t kSectors = 16;
   for (int i = 0; i < kWrites; ++i) {
-    sim.after(sim::milliseconds(2) * i, [&, i] {
+    sim.schedule_in(sim::milliseconds(2) * i, [&, i] {
       db_vm.disk()->write(
           static_cast<std::uint64_t>(i) * kSectors,
           Bytes(kSectors * block::kSectorSize,
@@ -186,7 +186,7 @@ MttrResult run_mttr_case() {
           });
     });
   }
-  sim.after(sim::milliseconds(50),
+  sim.schedule_in(sim::milliseconds(50),
             [&] { (void)deployment.crash_middlebox(0); });
   sim.run_for(sim::seconds(2));
   platform.health().stop();

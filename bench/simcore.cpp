@@ -1,0 +1,325 @@
+// Parallel DES core scaling: events/sec and ns/event for the sharded
+// kernel at several worker-thread counts, on two scenarios that stress
+// the two hot paths of the simulator itself:
+//
+//   routing     a ring of 8 hosts (one per partition) joined by
+//               partition-spanning net::Links; packets circulate with
+//               per-hop processing events, so every window mixes local
+//               events with cross-partition mailbox traffic.
+//   processing  8 hosts (one per partition) churning seeded jobs
+//               through a sim::Cpu, with periodic cross-partition
+//               reports mailed to partition 0.
+//
+// Both scenarios run the identical seeded workload at every thread
+// count and the merged telemetry dumps must be byte-identical — that
+// check always gates. The throughput gate is hardware-aware: the
+// speedup floors (>= 2.5x at 8 threads, >= 1.8x at 4) are enforced
+// only when the machine actually has that many hardware threads;
+// on smaller builders the numbers are report-only.
+//
+// Writes BENCH_simcore.json. Usage: simcore [--threads 1,4,8]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buf.hpp"
+#include "common/rng.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "obs/registry.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+using namespace storm;
+
+namespace {
+
+constexpr std::uint32_t kPartitions = 8;
+constexpr sim::Duration kLookahead = sim::microseconds(20);
+
+struct RunResult {
+  std::size_t events = 0;
+  double wall_s = 0;
+  std::uint64_t violations = 0;
+  std::string telemetry;
+
+  double events_per_s() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
+  }
+  double ns_per_event() const {
+    return events > 0 ? wall_s * 1e9 / static_cast<double>(events) : 0;
+  }
+};
+
+sim::ParallelConfig config_for(std::uint32_t threads) {
+  sim::ParallelConfig config;
+  config.partitions = kPartitions;
+  config.threads = threads;
+  config.lookahead = kLookahead;
+  return config;
+}
+
+// --- routing: packet ring over partition-spanning links ---
+
+RunResult run_routing(std::uint32_t threads) {
+  sim::Simulator sim(config_for(threads));
+
+  // Ring: link i carries host i (end 0) -> host i+1 (end 1). The
+  // propagation delay exceeds the lookahead, as the conservative
+  // windows require of every partition-spanning link.
+  constexpr sim::Duration kProp = sim::microseconds(25);
+  constexpr std::uint64_t kBps = 10ull * 1000 * 1000 * 1000;
+  std::vector<std::unique_ptr<net::Link>> links;
+  for (std::uint32_t i = 0; i < kPartitions; ++i) {
+    links.push_back(
+        std::make_unique<net::Link>(sim.executor(i), kBps, kProp));
+    links.back()->set_end_executor(1, sim.executor((i + 1) % kPartitions));
+  }
+
+  struct Host {
+    Rng rng{0};
+  };
+  auto hosts = std::make_shared<std::vector<Host>>(kPartitions);
+  for (std::uint32_t i = 0; i < kPartitions; ++i) {
+    (*hosts)[i].rng = Rng(0xC0DE + i);
+  }
+
+  // Host j: receive on link (j-1)%P end 1, forward on link j end 0,
+  // with a seeded think time and three filler events per hop to model
+  // per-packet host work.
+  for (std::uint32_t j = 0; j < kPartitions; ++j) {
+    net::Link* out = links[j].get();
+    net::Link* in = links[(j + kPartitions - 1) % kPartitions].get();
+    sim::Executor exec = sim.executor(j);
+    in->connect(1, [hosts, j, out, exec](net::Packet pkt) mutable {
+      Host& host = (*hosts)[j];
+      obs::Registry& reg = exec.telemetry();
+      reg.counter("bench.hops").add();
+      reg.histogram("bench.think_ns").record(
+          static_cast<std::int64_t>(host.rng.below(2000)));
+      for (int k = 0; k < 3; ++k) {
+        exec.schedule_in(host.rng.below(sim::microseconds(20)),
+                         [exec]() mutable {
+                           exec.telemetry().counter("bench.filler").add();
+                         });
+      }
+      const sim::Duration think = 100 + host.rng.below(2000);
+      exec.schedule_in(think, [out, p = std::move(pkt)]() mutable {
+        out->send(0, std::move(p));
+      });
+    });
+  }
+
+  // Inject 48 packets per host, staggered so the ring starts full.
+  constexpr int kPacketsPerHost = 48;
+  for (std::uint32_t j = 0; j < kPartitions; ++j) {
+    sim::Executor exec = sim.executor(j);
+    net::Link* out = links[j].get();
+    for (int n = 0; n < kPacketsPerHost; ++n) {
+      exec.schedule(sim::microseconds(1) + 100 * n, [out] {
+        net::Packet pkt;
+        pkt.payload = Buf(Bytes(256, 0xAB));
+        out->send(0, std::move(pkt));
+      });
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  RunResult out;
+  out.events = sim.run_until(sim::milliseconds(20));
+  const auto stop = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.violations = sim.lookahead_violations();
+  out.telemetry = sim.telemetry_json();
+  return out;
+}
+
+// --- processing: per-partition CPU job churn with mailed reports ---
+
+RunResult run_processing(std::uint32_t threads) {
+  sim::Simulator sim(config_for(threads));
+
+  struct Host {
+    Rng rng{0};
+    std::unique_ptr<sim::Cpu> cpu;
+    std::uint64_t jobs = 0;
+  };
+  auto hosts = std::make_shared<std::vector<Host>>(kPartitions);
+  for (std::uint32_t p = 0; p < kPartitions; ++p) {
+    (*hosts)[p].rng = Rng(0xFEED + p);
+    (*hosts)[p].cpu = std::make_unique<sim::Cpu>(
+        sim.executor(p), "host" + std::to_string(p), 4);
+  }
+
+  auto generate = std::make_shared<std::function<void(std::uint32_t)>>();
+  *generate = [&sim, hosts, generate](std::uint32_t p) {
+    Host& host = (*hosts)[p];
+    sim::Executor exec = sim.executor(p);
+    const sim::Duration cost = host.rng.between(500, 3000);
+    host.cpu->run(cost, [hosts, p, cost, exec, &sim]() mutable {
+      Host& h = (*hosts)[p];
+      obs::Registry& reg = exec.telemetry();
+      reg.counter("bench.jobs").add();
+      reg.histogram("bench.job_cost_ns").record(
+          static_cast<std::int64_t>(cost));
+      if (++h.jobs % 64 == 0 && p != 0) {
+        // Cross-partition report: one lookahead plus jitter ahead, so
+        // it always lands in a future window of partition 0.
+        sim.executor(0).schedule_in(
+            kLookahead + h.rng.below(sim::microseconds(5)), [&sim] {
+              sim.executor(0).telemetry().counter("bench.reports").add();
+            });
+      }
+    });
+    exec.schedule_in(host.rng.between(200, 800),
+                     [generate, p] { (*generate)(p); });
+  };
+  for (std::uint32_t p = 0; p < kPartitions; ++p) {
+    sim.executor(p).schedule(sim::microseconds(1) * (p + 1),
+                             [generate, p] { (*generate)(p); });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  RunResult out;
+  out.events = sim.run_until(sim::milliseconds(25));
+  const auto stop = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.violations = sim.lookahead_violations();
+  out.telemetry = sim.telemetry_json();
+  return out;
+}
+
+std::vector<std::uint32_t> parse_threads(int argc, char** argv) {
+  std::vector<std::uint32_t> threads{1, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads.clear();
+      const char* s = argv[i + 1];
+      std::uint32_t v = 0;
+      for (; *s != '\0'; ++s) {
+        if (*s == ',') {
+          if (v > 0) threads.push_back(v);
+          v = 0;
+        } else if (*s >= '0' && *s <= '9') {
+          v = v * 10 + static_cast<std::uint32_t>(*s - '0');
+        }
+      }
+      if (v > 0) threads.push_back(v);
+    }
+  }
+  if (threads.empty()) threads = {1, 4, 8};
+  return threads;
+}
+
+struct Scenario {
+  const char* name;
+  RunResult (*run)(std::uint32_t);
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::uint32_t> thread_counts = parse_threads(argc, argv);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("sim core scaling: %u partitions, lookahead %llu ns, "
+              "hardware threads %u\n",
+              kPartitions, static_cast<unsigned long long>(kLookahead), hw);
+
+  const Scenario scenarios[] = {{"routing", run_routing},
+                                {"processing", run_processing}};
+  int rc = 0;
+  std::string json = "{\"bench\":\"simcore\",\"partitions\":" +
+                     std::to_string(kPartitions) +
+                     ",\"lookahead_ns\":" + std::to_string(kLookahead) +
+                     ",\"hardware_threads\":" + std::to_string(hw);
+
+  for (const Scenario& scenario : scenarios) {
+    std::map<std::uint32_t, RunResult> results;
+    for (std::uint32_t t : thread_counts) {
+      results[t] = scenario.run(t);
+      const RunResult& r = results[t];
+      std::printf("%-10s %2u thread(s): %9zu events  %8.0f ns  "
+                  "%10.0f ev/s  %6.2f ms wall\n",
+                  scenario.name, t, r.events, r.ns_per_event(),
+                  r.events_per_s(), r.wall_s * 1e3);
+      if (r.violations != 0) {
+        std::fprintf(stderr, "FAIL: %s at %u threads: %llu lookahead "
+                     "violations\n", scenario.name, t,
+                     static_cast<unsigned long long>(r.violations));
+        rc = 1;
+      }
+    }
+
+    // Determinism is the hard gate everywhere: every thread count must
+    // export byte-identical merged telemetry.
+    bool deterministic = true;
+    const RunResult& base = results.begin()->second;
+    for (const auto& [t, r] : results) {
+      if (r.telemetry != base.telemetry) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "FAIL: %s telemetry at %u threads differs from %u\n",
+                     scenario.name, t, results.begin()->first);
+        rc = 1;
+      }
+    }
+    std::printf("%-10s telemetry byte-identical across thread counts: %s\n",
+                scenario.name, deterministic ? "yes" : "NO");
+
+    const double base_eps = results.count(1) ? results[1].events_per_s() : 0;
+    auto speedup = [&](std::uint32_t t) {
+      return (base_eps > 0 && results.count(t))
+                 ? results[t].events_per_s() / base_eps
+                 : 0.0;
+    };
+    const double s4 = speedup(4);
+    const double s8 = speedup(8);
+    if (s8 > 0) std::printf("%-10s speedup 8t: %.2fx\n", scenario.name, s8);
+    if (s4 > 0) std::printf("%-10s speedup 4t: %.2fx\n", scenario.name, s4);
+    if (hw >= 8 && results.count(1) && results.count(8) && s8 < 2.5) {
+      std::fprintf(stderr, "FAIL: %s 8-thread speedup %.2fx < 2.5x\n",
+                   scenario.name, s8);
+      rc = 1;
+    } else if (hw >= 4 && hw < 8 && results.count(1) && results.count(4) &&
+               s4 < 1.8) {
+      std::fprintf(stderr, "FAIL: %s 4-thread speedup %.2fx < 1.8x\n",
+                   scenario.name, s4);
+      rc = 1;
+    }
+
+    json += ",\"" + std::string(scenario.name) + "\":{\"threads\":{";
+    bool first = true;
+    for (const auto& [t, r] : results) {
+      if (!first) json += ",";
+      first = false;
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "\"%u\":{\"events\":%zu,\"events_per_s\":%.0f,"
+                    "\"ns_per_event\":%.1f,\"wall_ms\":%.2f}",
+                    t, r.events, r.events_per_s(), r.ns_per_event(),
+                    r.wall_s * 1e3);
+      json += buf;
+    }
+    char tail[128];
+    std::snprintf(tail, sizeof tail,
+                  "},\"speedup_4t\":%.3f,\"speedup_8t\":%.3f,"
+                  "\"deterministic\":%s}",
+                  s4, s8, deterministic ? "true" : "false");
+    json += tail;
+  }
+
+  const char* gate = hw >= 8 ? "enforced-8t" : (hw >= 4 ? "enforced-4t"
+                                                        : "report-only");
+  json += ",\"gate\":\"" + std::string(gate) + "\"}";
+  std::printf("%s\n", json.c_str());
+  std::ofstream("BENCH_simcore.json") << json << "\n";
+  if (rc == 0) std::printf("PASS (gate: %s)\n", gate);
+  return rc;
+}

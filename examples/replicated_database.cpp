@@ -66,7 +66,7 @@ volume mysql-vm db-vol
   }
 
   // Kill replica r1's iSCSI session at t=10 s (as the paper does).
-  sim.after(sim::seconds(10), [&] {
+  sim.schedule_in(sim::seconds(10), [&] {
     auto attachment =
         cloud.find_attachment(deployment.mb_vm(0)->name(), "db-vol-r1");
     if (attachment) {

@@ -24,7 +24,7 @@ void SimDisk::read(std::uint64_t lba, std::uint32_t count, ReadCallback done) {
   }
   ++reads_;
   sim::Time completion = schedule(count * kSectorSize);
-  sim_.at(completion, [this, lba, count, done = std::move(done)] {
+  sim_.schedule(completion, [this, lba, count, done = std::move(done)] {
     done(Status::ok(), store_->read_sync(lba, count));
   });
 }
@@ -41,7 +41,7 @@ void SimDisk::write(std::uint64_t lba, Bytes data, WriteCallback done) {
   }
   ++writes_;
   sim::Time completion = schedule(data.size());
-  sim_.at(completion,
+  sim_.schedule(completion,
           [this, lba, d = std::move(data), done = std::move(done)]() mutable {
             store_->write_sync(lba, d);
             done(Status::ok());
@@ -64,7 +64,7 @@ void SimDisk::write_gather(std::uint64_t lba, BufChain chunks,
   // Timing is identical to the contiguous write of the same size; the
   // chunks hold their payload by reference until the modeled completion.
   sim::Time completion = schedule(total);
-  sim_.at(completion,
+  sim_.schedule(completion,
           [this, lba, c = std::move(chunks), done = std::move(done)]() mutable {
             store_->write_sync_chain(lba, c);
             done(Status::ok());

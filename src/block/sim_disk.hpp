@@ -18,9 +18,9 @@ struct DiskProfile {
 
 class SimDisk : public BlockDevice {
  public:
-  SimDisk(sim::Simulator& simulator, std::uint64_t sectors,
+  SimDisk(sim::Executor executor, std::uint64_t sectors,
           DiskProfile profile = {})
-      : sim_(simulator), store_(std::make_unique<MemDisk>(sectors)),
+      : sim_(executor), store_(std::make_unique<MemDisk>(sectors)),
         profile_(profile), slot_free_(profile.queue_depth, 0) {}
 
   void read(std::uint64_t lba, std::uint32_t count, ReadCallback done) override;
@@ -40,7 +40,7 @@ class SimDisk : public BlockDevice {
   /// Completion time for an op of `bytes`, honoring queue_depth slots.
   sim::Time schedule(std::uint64_t bytes);
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   std::unique_ptr<MemDisk> store_;
   DiskProfile profile_;
   std::vector<sim::Time> slot_free_;

@@ -203,7 +203,7 @@ void Cloud::run_attach_queue(unsigned host_index) {
   auto finish = [this, host_index, done = std::move(pending.done)](
                     Status status, Attachment attachment) {
     done(status, std::move(attachment));
-    sim_.post([this, host_index] { run_attach_queue(host_index); });
+    sim_.schedule_in(0, [this, host_index] { run_attach_queue(host_index); });
   };
 
   auto located = locate_volume(pending.volume);

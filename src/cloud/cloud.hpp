@@ -177,6 +177,7 @@ class Cloud {
   Cloud& operator=(const Cloud&) = delete;
 
   sim::Simulator& simulator() { return sim_; }
+  sim::Executor executor() { return sim::Executor(sim_); }
   const CloudConfig& config() const { return config_; }
   std::shared_ptr<net::ArpRegistry> arp() { return arp_; }
 

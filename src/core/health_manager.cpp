@@ -88,7 +88,7 @@ void ChainHealthManager::tick() {
     }
     probe_deployment(*dep, chain);
   }
-  tick_token_ = platform_.cloud_.simulator().after_cancellable(
+  tick_token_ = platform_.cloud_.executor().schedule_in(
       config_.heartbeat_interval, [this] { tick(); });
 }
 
@@ -273,7 +273,7 @@ void ChainHealthManager::on_tcp_stall(const net::FourTuple& flow,
                    std::to_string(retries) + " retries)");
   // The stall callback fires inside TCP timer processing; the probe may
   // tear connections down, so defer it to a fresh event.
-  platform_.cloud_.simulator().post([this] {
+  platform_.cloud_.executor().schedule_in(0, [this] {
     if (running_) {
       stall_probe();
     }

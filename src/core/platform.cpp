@@ -561,7 +561,7 @@ void StormPlatform::drain_deployment(Deployment& dep,
       (*done_shared)(error(ErrorCode::kDeadlineExceeded, "drain timeout"));
       return;
     }
-    cloud_.simulator().after(kDrainPollInterval, *poll);
+    cloud_.executor().schedule_in(kDrainPollInterval, *poll);
   };
   (*poll)();
 }

@@ -73,9 +73,9 @@ struct SimExt::Joiner : std::enable_shared_from_this<SimExt::Joiner> {
 
 // ------------------------------------------------------------------- mkfs
 
-SimExt::SimExt(sim::Simulator& simulator, block::BlockDevice& device,
+SimExt::SimExt(sim::Executor executor, block::BlockDevice& device,
                Options options)
-    : sim_(simulator), dev_(device), options_(options) {}
+    : sim_(executor), dev_(device), options_(options) {}
 
 Status SimExt::mkfs(block::MemDisk& disk) {
   SuperBlock sb;
@@ -171,7 +171,7 @@ void SimExt::run_next() {
   op([this, user_done = std::move(user_done)](Status status) {
     user_done(status);
     // Defer to break recursion chains on long op queues.
-    sim_.post([this] { run_next(); });
+    sim_.schedule_in(0, [this] { run_next(); });
   });
 }
 
@@ -219,7 +219,7 @@ void SimExt::mark_dirty(std::uint32_t block,
     auto [it, fresh] = pending_meta_.try_emplace(block);
     it->second.push_back(join->begin());
     if (fresh) {
-      sim_.post([this, block] {
+      sim_.schedule_in(0, [this, block] {
         auto node = pending_meta_.extract(block);
         if (node.empty()) return;
         Bytes copy = cached(block);
@@ -235,7 +235,7 @@ void SimExt::mark_dirty(std::uint32_t block,
   dirty_.insert(block);
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
-    sim_.after(options_.writeback_delay, [this] {
+    sim_.schedule_in(options_.writeback_delay, [this] {
       flush_scheduled_ = false;
       flush_dirty([](Status) {});
     });
@@ -890,7 +890,7 @@ void SimExt::do_write(const std::string& path, std::uint64_t offset,
           // metadata-before-data device order reconstruction relies on.
           for (auto& [lba, bytes] : merged) {
             if (options_.writeback_delay == 0) {
-              sim_.post([this, lba = lba, bytes = std::move(bytes),
+              sim_.schedule_in(0, [this, lba = lba, bytes = std::move(bytes),
                          cb = join->begin()]() mutable {
                 dev_.write(lba, std::move(bytes), std::move(cb));
               });
@@ -898,7 +898,7 @@ void SimExt::do_write(const std::string& path, std::uint64_t offset,
               pending_data_.emplace_back(lba, std::move(bytes));
               if (!flush_scheduled_) {
                 flush_scheduled_ = true;
-                sim_.after(options_.writeback_delay, [this] {
+                sim_.schedule_in(options_.writeback_delay, [this] {
                   flush_scheduled_ = false;
                   flush_dirty([](Status) {});
                 });

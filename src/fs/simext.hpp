@@ -48,7 +48,7 @@ class SimExt {
   using ListCb = std::function<void(Status, std::vector<DirEntry>)>;
   using StatCb = std::function<void(Status, StatInfo)>;
 
-  SimExt(sim::Simulator& simulator, block::BlockDevice& device,
+  SimExt(sim::Executor executor, block::BlockDevice& device,
          Options options = {});
 
   SimExt(const SimExt&) = delete;
@@ -150,7 +150,7 @@ class SimExt {
   void do_unlink(const std::string& path, DoneCb done);
   void do_rename(const std::string& from, const std::string& to, DoneCb done);
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   block::BlockDevice& dev_;
   Options options_;
   bool mounted_ = false;

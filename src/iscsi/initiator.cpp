@@ -175,7 +175,7 @@ void Initiator::logout() {
 void Initiator::arm_watchdog() {
   watchdog_.cancel();
   if (!recovery_.enabled || logging_out_ || failed_) return;
-  watchdog_ = node_.simulator().after_cancellable(
+  watchdog_ = node_.executor().schedule_in(
       recovery_.response_timeout, [this] { on_watchdog(); });
 }
 
@@ -297,7 +297,7 @@ void Initiator::on_closed(Status status) {
     log_info("iscsi-init") << iqn_ << ": session dropped ("
                            << status.to_string() << "); reconnect attempt "
                            << attempts_ << "/" << recovery_.max_attempts;
-    node_.simulator().after(recovery_.reconnect_delay,
+    node_.executor().schedule_in(recovery_.reconnect_delay,
                             [this] { reconnect(); });
     return;
   }

@@ -4,8 +4,8 @@
 
 namespace storm::journal {
 
-Device::Device(sim::Simulator& sim, obs::Scope scope, Config config)
-    : sim_(sim), scope_(std::move(scope)), config_(config) {
+Device::Device(sim::Executor executor, obs::Scope scope, Config config)
+    : sim_(executor), scope_(std::move(scope)), config_(config) {
   if (config_.segment_bytes < kRecordOverhead + 1) {
     config_.segment_bytes = kRecordOverhead + 1;
   }
@@ -113,7 +113,7 @@ void Device::schedule_flush() {
       static_cast<sim::Duration>(config_.ns_per_byte *
                                  static_cast<double>(batch_bytes));
   const std::uint64_t epoch = epoch_;
-  flush_token_ = sim_.after_cancellable(cost, [this, epoch, batch] {
+  flush_token_ = sim_.schedule_in(cost, [this, epoch, batch] {
     if (epoch_ != epoch) return;  // a crash invalidated this write
     complete_flush(batch);
   });

@@ -94,7 +94,7 @@ class Device {
     }
   };
 
-  Device(sim::Simulator& sim, obs::Scope scope, Config config = {});
+  Device(sim::Executor executor, obs::Scope scope, Config config = {});
   ~Device();
 
   Device(const Device&) = delete;
@@ -198,7 +198,7 @@ class Device {
   void update_gauges();
   Checkpoint horizon() const;
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   obs::Scope scope_;
   Config config_;
 

@@ -18,9 +18,9 @@ MacAddr ArpRegistry::lookup(Ipv4Addr ip) const {
   return it->second;
 }
 
-NetNode::NetNode(sim::Simulator& simulator, std::string name,
+NetNode::NetNode(sim::Executor executor, std::string name,
                  std::shared_ptr<ArpRegistry> arp)
-    : sim_(simulator), name_(std::move(name)), arp_(std::move(arp)),
+    : sim_(executor), name_(std::move(name)), arp_(std::move(arp)),
       tcp_(std::make_unique<TcpStack>(*this)) {
   obs::Registry& reg = sim_.telemetry();
   nat_.bind_telemetry(&reg.counter("nat.rule_hits"),
@@ -75,7 +75,7 @@ void NetNode::charge(std::size_t bytes, std::function<void()> then) {
   } else if (cpu_ != nullptr) {
     cpu_->run(cost, std::move(then));
   } else {
-    sim_.after(cost, std::move(then));
+    sim_.schedule_in(cost, std::move(then));
   }
 }
 
@@ -157,7 +157,7 @@ void NetNode::send_ip(Packet pkt) {
   // Loopback: both endpoints on this node (used by the active relay's
   // local pseudo-server redirection).
   if (has_local_ip(pkt.ip.dst)) {
-    sim_.post([this, p = std::move(pkt)]() mutable {
+    sim_.schedule_in(0, [this, p = std::move(pkt)]() mutable {
       if (!down_) tcp_->handle_segment(std::move(p));
     });
     return;

@@ -47,7 +47,7 @@ class TokenBucket;
 
 class NetNode {
  public:
-  NetNode(sim::Simulator& simulator, std::string name,
+  NetNode(sim::Executor executor, std::string name,
           std::shared_ptr<ArpRegistry> arp);
   ~NetNode();
 
@@ -101,7 +101,8 @@ class NetNode {
 
   NatEngine& nat() { return nat_; }
   TcpStack& tcp() { return *tcp_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::Executor executor() const { return sim_; }
+  sim::Simulator& simulator() { return sim_.simulator(); }
   ArpRegistry& arp() { return *arp_; }
   const std::string& name() const { return name_; }
 
@@ -123,7 +124,7 @@ class NetNode {
   int route(Ipv4Addr dst) const;  // nic index, -1 if no route
   void charge(std::size_t bytes, std::function<void()> then);
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   std::string name_;
   std::shared_ptr<ArpRegistry> arp_;
   std::vector<Nic> nics_;

@@ -4,13 +4,13 @@
 
 namespace storm::net {
 
-TokenBucket::TokenBucket(sim::Simulator& simulator,
+TokenBucket::TokenBucket(sim::Executor executor,
                          std::uint64_t rate_bytes_per_sec,
                          std::uint64_t burst_bytes)
-    : sim_(simulator), rate_(rate_bytes_per_sec),
+    : sim_(executor), rate_(rate_bytes_per_sec),
       burst_(std::max<std::uint64_t>(burst_bytes, 1)),
       tokens_(static_cast<double>(std::max<std::uint64_t>(burst_bytes, 1))),
-      last_refill_(simulator.now()) {}
+      last_refill_(sim_.now()) {}
 
 void TokenBucket::refill() {
   const sim::Time now = sim_.now();
@@ -79,7 +79,7 @@ void TokenBucket::schedule_drain() {
   const double deficit = tokens_ < 0 ? -tokens_ : 0.0;
   sim::Duration wait = eta(deficit);
   if (wait <= 0) wait = 1;
-  drain_token_ = sim_.after_cancellable(wait, [this] { drain(); });
+  drain_token_ = sim_.schedule_in(wait, [this] { drain(); });
 }
 
 }  // namespace storm::net

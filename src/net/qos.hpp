@@ -23,7 +23,7 @@ namespace storm::net {
 
 class TokenBucket {
  public:
-  TokenBucket(sim::Simulator& simulator, std::uint64_t rate_bytes_per_sec,
+  TokenBucket(sim::Executor executor, std::uint64_t rate_bytes_per_sec,
               std::uint64_t burst_bytes);
 
   TokenBucket(const TokenBucket&) = delete;
@@ -62,7 +62,7 @@ class TokenBucket {
   /// Nanoseconds until `deficit` bytes worth of tokens accrue.
   sim::Duration eta(double deficit) const;
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   std::uint64_t rate_;   // bytes per second
   std::uint64_t burst_;  // token cap (and initial fill)
   double tokens_;        // may go negative under the deficit model

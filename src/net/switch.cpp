@@ -16,7 +16,7 @@ int L2Switch::attach(Link& link, int end) {
 void L2Switch::on_receive(int in_port, Packet pkt) {
   ++packets_;
   // Model the switch's forwarding latency, then run the data path.
-  sim_.after(latency_, [this, in_port, p = std::move(pkt)]() mutable {
+  sim_.schedule_in(latency_, [this, in_port, p = std::move(pkt)]() mutable {
     process(in_port, std::move(p));
   });
 }

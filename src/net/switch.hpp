@@ -14,9 +14,9 @@ namespace storm::net {
 
 class L2Switch {
  public:
-  L2Switch(sim::Simulator& simulator, std::string name,
+  L2Switch(sim::Executor executor, std::string name,
            sim::Duration per_packet_latency = sim::microseconds(2))
-      : sim_(simulator), name_(std::move(name)), latency_(per_packet_latency) {}
+      : sim_(executor), name_(std::move(name)), latency_(per_packet_latency) {}
 
   virtual ~L2Switch() = default;
   L2Switch(const L2Switch&) = delete;
@@ -40,7 +40,7 @@ class L2Switch {
   /// Emit on a specific port.
   void output(int port, Packet&& pkt);
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
 
  private:
   void on_receive(int in_port, Packet pkt);

@@ -324,7 +324,7 @@ void TcpConnection::maybe_arm_persist() {
     stack_.note_window_stall();
   }
   if (!persist_token_.armed()) {
-    persist_token_ = stack_.node().simulator().after_cancellable(
+    persist_token_ = stack_.node().executor().schedule_in(
         persist_backoff_, [this] { on_persist(); });
   }
 }
@@ -349,13 +349,13 @@ void TcpConnection::on_persist() {
   emit(kTcpAck, slice_send(0, 1), snd_nxt_);
   persist_backoff_ =
       std::min<sim::Duration>(persist_backoff_ * 2, kTcpMaxRto);
-  persist_token_ = stack_.node().simulator().after_cancellable(
+  persist_token_ = stack_.node().executor().schedule_in(
       persist_backoff_, [this] { on_persist(); });
 }
 
 void TcpConnection::arm_rto() {
   if (rto_token_.armed()) return;
-  rto_token_ = stack_.node().simulator().after_cancellable(
+  rto_token_ = stack_.node().executor().schedule_in(
       rto_, [this] { on_rto(); });
 }
 

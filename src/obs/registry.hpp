@@ -12,15 +12,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
-
-namespace storm::sim {
-class Simulator;
-}
 
 namespace storm::obs {
 
@@ -50,7 +48,11 @@ class Scope {
 
 class Registry {
  public:
-  explicit Registry(sim::Simulator& simulator);
+  /// Bound to one partition's executor: timestamps come from that
+  /// partition's clock, and hot-path metric updates stay confined to the
+  /// partition's worker thread. A Simulator& converts implicitly
+  /// (partition 0), preserving the historical one-registry-per-sim use.
+  explicit Registry(sim::Executor executor);
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -76,7 +78,8 @@ class Registry {
   void record_event(std::string what);
 
   sim::Time now() const;
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() { return exec_.simulator(); }
+  sim::Executor executor() const { return exec_; }
 
   /// Machine-readable dump: counters, gauges, histogram summaries, the
   /// flight-recorder tail, and (optionally) every retained span. Keys
@@ -87,8 +90,22 @@ class Registry {
   /// simulations in one process don't bleed into each other).
   std::string to_json(bool include_spans = false);
 
+  /// Deterministic multi-registry export: merge `registries` **in the
+  /// given (partition-id) order** into one dump with the same shape as
+  /// to_json(). Counters and gauges sum, histograms merge bucket-wise,
+  /// flight-recorder entries interleave by (sim-time, registry order),
+  /// and spans concatenate with ids offset per registry so they stay
+  /// unique. `copied_bytes` replaces the net.bytes_copied counter (the
+  /// process-wide copy tally cannot be attributed per partition).
+  /// Because the merge order is positional — never wall clock — two
+  /// identically seeded runs produce byte-identical output at any
+  /// thread count.
+  static std::string merged_json(const std::vector<Registry*>& registries,
+                                 sim::Time now, std::uint64_t copied_bytes,
+                                 bool include_spans = false);
+
  private:
-  sim::Simulator& sim_;
+  sim::Executor exec_;
   std::uint64_t copy_baseline_ = 0;  // bufstats at construction
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

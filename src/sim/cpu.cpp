@@ -16,7 +16,7 @@ void Cpu::run(Duration cost, std::function<void()> done) {
 void Cpu::start(Task task) {
   --free_cores_;
   busy_ns_ += task.cost;
-  sim_.after(task.cost, [this, done = std::move(task.done)]() mutable {
+  sim_.schedule_in(task.cost, [this, done = std::move(task.done)]() mutable {
     ++free_cores_;
     if (!waiting_.empty()) {
       Task next = std::move(waiting_.front());

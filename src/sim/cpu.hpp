@@ -14,8 +14,8 @@ namespace storm::sim {
 
 class Cpu {
  public:
-  Cpu(Simulator& simulator, std::string name, unsigned cores)
-      : sim_(simulator), name_(std::move(name)), free_cores_(cores),
+  Cpu(Executor executor, std::string name, unsigned cores)
+      : sim_(executor), name_(std::move(name)), free_cores_(cores),
         total_cores_(cores) {}
 
   Cpu(const Cpu&) = delete;
@@ -46,7 +46,7 @@ class Cpu {
 
   void start(Task task);
 
-  Simulator& sim_;
+  Executor sim_;
   std::string name_;
   unsigned free_cores_;
   unsigned total_cores_;

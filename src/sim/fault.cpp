@@ -45,7 +45,7 @@ void FaultPlan::flip_random_bit(std::span<std::uint8_t> buf) {
 
 void FaultPlan::schedule(Time when, std::string label,
                          std::function<void()> action) {
-  sim_.at(when, [this, label = std::move(label),
+  sim_.schedule(when, [this, label = std::move(label),
                  action = std::move(action)]() {
     record(label);
     action();

@@ -56,8 +56,8 @@ struct FaultEvent {
 
 class FaultPlan {
  public:
-  FaultPlan(Simulator& sim, std::uint64_t seed)
-      : sim_(sim), rng_(seed), seed_(seed) {}
+  FaultPlan(Executor executor, std::uint64_t seed)
+      : sim_(executor), rng_(seed), seed_(seed) {}
 
   std::uint64_t seed() const { return seed_; }
   Rng& rng() { return rng_; }
@@ -94,7 +94,7 @@ class FaultPlan {
   std::uint64_t delayed() const { return delayed_; }
 
  private:
-  Simulator& sim_;
+  Executor sim_;
   Rng rng_;
   std::uint64_t seed_;
   std::vector<FaultEvent> trace_;

@@ -1,15 +1,41 @@
-// Discrete-event simulation kernel. Single-threaded and deterministic:
-// events at equal timestamps run in scheduling order (FIFO tie-break).
+// Discrete-event simulation kernel, sharded for parallel execution.
 //
-// Every latency-bearing component (links, NICs, disks, CPUs, relays) is
-// driven by callbacks scheduled here, so a whole "cluster" executes inside
-// one OS thread and produces identical timings on every run.
+// The simulation is split into one or more Partitions (simulated host
+// groups / fabric cuts). Each partition owns its own event queue, clock
+// and cancel-slot pool, and — in parallel runs — executes on a worker
+// thread. Partitions synchronize with conservative lookahead windows
+// derived from the minimum cross-partition link propagation delay: all
+// partitions run their events in [t, t + lookahead) concurrently, then
+// meet at a barrier where cross-partition events (posted into the
+// destination's inbox as mailbox messages) are merged in
+// (when, src_partition, src_seq) order — never wall-clock order — so
+// identically seeded runs produce byte-identical results at any thread
+// count. Within a partition, events at equal timestamps run in
+// scheduling order (FIFO tie-break), exactly as the classic
+// single-threaded kernel did.
+//
+// Components schedule through a partition-local Executor handle:
+//
+//   sim::Executor exec = simulator.executor(partition_id);
+//   sim::CancelToken t = exec.schedule(when, fn);      // absolute
+//   sim::CancelToken t = exec.schedule_in(delay, fn);  // relative
+//
+// An Executor converts implicitly from Simulator& (partition 0), so
+// single-partition code keeps passing the simulator around. The legacy
+// at/at_cancellable/after/after_cancellable/post five-way surface
+// survives as deprecated shims over partition 0 for one more PR.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -20,79 +46,92 @@ class Registry;
 
 namespace storm::sim {
 
-/// Handle for a cancellable event. Cancelling marks the event dead; the
+class Partition;
+class Simulator;
+class Executor;
+
+/// Time value meaning "no pending event".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Generation-counted cancellation slot. One atomic per armed event,
+/// recycled through its home partition's pool, so arming a cancellable
+/// timer (every TCP RTO) allocates nothing in steady state. The
+/// generation check makes stale tokens harmless after the slot has been
+/// recycled to a newer event.
+struct CancelSlot {
+  std::atomic<std::uint64_t> gen{0};
+  Partition* home = nullptr;
+};
+
+/// Handle for a scheduled event. Cancelling marks the event dead; the
 /// run loop discards dead events without advancing now(), so abandoned
 /// timers (e.g. a TCP retransmission timer disarmed by an ACK) leave no
-/// trace in the simulated clock.
+/// trace in the simulated clock. Tokens are cheap value types: a slot
+/// pointer plus the generation it was armed under.
 class CancelToken {
  public:
   CancelToken() = default;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-    alive_.reset();
+  /// Idempotent; a token whose event already fired is a no-op.
+  void cancel();
+
+  bool armed() const {
+    return slot_ != nullptr &&
+           slot_->gen.load(std::memory_order_acquire) == gen_;
   }
-  bool armed() const { return alive_ && *alive_; }
 
  private:
-  friend class Simulator;
-  explicit CancelToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  friend class Partition;
+  CancelToken(CancelSlot* slot, std::uint64_t gen)
+      : slot_(slot), gen_(gen) {}
+
+  CancelSlot* slot_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
-class Simulator {
+/// One shard of the simulation: an event queue, a clock, a cancel-slot
+/// pool and a cross-partition inbox. Created and owned by the Simulator;
+/// components touch it only through Executor handles.
+class Partition {
  public:
   using Callback = std::function<void()>;
 
-  Simulator();
-  ~Simulator();
-
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
-  /// Schedule `fn` at absolute time `when` (clamped to now).
-  void at(Time when, Callback fn);
-
-  /// Schedule `fn` at `when`; the returned token can cancel it before it
-  /// fires. A cancelled event is skipped without advancing now().
-  CancelToken at_cancellable(Time when, Callback fn);
-
-  CancelToken after_cancellable(Duration delay, Callback fn) {
-    return at_cancellable(now_ + delay, std::move(fn));
-  }
-
-  /// Schedule `fn` `delay` ns from now.
-  void after(Duration delay, Callback fn) { at(now_ + delay, std::move(fn)); }
-
-  /// Schedule `fn` at the current time, after already-pending events at
-  /// this timestamp ("post to the end of the current tick").
-  void post(Callback fn) { at(now_, std::move(fn)); }
-
   Time now() const { return now_; }
+  std::uint32_t id() const { return id_; }
+  Simulator& simulator() { return *owner_; }
 
-  /// Run until the event queue is empty. Returns number of events run.
-  std::size_t run();
-
-  /// Run events with time <= deadline; advances now() to deadline.
-  std::size_t run_until(Time deadline);
-
-  std::size_t run_for(Duration d) { return run_until(now_ + d); }
-
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
-
-  /// This simulation's telemetry hub (created on first use). Everything
-  /// driven by this clock — links, TCP, relays, services, the platform —
-  /// reports here, so one call yields the whole cluster's metrics and
-  /// traces, stamped in deterministic sim-time.
+  /// This partition's telemetry registry (created on first use).
+  /// Per-partition registries keep hot-path metric updates
+  /// thread-confined; Simulator::telemetry_json() merges them in
+  /// partition-id order for one deterministic cluster-wide dump.
   obs::Registry& telemetry();
 
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+  ~Partition();
+
+  /// RAII marker for "this thread is currently executing this
+  /// partition" — the signal Executor::schedule uses to route
+  /// cross-partition calls through the mailbox.
+  struct ScopedCurrent {
+    explicit ScopedCurrent(Partition* p) : prev(s_current) { s_current = p; }
+    ~ScopedCurrent() { s_current = prev; }
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+    Partition* prev;
+  };
+
  private:
+  friend class Simulator;
+  friend class Executor;
+  friend class CancelToken;
+
   struct Event {
     Time when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     Callback fn;
-    std::shared_ptr<bool> alive;  // null for non-cancellable events
+    CancelSlot* slot;
+    std::uint64_t gen;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -100,11 +139,320 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// A cross-partition event waiting for the destination's next window.
+  /// (src, src_seq) make the merge order a total order independent of
+  /// which worker thread appended first.
+  struct Mail {
+    Time when;
+    std::uint32_t src;
+    std::uint64_t src_seq;
+    Callback fn;
+    CancelSlot* slot;
+    std::uint64_t gen;
+  };
 
+  Partition(Simulator& owner, std::uint32_t id);  // defined in .cpp:
+  // members include unique_ptr<obs::Registry>, incomplete here.
+
+  // --- cancel-slot pool ---
+  // acquire is only ever called by the thread legally running this
+  // partition (its window worker, or the coordinator thread outside a
+  // run), so the local free list needs no lock. Frees coming from other
+  // partitions' threads (a mailbox event firing remotely, a
+  // cross-partition cancel) go through the mutex-guarded remote list.
+  CancelSlot* acquire_slot() {
+    if (free_local_.empty()) {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (free_remote_.empty()) {
+        slots_.emplace_back();
+        slots_.back().home = this;
+        return &slots_.back();
+      }
+      free_local_.swap(free_remote_);
+    }
+    CancelSlot* slot = free_local_.back();
+    free_local_.pop_back();
+    return slot;
+  }
+  void recycle_slot(CancelSlot* slot) {
+    if (s_current == this || s_current == nullptr) {
+      free_local_.push_back(slot);
+    } else {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      free_remote_.push_back(slot);
+    }
+  }
+
+  void enqueue(Time when, Callback fn, CancelSlot* slot, std::uint64_t gen) {
+    queue_.push(Event{when, next_seq_++, std::move(fn), slot, gen});
+  }
+
+  CancelToken schedule_local(Time when, Callback fn) {
+    if (when < now_) when = now_;
+    CancelSlot* slot = acquire_slot();
+    const std::uint64_t gen = slot->gen.load(std::memory_order_relaxed);
+    enqueue(when, std::move(fn), slot, gen);
+    return CancelToken(slot, gen);
+  }
+
+  /// Post into this partition's inbox from partition `from` (the one the
+  /// calling thread is running). Merged at the next window barrier.
+  CancelToken send_mail(Partition& from, Time when, Callback fn);
+
+  /// Sort the inbox by (when, src, src_seq) and feed it into the local
+  /// queue. Runs at the window barrier, in partition-id order.
+  void drain_inbox();
+
+  /// Run all events with when <= limit; advances now() to limit. The
+  /// limit is the window end, never the caller's deadline, so an idle
+  /// partition can never outrun the global lookahead window.
+  std::size_t run_window(Time limit);
+
+  Time next_event_time() const {
+    return queue_.empty() ? kNever : queue_.top().when;
+  }
+
+  /// Move-extract the top event (the comparator only reads when/seq,
+  /// which moving leaves intact, so hollowing out fn before pop is safe
+  /// and skips a std::function deep copy per event).
+  Event pop_event() {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  /// True if popped event was cancelled; winner of the generation CAS
+  /// owns the slot recycle.
+  bool claim_fire(const Event& ev) {
+    std::uint64_t expected = ev.gen;
+    return ev.slot->gen.compare_exchange_strong(expected, ev.gen + 1,
+                                                std::memory_order_acq_rel);
+  }
+
+  static thread_local Partition* s_current;
+
+  Simulator* owner_;
+  std::uint32_t id_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t mail_seq_ = 0;  // outgoing cross-partition send counter
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unique_ptr<obs::Registry> telemetry_;
+  std::size_t last_window_events_ = 0;
+
+  // Slot pool: slots_ gives stable addresses; the free lists recycle.
+  std::deque<CancelSlot> slots_;
+  std::vector<CancelSlot*> free_local_;
+  std::mutex pool_mu_;
+  std::vector<CancelSlot*> free_remote_;
+
+  std::mutex inbox_mu_;
+  std::vector<Mail> inbox_;
 };
+
+/// The partition-local scheduling facade components hold instead of a
+/// Simulator&. Copyable, two words, converts implicitly from Simulator&
+/// (partition 0). All scheduling goes through the two-call surface:
+/// schedule(when) / schedule_in(delay), both returning a CancelToken.
+class Executor {
+ public:
+  using Callback = Partition::Callback;
+
+  Executor() = default;
+  Executor(Simulator& simulator);  // NOLINT(google-explicit-constructor)
+
+  /// Schedule `fn` at absolute time `when` (clamped to the target
+  /// partition's now). Cross-partition calls are routed through the
+  /// destination's mailbox; `when` must then be at least one lookahead
+  /// ahead of the caller's clock (links guarantee this via propagation
+  /// delay; violations are clamped and counted).
+  CancelToken schedule(Time when, Callback fn) {
+    Partition* cur = Partition::s_current;
+    if (cur == nullptr || cur == part_) {
+      return part_->schedule_local(when, std::move(fn));
+    }
+    return part_->send_mail(*cur, when, std::move(fn));
+  }
+
+  /// Schedule `fn` `delay` ns from the calling context's clock.
+  /// schedule_in(0, fn) posts to the end of the current tick.
+  CancelToken schedule_in(Duration delay, Callback fn) {
+    Partition* cur = Partition::s_current;
+    const Time base = (cur != nullptr) ? cur->now_ : part_->now_;
+    return schedule(base + delay, std::move(fn));
+  }
+
+  /// This partition's clock. Only meaningful from the partition's own
+  /// execution context (or between runs).
+  Time now() const { return part_->now_; }
+
+  obs::Registry& telemetry() const { return part_->telemetry(); }
+  std::uint32_t partition_id() const { return part_->id(); }
+  Simulator& simulator() const { return *part_->owner_; }
+  bool valid() const { return part_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  friend class Partition;
+  explicit Executor(Partition* partition) : part_(partition) {}
+
+  Partition* part_ = nullptr;
+};
+
+/// Sharding configuration. The defaults give the classic single-threaded
+/// kernel: one partition, run inline on the calling thread.
+struct ParallelConfig {
+  /// Number of partitions (simulated host groups). Fixed per topology:
+  /// determinism holds across *thread* counts for a fixed partition
+  /// count, because mailbox merge order depends only on partition ids.
+  std::uint32_t partitions = 1;
+  /// Worker threads executing partition windows. 0 = one per partition.
+  /// Clamped to the partition count; 1 runs windows serially inline.
+  std::uint32_t threads = 1;
+  /// Conservative lookahead: the minimum cross-partition event delay.
+  /// Every window runs [t, t + lookahead) in parallel, so this must be
+  /// <= the smallest propagation delay of any partition-spanning link.
+  Duration lookahead = microseconds(10);
+};
+
+/// Coordinator owning the partitions, the worker pool and the global
+/// window loop. For partitions == 1 every run_* call degenerates to the
+/// classic inline event loop with identical semantics (and identical
+/// seeded telemetry) to the historical single-threaded kernel.
+class Simulator {
+ public:
+  using Callback = Partition::Callback;
+
+  Simulator() : Simulator(ParallelConfig{}) {}
+  explicit Simulator(ParallelConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- redesigned scheduling surface (partition 0) ---
+
+  /// Schedule `fn` at absolute time `when` (clamped to now).
+  CancelToken schedule(Time when, Callback fn) {
+    return executor().schedule(when, std::move(fn));
+  }
+  /// Schedule `fn` `delay` ns from now; schedule_in(0, fn) posts to the
+  /// end of the current tick.
+  CancelToken schedule_in(Duration delay, Callback fn) {
+    return executor().schedule_in(delay, std::move(fn));
+  }
+
+  /// The scheduling handle for one partition. Components hold this.
+  Executor executor(std::uint32_t partition = 0) {
+    return Executor(parts_[partition].get());
+  }
+  std::uint32_t partition_count() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+  Duration lookahead() const { return lookahead_; }
+  std::uint32_t threads() const { return threads_; }
+
+  // --- deprecated shims (kept for one PR; use schedule/schedule_in) ---
+
+  /// Deprecated: use schedule().
+  void at(Time when, Callback fn) { schedule(when, std::move(fn)); }
+  /// Deprecated: use schedule().
+  CancelToken at_cancellable(Time when, Callback fn) {
+    return schedule(when, std::move(fn));
+  }
+  /// Deprecated: use schedule_in().
+  void after(Duration delay, Callback fn) {
+    schedule_in(delay, std::move(fn));
+  }
+  /// Deprecated: use schedule_in().
+  CancelToken after_cancellable(Duration delay, Callback fn) {
+    return schedule_in(delay, std::move(fn));
+  }
+  /// Deprecated: use schedule_in(0, fn).
+  void post(Callback fn) { schedule_in(0, std::move(fn)); }
+
+  /// Global clock: with one partition, that partition's clock; with
+  /// several, the coordinator's window floor (all partition clocks are
+  /// >= a window start and < its end while running).
+  Time now() const {
+    return parts_.size() == 1 ? parts_[0]->now() : now_;
+  }
+
+  /// Run until every queue is empty. Returns number of events run.
+  std::size_t run();
+
+  /// Run events with time <= deadline; advances now() to the deadline.
+  /// Partition clocks advance window by window — an idle partition never
+  /// jumps past the global lookahead window while others still run.
+  std::size_t run_until(Time deadline);
+
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
+
+  bool empty() const;
+  std::size_t pending() const;
+
+  /// Partition 0's telemetry hub (the whole cluster's, for
+  /// single-partition simulations — the historical behavior).
+  obs::Registry& telemetry();
+
+  /// Deterministic cluster-wide telemetry dump: all partition registries
+  /// merged in partition-id order (counters/gauges sum, histograms merge
+  /// bucket-wise, flight-recorder entries interleave by sim-time, spans
+  /// concatenate with ids remapped). Byte-identical for identically
+  /// seeded runs at any thread count.
+  std::string telemetry_json(bool include_spans = false);
+
+  /// Cross-partition events that arrived at or before the destination's
+  /// window (sender broke the lookahead contract). They are clamped to
+  /// the window barrier; a nonzero count means the configured lookahead
+  /// exceeds some link's real propagation delay.
+  std::uint64_t lookahead_violations() const {
+    return lookahead_violations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Partition;
+
+  std::size_t run_windowed(Time deadline, bool until_empty);
+  void run_round(Time limit);
+  void work_round();
+  void worker_loop();
+
+  std::vector<std::unique_ptr<Partition>> parts_;
+  Duration lookahead_;
+  std::uint32_t threads_;
+  Time now_ = 0;
+  std::uint64_t copy_baseline_ = 0;  // bufstats tally at construction
+  std::atomic<std::uint64_t> lookahead_violations_{0};
+
+  // Worker pool (spawned only for partitions > 1 && threads > 1).
+  // Round protocol: the coordinator publishes round_sig_/round_limit_,
+  // workers claim partitions via next_part_ and report through
+  // parts_done_; acquire/release on the two signal atomics carries the
+  // happens-before edges for all partition state.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable cv_work_;
+  std::mutex done_mu_;
+  std::condition_variable cv_done_;
+  std::atomic<std::uint64_t> round_sig_{0};
+  bool shutdown_ = false;
+  Time round_limit_ = 0;
+  std::atomic<std::uint32_t> next_part_{0};
+  std::atomic<std::uint32_t> parts_done_{0};
+};
+
+inline Executor::Executor(Simulator& simulator)
+    : part_(simulator.executor(0).part_) {}
+
+inline void CancelToken::cancel() {
+  if (slot_ == nullptr) return;
+  std::uint64_t expected = gen_;
+  if (slot_->gen.compare_exchange_strong(expected, gen_ + 1,
+                                         std::memory_order_acq_rel)) {
+    slot_->home->recycle_slot(slot_);
+  }
+  slot_ = nullptr;
+}
 
 }  // namespace storm::sim

@@ -428,7 +428,7 @@ TEST_F(PlatformFaultTest, WatermarksBoundRelayBufferingAcrossStall) {
   // Stall the backend for 500 ms of sim time while the initiator keeps
   // four 64 KiB writes in flight (each completion issues the next).
   cloud_.storage(0).node().set_down(true);
-  sim_.after(sim::milliseconds(500),
+  sim_.schedule_in(sim::milliseconds(500),
              [&] { cloud_.storage(0).node().set_down(false); });
 
   constexpr int kWrites = 24;

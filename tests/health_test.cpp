@@ -214,7 +214,7 @@ TEST_F(HealthTest, BackpressureStallIsNotAFailure) {
   // Backend dark for 300 ms of sim time with four 64 KiB writes kept in
   // flight: the relay hits its watermark and pauses ingress.
   cloud_.storage(0).node().set_down(true);
-  sim_.after(sim::milliseconds(300),
+  sim_.schedule_in(sim::milliseconds(300),
              [&] { cloud_.storage(0).node().set_down(false); });
   constexpr int kWrites = 12;
   constexpr std::uint32_t kSectors = 128;
@@ -311,7 +311,7 @@ FailoverOutcome run_failover(std::uint64_t seed) {
   // writes 3 and 4 — so acknowledged bursts sit in its journal and
   // in-flight ones span the failover window.
   for (int i = 0; i < kWrites; ++i) {
-    sim.after(sim::milliseconds(2) * i, [&, i] {
+    sim.schedule_in(sim::milliseconds(2) * i, [&, i] {
       Bytes data = testutil::pattern_bytes(
           kSectors * block::kSectorSize, static_cast<std::uint8_t>(i + 1));
       vm.disk()->write(static_cast<std::uint64_t>(i) * kSectors,

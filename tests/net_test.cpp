@@ -479,7 +479,7 @@ TEST(NetNode, ForwardHookCanConsumeAndReinject) {
     ++hooked;
     // Delay reinjection, modeling userspace processing.
     Packet copy = pkt;
-    sim.after(sim::microseconds(100),
+    sim.schedule_in(sim::microseconds(100),
               [&mb, copy]() mutable { mb.emit_forward(std::move(copy)); });
     return true;
   });

@@ -84,10 +84,10 @@ TEST(Tracer, ParentChildSpansAndEvents) {
   sim::Simulator sim;
   Registry& reg = sim.telemetry();
   SpanId root = reg.begin_span("cmd.write");
-  sim.after(sim::microseconds(5), [&] {
+  sim.schedule_in(sim::microseconds(5), [&] {
     reg.add_event(root, "mb.cmd", /*queue depth*/ 2);
     SpanId child = reg.begin_span("relay.mb-1", root);
-    sim.after(sim::microseconds(3), [&, child] {
+    sim.schedule_in(sim::microseconds(3), [&, child] {
       reg.end_span(child);
       reg.add_event(root, "complete");
       reg.end_span(root);
