@@ -1,5 +1,7 @@
 #include "cloud/cloud.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "net/tcp.hpp"
 
@@ -267,6 +269,26 @@ void Cloud::run_attach_queue(unsigned host_index) {
                       << " port=" << complete.source_port << ")";
     finish(Status::ok(), complete);
   });
+}
+
+Status Cloud::detach_volume(const std::string& vm,
+                            const std::string& volume_name) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(),
+                         [&](const Attachment& a) {
+                           return a.vm == vm && a.volume == volume_name;
+                         });
+  if (it == attachments_.end()) {
+    return error(ErrorCode::kNotFound,
+                 "no attachment " + vm + ":" + volume_name);
+  }
+  auto located = locate_volume(volume_name);
+  if (located.is_ok()) {
+    storage_[located.value().second]->target().close_sessions_for(it->iqn);
+    located.value().first->set_attached(false);
+  }
+  log_info("cloud") << "detached " << volume_name << " from " << vm;
+  attachments_.erase(it);
+  return Status::ok();
 }
 
 std::optional<Attachment> Cloud::find_attachment(

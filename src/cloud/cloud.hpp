@@ -221,6 +221,12 @@ class Cloud {
                      std::function<void(Status, Attachment)> done,
                      AttachHooks hooks = {});
 
+  /// Release an attachment: close any surviving sessions for its IQN,
+  /// drop the hypervisor registry row, and mark the volume free for a
+  /// fresh attach. This is how a replica whose session died is recycled
+  /// before the replication service re-attaches it.
+  Status detach_volume(const std::string& vm, const std::string& volume_name);
+
   /// All completed attachments (the hypervisor registry).
   const std::vector<Attachment>& attachments() const { return attachments_; }
   std::optional<Attachment> find_attachment(const std::string& vm,

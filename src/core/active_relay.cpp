@@ -22,6 +22,12 @@ ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
   // A resume threshold above the pause threshold could never be crossed
   // downward while paused — clamp rather than deadlock.
   flow_.low_watermark = std::min(flow_.low_watermark, flow_.high_watermark);
+  for (StorageService* service : services_) {
+    if (service != nullptr) {
+      service->bind_host(
+          ServiceHost{vm_.node().executor(), scope_, &journal_dev_});
+    }
+  }
 }
 
 obs::Registry& ActiveRelay::telemetry() {
@@ -476,6 +482,11 @@ void ActiveRelay::crash() {
   // Power failure hits the journal device too: the volatile stream index
   // and any in-flight NVRAM write die; only the segment bytes survive.
   journal_dev_.crash();
+  // Services lose their volatile state with the VM: background work
+  // (e.g. a replication rebuild in flight) must halt until restart.
+  for (StorageService* service : services_) {
+    if (service != nullptr) service->on_host_crashed();
+  }
 }
 
 void ActiveRelay::restart() {
@@ -493,6 +504,11 @@ void ActiveRelay::restart() {
   start();  // re-listen for the initiator's reconnection
   for (auto& session : sessions_) {
     if (session->failed) resume_session(*session);
+  }
+  // The journal index is back: services reload their journaled recovery
+  // state (version maps, rebuild cursors) and resume background work.
+  for (StorageService* service : services_) {
+    if (service != nullptr) service->on_host_recovered();
   }
 }
 

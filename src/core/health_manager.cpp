@@ -110,6 +110,12 @@ void ChainHealthManager::probe_deployment(Deployment& dep,
   obs::Registry& reg = telemetry();
   for (std::size_t i = 0; i < dep.boxes.size(); ++i) {
     BoxHealth& bh = chain.boxes[i];
+    // Services piggyback their own failure detection and repair state
+    // machines (replica death declaration, re-attach, rebuild kicks) on
+    // the heartbeat cadence — one recovery-latency knob for the chain.
+    if (dep.boxes[i]->service != nullptr && box_alive(dep, i)) {
+      dep.boxes[i]->service->on_health_probe(now);
+    }
     if (bh.state != RelayHealth::kAlive && bh.state != RelayHealth::kSuspect) {
       continue;
     }

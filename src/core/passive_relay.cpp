@@ -20,6 +20,9 @@ PassiveRelay::PassiveRelay(cloud::Vm& mb_vm,
       throw std::invalid_argument(
           "service '" + service->name() + "' requires an active relay");
     }
+    // No NVRAM on a packet-level relay: services get the executor and
+    // scope but must keep recovery state elsewhere.
+    service->bind_host(ServiceHost{vm_.node().executor(), scope_, nullptr});
   }
 }
 

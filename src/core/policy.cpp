@@ -133,6 +133,32 @@ Result<TenantPolicy> parse_policy(const std::string& text) {
         }
       }
       current_volume->chain.push_back(std::move(spec));
+    } else if (tokens[0] == "quorum") {
+      if (current_volume == nullptr || current_volume->chain.empty()) {
+        return fail("quorum outside a service block");
+      }
+      QuorumSpec& quorum = current_volume->chain.back().quorum;
+      quorum.enabled = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          return fail("expected key=value, got: " + tokens[i]);
+        }
+        std::string key = tokens[i].substr(0, eq);
+        std::string value = tokens[i].substr(eq + 1);
+        if (key == "w") {
+          quorum.write_quorum = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "rebuild_mbps") {
+          quorum.rebuild_rate_bytes_per_sec =
+              std::stoull(value) * 1'000'000ull;
+        } else if (key == "rebuild_bytes_per_sec") {
+          quorum.rebuild_rate_bytes_per_sec = std::stoull(value);
+        } else if (key == "rebuild_burst_kb") {
+          quorum.rebuild_burst_bytes = std::stoull(value) * 1024ull;
+        } else {
+          return fail("unknown quorum key: " + key);
+        }
+      }
     } else {
       return fail("unknown directive: " + tokens[0]);
     }
@@ -179,6 +205,38 @@ Status validate_policy(const TenantPolicy& policy) {
         return error(ErrorCode::kInvalidArgument,
                      "service " + spec.type +
                          ": recovery=standby requires relay=active");
+      }
+      if (spec.quorum.enabled) {
+        if (spec.type != "replication") {
+          return error(ErrorCode::kInvalidArgument,
+                       "service " + spec.type +
+                           ": quorum stanza is only valid on replication");
+        }
+        if (spec.quorum.write_quorum == 0) {
+          return error(ErrorCode::kInvalidArgument,
+                       "quorum requires w >= 1");
+        }
+        // Copies available = primary + declared replicas; W above that
+        // could never be met.
+        const std::string replicas = spec.param("replicas");
+        unsigned copies = 1;
+        if (!replicas.empty()) {
+          ++copies;
+          for (char c : replicas) {
+            if (c == ',') ++copies;
+          }
+        }
+        if (spec.quorum.write_quorum > copies) {
+          return error(ErrorCode::kInvalidArgument,
+                       "quorum w=" +
+                           std::to_string(spec.quorum.write_quorum) +
+                           " exceeds the " + std::to_string(copies) +
+                           " configured copies");
+        }
+        if (spec.quorum.rebuild_rate_bytes_per_sec == 0) {
+          return error(ErrorCode::kInvalidArgument,
+                       "quorum rebuild rate must be non-zero");
+        }
       }
       // Bypass is fail-open: known confidentiality-critical built-ins are
       // rejected here; custom services are re-checked at deploy time via

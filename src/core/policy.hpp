@@ -39,6 +39,22 @@ enum class RecoveryPolicyKind {
 
 const char* to_string(RecoveryPolicyKind kind);
 
+/// Quorum replication tuning (paper §V-B3 grown into W-of-N): a write is
+/// acknowledged to the tenant once `write_quorum` copies (primary
+/// included) hold it; the rebuild knobs pace the background copy machine
+/// that re-silvers a lost replica from survivors. Disabled (the default)
+/// keeps the legacy best-effort mirroring semantics.
+struct QuorumSpec {
+  bool enabled = false;
+  /// Copies (primary + replicas) that must acknowledge before the write
+  /// completes toward the tenant.
+  unsigned write_quorum = 2;
+  /// Copy-machine token-bucket rate/burst: rebuild traffic is shaped so
+  /// it cannot starve foreground I/O.
+  std::uint64_t rebuild_rate_bytes_per_sec = 64ull * 1024 * 1024;
+  std::uint64_t rebuild_burst_bytes = 256 * 1024;
+};
+
 struct ServiceSpec {
   std::string type;  // "noop" | "monitor" | "encryption" | "stream_cipher" |
                      // "replication" | ... (extensible via the registry)
@@ -47,6 +63,8 @@ struct ServiceSpec {
   unsigned vcpus = 2;
   /// Placement: compute-host index, or -1 to let the platform choose.
   int host_index = -1;
+  /// W-of-N commit + copy-machine rebuild (replication services only).
+  QuorumSpec quorum;
   /// Service-specific parameters, e.g. {"replicas", "vol2,vol3"}.
   std::map<std::string, std::string> params;
 
@@ -86,7 +104,9 @@ struct TenantPolicy {
 ///     service encryption relay=active key=0011..ff
 ///   volume vm2 vol2
 ///     service replication replicas=vol2-r1,vol2-r2
+///     quorum w=2 rebuild_mbps=64 rebuild_burst_kb=256
 ///
+/// A `quorum` line applies to the service declared immediately above it.
 /// Blank lines and '#' comments are ignored.
 Result<TenantPolicy> parse_policy(const std::string& text);
 

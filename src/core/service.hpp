@@ -23,6 +23,10 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
+namespace storm::journal {
+class Device;
+}  // namespace storm::journal
+
 namespace storm::core {
 
 enum class Direction {
@@ -58,6 +62,18 @@ class ServiceContext {
   /// Name of the protected (primary) volume whose traffic this relay
   /// splices; empty for packet-level boxes inserted without one.
   virtual const std::string& volume() const = 0;
+};
+
+/// What a hosting relay lends a service beyond the per-PDU context:
+/// a scheduling executor (the middle-box VM's partition), the relay's
+/// telemetry scope, and — on an active relay — its NVRAM journal device,
+/// so a service can persist its own recovery state (e.g. the replication
+/// version map) next to the relay's streams and survive a power failure
+/// with it.
+struct ServiceHost {
+  sim::Executor executor;
+  obs::Scope scope;
+  journal::Device* journal = nullptr;
 };
 
 struct ServiceVerdict {
@@ -99,6 +115,26 @@ class StorageService {
 
   /// The spliced flow's TCP stream closed (target failure, detach).
   virtual void on_flow_closed(Status /*status*/) {}
+
+  /// Called once by the hosting relay when it comes up, before traffic
+  /// flows. Services that schedule their own work (background rebuild,
+  /// timers) or persist recovery state take what they need from `host`.
+  virtual void bind_host(const ServiceHost& /*host*/) {}
+
+  /// Periodic liveness probe, driven by the chain health manager's
+  /// heartbeat tick. Services run their own failure detection and
+  /// repair state machines (replica death declaration, re-attach,
+  /// rebuild kicks) on this cadence so recovery latency is governed by
+  /// the same knob as relay failover.
+  virtual void on_health_probe(sim::Time /*now*/) {}
+
+  /// The hosting relay VM power-failed: volatile service state is gone;
+  /// only what the service journaled survives. Halt background work.
+  virtual void on_host_crashed() {}
+
+  /// The hosting relay restarted and replayed its NVRAM: reload
+  /// journaled state and resume background work.
+  virtual void on_host_recovered() {}
 };
 
 }  // namespace storm::core

@@ -43,10 +43,17 @@ class Link {
 
   /// Rebind one end to another partition's executor. Wire-up time only
   /// (before the simulation runs): delivery to `end` is scheduled on
-  /// this executor from then on.
+  /// this executor from then on. A rebind that makes the link span two
+  /// partitions reports its propagation delay to the simulator — with
+  /// ParallelConfig::auto_lookahead the window lookahead is derived from
+  /// the minimum such delay instead of hand-tuned.
   void set_end_executor(int end, sim::Executor executor) {
     execs_.at(static_cast<std::size_t>(end)) = executor;
     ends_[static_cast<std::size_t>(end)].ready = false;
+    if (execs_[0].valid() && execs_[1].valid() &&
+        execs_[0].partition_id() != execs_[1].partition_id()) {
+      executor.simulator().note_span_delay(prop_);
+    }
   }
   sim::Executor end_executor(int end) const {
     return execs_.at(static_cast<std::size_t>(end));

@@ -110,35 +110,27 @@ void register_builtin_services(core::StormPlatform& platform) {
         }
         cloud::Cloud* cloud = env.cloud;
         cloud::Vm* mb_vm = env.mb_vm;
-        auto provider = [cloud, mb_vm, replica_names](
-                            std::function<void(
-                                Status, std::vector<block::BlockDevice*>)>
-                                deliver) {
-          auto devices =
-              std::make_shared<std::vector<block::BlockDevice*>>();
-          auto step = std::make_shared<std::function<void(std::size_t)>>();
-          *step = [cloud, mb_vm, replica_names, devices, deliver,
-                   step](std::size_t index) {
-            if (index == replica_names.size()) {
-              deliver(Status::ok(), *devices);
-              return;
-            }
-            cloud->attach_volume(
-                *mb_vm, replica_names[index],
-                [devices, deliver, step, index](
-                    Status status, cloud::Attachment attachment) {
-                  if (!status.is_ok()) {
-                    deliver(status, {});
-                    return;
-                  }
-                  devices->push_back(attachment.disk);
-                  (*step)(index + 1);
-                });
-          };
-          (*step)(0);
-        };
+        // Per-volume attach: used for the initial replica set and again
+        // by the health probe to re-attach dead copies and spares.
+        ReplicationService::AttachFn attach =
+            [cloud, mb_vm](const std::string& volume,
+                           std::function<void(Status, block::BlockDevice*)>
+                               done) {
+              // A dead copy's stale attachment pins the volume; recycle
+              // it (close sessions, free the volume) before re-attaching.
+              (void)cloud->detach_volume(mb_vm->name(), volume);
+              cloud->attach_volume(
+                  *mb_vm, volume,
+                  [done](Status status, cloud::Attachment attachment) {
+                    done(status,
+                         status.is_ok() ? attachment.disk : nullptr);
+                  });
+            };
+        ReplicationConfig config;
+        config.quorum = env.spec->quorum;
         return std::unique_ptr<core::StorageService>(
-            std::make_unique<ReplicationService>(std::move(provider)));
+            std::make_unique<ReplicationService>(
+                std::move(replica_names), std::move(attach), config));
       });
 }
 

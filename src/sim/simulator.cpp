@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/buf.hpp"
+#include "common/log.hpp"
 #include "obs/registry.hpp"
 
 namespace storm::sim {
@@ -85,6 +86,7 @@ std::size_t Partition::run_window(Time limit) {
 
 Simulator::Simulator(ParallelConfig config)
     : lookahead_(config.lookahead == 0 ? 1 : config.lookahead),
+      auto_lookahead_(config.auto_lookahead),
       copy_baseline_(bufstats::bytes_copied()) {
   const std::uint32_t n = config.partitions == 0 ? 1 : config.partitions;
   parts_.reserve(n);
@@ -161,7 +163,23 @@ std::size_t Simulator::run_until(Time deadline) {
   return run_windowed(deadline, /*until_empty=*/false);
 }
 
+void Simulator::resolve_lookahead() {
+  if (!auto_lookahead_ || lookahead_resolved_) return;
+  lookahead_resolved_ = true;
+  if (span_seen_) {
+    lookahead_ = min_span_delay_ == 0 ? 1 : min_span_delay_;
+    return;
+  }
+  if (!warned_no_span_) {
+    warned_no_span_ = true;
+    log_warn("sim") << "auto lookahead: no partition-spanning link was "
+                       "wired; falling back to the configured lookahead of "
+                    << lookahead_ << "ns";
+  }
+}
+
 std::size_t Simulator::run_windowed(Time deadline, bool until_empty) {
+  resolve_lookahead();
   std::size_t total = 0;
   for (;;) {
     Time floor = kNever;

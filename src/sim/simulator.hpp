@@ -313,6 +313,14 @@ struct ParallelConfig {
   /// Every window runs [t, t + lookahead) in parallel, so this must be
   /// <= the smallest propagation delay of any partition-spanning link.
   Duration lookahead = microseconds(10);
+  /// Derive the lookahead from the wired topology instead: at run start
+  /// it becomes the minimum propagation delay across all
+  /// partition-spanning links (reported via note_span_delay, which
+  /// net::Link calls when an end is rebound to another partition). When
+  /// no spanning link was noted, `lookahead` above is the fallback and a
+  /// warning is logged once — the topology either needs no lookahead or
+  /// was wired through a side channel the derivation cannot see.
+  bool auto_lookahead = false;
 };
 
 /// Coordinator owning the partitions, the worker pool and the global
@@ -352,24 +360,18 @@ class Simulator {
   Duration lookahead() const { return lookahead_; }
   std::uint32_t threads() const { return threads_; }
 
-  // --- deprecated shims (kept for one PR; use schedule/schedule_in) ---
-
-  /// Deprecated: use schedule().
-  void at(Time when, Callback fn) { schedule(when, std::move(fn)); }
-  /// Deprecated: use schedule().
-  CancelToken at_cancellable(Time when, Callback fn) {
-    return schedule(when, std::move(fn));
+  /// A partition-spanning edge with propagation delay `prop` was wired
+  /// (net::Link::set_end_executor). With auto_lookahead, the smallest
+  /// such delay becomes the window lookahead at the next run start.
+  void note_span_delay(Duration prop) {
+    if (prop <= 0) return;
+    if (!span_seen_ || prop < min_span_delay_) {
+      span_seen_ = true;
+      min_span_delay_ = prop;
+      lookahead_resolved_ = false;
+    }
   }
-  /// Deprecated: use schedule_in().
-  void after(Duration delay, Callback fn) {
-    schedule_in(delay, std::move(fn));
-  }
-  /// Deprecated: use schedule_in().
-  CancelToken after_cancellable(Duration delay, Callback fn) {
-    return schedule_in(delay, std::move(fn));
-  }
-  /// Deprecated: use schedule_in(0, fn).
-  void post(Callback fn) { schedule_in(0, std::move(fn)); }
+  bool span_delay_seen() const { return span_seen_; }
 
   /// Global clock: with one partition, that partition's clock; with
   /// several, the coordinator's window floor (all partition clocks are
@@ -417,9 +419,17 @@ class Simulator {
   void run_round(Time limit);
   void work_round();
   void worker_loop();
+  /// Apply auto_lookahead at run start (topology-derived, see
+  /// ParallelConfig::auto_lookahead).
+  void resolve_lookahead();
 
   std::vector<std::unique_ptr<Partition>> parts_;
   Duration lookahead_;
+  bool auto_lookahead_ = false;
+  bool span_seen_ = false;
+  bool lookahead_resolved_ = false;
+  bool warned_no_span_ = false;
+  Duration min_span_delay_ = 0;
   std::uint32_t threads_;
   Time now_ = 0;
   std::uint64_t copy_baseline_ = 0;  // bufstats tally at construction

@@ -184,7 +184,7 @@ void FtpClient::upload(const std::string& name, std::uint64_t bytes,
     *sent += n;
     conn_ptr->send(std::move(chunk));
     // Pace by send-buffer drain: check back shortly.
-    sim->after(sim::milliseconds(1), [step] { (*step)(); });
+    sim->schedule_in(sim::milliseconds(1), [step] { (*step)(); });
   };
   (*step)();
 

@@ -62,8 +62,9 @@ void PostmarkRunner::transaction(unsigned index) {
     finish();
     return;
   }
-  auto next = [this, index](Status status) {
+  auto next = [this, index, op_start = sim_.now()](Status status) {
     if (!status.is_ok()) ++errors_;
+    if (latency_sink_) latency_sink_(sim_.now() - op_start);
     transaction(index + 1);
   };
 

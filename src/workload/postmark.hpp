@@ -43,6 +43,13 @@ class PostmarkRunner {
 
   void run(std::function<void(PostmarkResult)> done);
 
+  /// Observe every transaction's completion latency (e.g. foreground
+  /// p99 while a replica rebuild competes for the data path). Called
+  /// once per transaction, in issue order.
+  void set_latency_sink(std::function<void(sim::Duration)> sink) {
+    latency_sink_ = std::move(sink);
+  }
+
  private:
   void setup_dirs(unsigned index);
   void create_initial(unsigned index);
@@ -63,6 +70,7 @@ class PostmarkRunner {
   std::uint64_t reads_ = 0, appends_ = 0, creates_ = 0, deletes_ = 0;
   std::uint64_t bytes_read_ = 0, bytes_written_ = 0, errors_ = 0;
   std::function<void(PostmarkResult)> done_;
+  std::function<void(sim::Duration)> latency_sink_;
 };
 
 }  // namespace storm::workload

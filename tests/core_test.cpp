@@ -101,6 +101,68 @@ TEST(Policy, RejectsMalformedQos) {
   EXPECT_FALSE(validate_policy(no_rate).is_ok());
 }
 
+TEST(Policy, ParsesQuorumStanza) {
+  auto policy = parse_policy(R"(
+tenant alice
+volume vm1 vol1
+  service replication replicas=r1,r2
+  quorum w=2 rebuild_mbps=64 rebuild_burst_kb=256
+)");
+  ASSERT_TRUE(policy.is_ok()) << policy.status().to_string();
+  const QuorumSpec& quorum = policy.value().volumes[0].chain[0].quorum;
+  EXPECT_TRUE(quorum.enabled);
+  EXPECT_EQ(quorum.write_quorum, 2u);
+  EXPECT_EQ(quorum.rebuild_rate_bytes_per_sec, 64'000'000u);
+  EXPECT_EQ(quorum.rebuild_burst_bytes, 256u * 1024u);
+
+  // Raw-byte rate key and defaults for everything else.
+  auto raw = parse_policy(
+      "tenant t\nvolume vm1 vol1\n"
+      "  service replication replicas=r1\n"
+      "  quorum w=1 rebuild_bytes_per_sec=1000000\n");
+  ASSERT_TRUE(raw.is_ok()) << raw.status().to_string();
+  EXPECT_EQ(raw.value().volumes[0].chain[0].quorum.rebuild_rate_bytes_per_sec,
+            1'000'000u);
+
+  // No stanza: disabled, legacy mirroring semantics.
+  auto none = parse_policy(
+      "tenant t\nvolume vm1 vol1\n  service replication replicas=r1\n");
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_FALSE(none.value().volumes[0].chain[0].quorum.enabled);
+}
+
+TEST(Policy, RejectsMalformedQuorum) {
+  // Stanza with no service above it.
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n  quorum w=2\n"
+                            "  service replication replicas=r1\n")
+                   .is_ok());
+  // Unknown key.
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n"
+                            "  service replication replicas=r1\n"
+                            "  quorum turbo=yes\n")
+                   .is_ok());
+  // Quorum on a non-replication service.
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n"
+                            "  service monitor relay=active\n"
+                            "  quorum w=1\n")
+                   .is_ok());
+  // w exceeding the copy count (primary + replicas).
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n"
+                            "  service replication replicas=r1\n"
+                            "  quorum w=3\n")
+                   .is_ok())
+      << "w=3 with one replica (two copies) must fail validation";
+  // w=0 and a zero rebuild rate are both invalid.
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n"
+                            "  service replication replicas=r1\n"
+                            "  quorum w=0\n")
+                   .is_ok());
+  EXPECT_FALSE(parse_policy("tenant t\nvolume vm1 vol1\n"
+                            "  service replication replicas=r1\n"
+                            "  quorum w=1 rebuild_bytes_per_sec=0\n")
+                   .is_ok());
+}
+
 // --- relay journal -------------------------------------------------------------
 
 TEST(RelayJournal, AppendTrimReplay) {

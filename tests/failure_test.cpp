@@ -10,6 +10,7 @@
 #include "fs/simext.hpp"
 #include "journal/log.hpp"
 #include "services/registry.hpp"
+#include "services/replication.hpp"
 #include "testutil.hpp"
 
 namespace storm {
@@ -314,6 +315,101 @@ TEST_F(FailureTest, DetachMidWriteDrainsWithoutLossOrDuplication) {
                                       static_cast<std::uint8_t>(i + 1)))
         << "block " << i;
   }
+}
+
+// Seeded chaos: kill a replica's backing session in the middle of a
+// read burst. Reads that were in flight against the dying copy must be
+// re-served from survivors with byte-identical payloads, and the read
+// accounting must cover every read exactly once (the old dispatch-time
+// counter double-counted a failed-over read as served-from-replica).
+TEST_F(FailureTest, ReplicaKillMidReadBurstFailsOverWithoutDuplication) {
+  cloud::Vm& vm = cloud_.create_vm("db", "t", 0);
+  ASSERT_TRUE(cloud_.create_volume("primary", 40'000).is_ok());
+  ASSERT_TRUE(cloud_.create_volume("replica0", 40'000).is_ok());
+  ASSERT_TRUE(cloud_.create_volume("replica1", 40'000).is_ok());
+
+  ServiceSpec spec;
+  spec.type = "replication";
+  spec.relay = RelayMode::kActive;
+  spec.params["replicas"] = "replica0,replica1";
+  spec.quorum.enabled = true;
+  spec.quorum.write_quorum = 2;
+  Status status = error(ErrorCode::kIoError, "unset");
+  DeploymentHandle dep;
+  platform_.attach_with_chain("db", "primary", {spec},
+                              [&](Result<DeploymentHandle> r) {
+                                status = r.status();
+                                if (r.is_ok()) dep = r.value();
+                              });
+  sim_.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  ASSERT_TRUE(dep.valid());
+  auto* service =
+      static_cast<services::ReplicationService*>(dep.service(0));
+
+  // Seeded layout: 16 extents, each with a pattern derived from its
+  // index — a failover that returned the wrong copy's bytes (or stale
+  // ones) breaks the comparison below.
+  constexpr int kExtents = 16;
+  constexpr std::uint32_t kSectors = 8;
+  for (int i = 0; i < kExtents; ++i) {
+    bool ok = false;
+    vm.disk()->write(static_cast<std::uint64_t>(i) * 64,
+                     testutil::pattern_bytes(kSectors * block::kSectorSize,
+                                             static_cast<std::uint8_t>(i + 1)),
+                     [&](Status s) {
+                       ASSERT_TRUE(s.is_ok()) << s.to_string();
+                       ok = true;
+                     });
+    sim_.run();
+    ASSERT_TRUE(ok);
+  }
+  const std::uint64_t reads_before = service->reads_from_primary() +
+                                     service->reads_from_replicas() +
+                                     service->reads_failed_over();
+
+  // Fire the whole burst without draining the simulator, then kill
+  // replica0's session while reads are still in flight.
+  constexpr int kReads = 48;
+  int completed = 0, failed = 0, mismatched = 0;
+  for (int i = 0; i < kReads; ++i) {
+    const int extent = i % kExtents;
+    vm.disk()->read(
+        static_cast<std::uint64_t>(extent) * 64, kSectors,
+        [&, extent](Status s, Bytes got) {
+          ++completed;
+          if (!s.is_ok()) {
+            ++failed;
+            return;
+          }
+          if (got != testutil::pattern_bytes(
+                         kSectors * block::kSectorSize,
+                         static_cast<std::uint8_t>(extent + 1))) {
+            ++mismatched;
+          }
+        });
+  }
+  auto iqn = cloud_.find_attachment(dep.mb_vm(0)->name(), "replica0");
+  ASSERT_TRUE(iqn.has_value());
+  sim_.schedule_in(sim::microseconds(40), [&] {
+    cloud_.storage(0).target().close_sessions_for(iqn->iqn);
+  });
+  sim_.run();
+
+  EXPECT_EQ(completed, kReads) << "every read must complete";
+  EXPECT_EQ(failed, 0) << "failover must hide the replica death";
+  EXPECT_EQ(mismatched, 0) << "failover payloads must be byte-identical";
+  EXPECT_EQ(service->replica_state(0),
+            services::ReplicaState::kDegraded);
+
+  // Exactly-once accounting: primary + replica + failed-over sums to
+  // the burst, with no read counted both as replica-served and as a
+  // failover (the dispatch-time double-count this suite guards).
+  EXPECT_EQ(service->reads_from_primary() + service->reads_from_replicas() +
+                service->reads_failed_over() - reads_before,
+            static_cast<std::uint64_t>(kReads));
+  EXPECT_GT(service->reads_failed_over(), 0u)
+      << "the kill must have caught reads in flight";
 }
 
 // --- double-indirect reconstruction (large files) -----------------------------

@@ -154,6 +154,56 @@ TEST(Link, DropsWhenDown) {
   EXPECT_EQ(got, 1);
 }
 
+TEST(Link, SpanningRebindDerivesAutoLookahead) {
+  sim::ParallelConfig config;
+  config.partitions = 2;
+  config.threads = 1;
+  config.lookahead = sim::microseconds(10);
+  config.auto_lookahead = true;
+  sim::Simulator sim(config);
+
+  // Two partition-spanning links (40us and 25us) plus one link whose
+  // rebind keeps both ends in partition 0 — only the spanning delays
+  // count, and the smallest one wins.
+  Link wide(sim.executor(0), 1'000'000'000ull, sim::microseconds(40));
+  wide.set_end_executor(1, sim.executor(1));
+  Link narrow(sim.executor(0), 1'000'000'000ull, sim::microseconds(25));
+  narrow.set_end_executor(1, sim.executor(1));
+  Link local(sim.executor(0), 1'000'000'000ull, sim::microseconds(3));
+  local.set_end_executor(1, sim.executor(0));
+
+  EXPECT_TRUE(sim.span_delay_seen());
+  int got = 0;
+  narrow.connect(1, [&](Packet) { ++got; });
+  narrow.send(0, make_packet(ip("1.1.1.1"), 1, ip("2.2.2.2"), 2));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sim.lookahead(), sim::microseconds(25));
+  EXPECT_EQ(sim.lookahead_violations(), 0u);
+}
+
+TEST(Link, AutoLookaheadFallsBackWithoutSpanningLink) {
+  sim::ParallelConfig config;
+  config.partitions = 2;
+  config.threads = 1;
+  config.lookahead = sim::microseconds(10);
+  config.auto_lookahead = true;
+  sim::Simulator sim(config);
+
+  // The only rebind lands both ends in the same partition: nothing
+  // spans, so run() keeps the configured fallback (and warns once).
+  Link local(sim.executor(0), 1'000'000'000ull, sim::microseconds(3));
+  local.set_end_executor(1, sim.executor(0));
+  EXPECT_FALSE(sim.span_delay_seen());
+
+  int got = 0;
+  local.connect(1, [&](Packet) { ++got; });
+  local.send(0, make_packet(ip("1.1.1.1"), 1, ip("2.2.2.2"), 2));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sim.lookahead(), sim::microseconds(10));
+}
+
 // --- L2 switch -----------------------------------------------------------------
 
 TEST(L2Switch, LearnsAndForwards) {

@@ -125,15 +125,16 @@ TEST(ExecutorApi, ImplicitConversionFromSimulatorIsPartitionZero) {
   EXPECT_EQ(exec.now(), 7u);
 }
 
-TEST(ExecutorApi, DeprecatedShimsStillSchedule) {
-  // The five-way legacy surface must keep working for one more PR.
+TEST(ExecutorApi, ScheduleSurfaceCoversTheOldShims) {
+  // The deprecated at/after/post shims are gone; the two-call Executor
+  // surface expresses every pattern they covered.
   Simulator sim;
   std::vector<int> order;
-  sim.at(10, [&] { order.push_back(1); });
-  CancelToken a = sim.at_cancellable(20, [&] { order.push_back(2); });
-  sim.after(30, [&] { order.push_back(3); });
-  CancelToken b = sim.after_cancellable(40, [&] { order.push_back(4); });
-  sim.post([&] { order.push_back(0); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  CancelToken a = sim.schedule(20, [&] { order.push_back(2); });
+  sim.schedule_in(30, [&] { order.push_back(3); });
+  CancelToken b = sim.schedule_in(40, [&] { order.push_back(4); });
+  sim.schedule_in(0, [&] { order.push_back(0); });
   b.cancel();
   EXPECT_TRUE(a.armed());
   sim.run();
