@@ -16,7 +16,15 @@
 using namespace storm;
 using namespace storm::bench;
 
-int main() {
+namespace {
+
+int g_rc = 0;
+
+std::vector<std::string> run_point(unsigned threads) {
+  TestbedOptions options;
+  options.threads = threads;
+  std::vector<std::string> dumps;
+
   const std::vector<std::uint32_t> sizes = {4 * 1024, 16 * 1024, 64 * 1024,
                                             256 * 1024};
   print_header("Figure 4 + 7: routing overhead (LEGACY vs MB-FWD)");
@@ -24,8 +32,13 @@ int main() {
               "legacy_iops", "mbfwd_iops", "norm_iops", "legacy_ms",
               "mbfwd_ms", "norm_lat");
   for (std::uint32_t size : sizes) {
-    auto legacy = fio_point(PathMode::kLegacy, size, 1);
-    auto fwd = fio_point(PathMode::kForward, size, 1);
+    std::string legacy_dump, fwd_dump;
+    auto legacy = fio_point(PathMode::kLegacy, size, 1, sim::seconds(8),
+                            options, &legacy_dump);
+    auto fwd = fio_point(PathMode::kForward, size, 1, sim::seconds(8),
+                         options, &fwd_dump);
+    dumps.push_back(std::move(legacy_dump));
+    dumps.push_back(std::move(fwd_dump));
     std::printf("%-8u %12.0f %12.0f %10.2f | %12.3f %12.3f %10.2f\n",
                 size / 1024, legacy.iops, fwd.iops, fwd.iops / legacy.iops,
                 legacy.mean_latency_ms, fwd.mean_latency_ms,
@@ -37,15 +50,16 @@ int main() {
   // Flow-table fast path: a long-lived iSCSI flow through the gateways'
   // FlowSwitches should be almost entirely exact-match cache hits — the
   // linear rule scan runs once per flow, not once per packet.
-  Testbed testbed(PathMode::kForward);
+  Testbed testbed(PathMode::kForward, options);
   workload::FioConfig config;
   config.request_bytes = 64 * 1024;
   config.jobs = 1;
   config.duration = sim::seconds(4);
   testbed.run_fio(config);
-  obs::Registry& reg = testbed.simulator().telemetry();
-  const std::uint64_t hits = reg.counter("net.flow.cache_hits").value();
-  const std::uint64_t misses = reg.counter("net.flow.cache_misses").value();
+  const std::uint64_t hits =
+      merged_counter(testbed.simulator(), "net.flow.cache_hits");
+  const std::uint64_t misses =
+      merged_counter(testbed.simulator(), "net.flow.cache_misses");
   const double hit_rate =
       hits + misses ? static_cast<double>(hits) /
                           static_cast<double>(hits + misses)
@@ -56,7 +70,15 @@ int main() {
               static_cast<unsigned long long>(misses), hit_rate);
   if (hit_rate < 0.90) {
     std::fprintf(stderr, "FAIL: flow cache hit rate %.4f < 0.90\n", hit_rate);
-    return 1;
+    g_rc = 1;
   }
-  return 0;
+  dumps.push_back(testbed.simulator().telemetry_json());
+  return dumps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run_thread_sweep(argc, argv, run_point);
+  return rc != 0 ? rc : g_rc;
 }

@@ -44,9 +44,12 @@ class Volume {
 /// on the host's physical pool and resolves IQNs for the iSCSI target.
 class VolumeManager {
  public:
-  VolumeManager(sim::Simulator& simulator, std::string host_name,
+  /// `executor` places the backing SimDisks (converts implicitly from
+  /// Simulator&, i.e. partition 0); the Cloud passes the owning storage
+  /// host's partition executor.
+  VolumeManager(sim::Executor executor, std::string host_name,
                 std::uint64_t pool_sectors, DiskProfile profile = {})
-      : sim_(simulator), host_name_(std::move(host_name)),
+      : sim_(executor), host_name_(std::move(host_name)),
         pool_sectors_(pool_sectors), profile_(profile) {}
 
   /// Create a volume of `sectors`; fails when the pool is exhausted.
@@ -60,7 +63,7 @@ class VolumeManager {
   std::size_t volume_count() const { return volumes_.size(); }
 
  private:
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   std::string host_name_;
   std::uint64_t pool_sectors_;
   std::uint64_t used_sectors_ = 0;

@@ -16,7 +16,7 @@ ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
     : vm_(mb_vm), upstream_(upstream), services_(std::move(services)),
       volume_(std::move(volume)), costs_(costs), flow_(flow),
       scope_(telemetry().scope("relay." + vm_.name() + ".")),
-      journal_dev_(mb_vm.node().simulator(),
+      journal_dev_(mb_vm.node().executor(),
                    telemetry().scope("relay." + vm_.name() + ".journal."),
                    journal_config) {
   // A resume threshold above the pause threshold could never be crossed
@@ -31,7 +31,7 @@ ActiveRelay::ActiveRelay(cloud::Vm& mb_vm, net::SocketAddr upstream,
 }
 
 obs::Registry& ActiveRelay::telemetry() {
-  return vm_.node().simulator().telemetry();
+  return vm_.node().executor().telemetry();
 }
 
 void ActiveRelay::start() {
@@ -179,7 +179,7 @@ void ActiveRelay::on_stream_data(Session& session, Direction dir,
     session.to_initiator.journal.trim(session.downstream->bytes_acked());
   }
   update_journal_gauge();
-  const sim::Time now = vm_.node().simulator().now();
+  const sim::Time now = vm_.node().executor().now();
   for (auto& pdu : pdus) {
     trace_pdu(session, dir, pdu, st.queue.size());
     const std::size_t wire = iscsi::serialized_size(pdu);
@@ -337,7 +337,7 @@ void ActiveRelay::pump_queue(Session& session, Direction dir) {
         scope_.counter("pdus_consumed").add();
       }
       scope_.histogram("pdu_ns").record(static_cast<std::int64_t>(
-          vm_.node().simulator().now() - enqueued));
+          vm_.node().executor().now() - enqueued));
       DirectionState& st3 = state(session, dir);
       st3.processing = false;
       // The PDU moved from the queue into the journal (or was consumed):

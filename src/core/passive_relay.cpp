@@ -12,7 +12,7 @@ PassiveRelay::PassiveRelay(cloud::Vm& mb_vm,
                            std::string volume, PassiveRelayCosts costs)
     : vm_(mb_vm), services_(std::move(services)),
       volume_(std::move(volume)), costs_(costs),
-      scope_(mb_vm.node().simulator().telemetry().scope("relay." +
+      scope_(mb_vm.node().executor().telemetry().scope("relay." +
                                                         mb_vm.name() + ".")),
       ctx_(std::make_unique<HookContext>(*this)) {
   for (StorageService* service : services_) {
@@ -156,7 +156,7 @@ void PassiveRelay::trace_pdu(const net::FourTuple& key, Direction dir,
       pdu.opcode != iscsi::Opcode::kScsiResponse) {
     return;
   }
-  obs::Registry& reg = vm_.node().simulator().telemetry();
+  obs::Registry& reg = vm_.node().executor().telemetry();
   const std::uint16_t source_port =
       dir == Direction::kToTarget ? key.src.port : key.dst.port;
   const std::string trace_key =

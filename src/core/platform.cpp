@@ -300,6 +300,21 @@ void StormPlatform::attach_with_chain(
     const std::string& vm_name, const std::string& volume_name,
     std::vector<ServiceSpec> chain,
     std::function<void(Result<DeploymentHandle>)> done) {
+  // Deployment provisions VMs and installs rules across many partitions;
+  // run the whole control-plane sequence at a window barrier (inline on
+  // a single-partition simulator — the historical behavior).
+  cloud_.simulator().at_barrier([this, vm_name, volume_name,
+                                 chain = std::move(chain),
+                                 done = std::move(done)]() mutable {
+    attach_with_chain_at_barrier(vm_name, volume_name, std::move(chain),
+                                 std::move(done));
+  });
+}
+
+void StormPlatform::attach_with_chain_at_barrier(
+    const std::string& vm_name, const std::string& volume_name,
+    std::vector<ServiceSpec> chain,
+    std::function<void(Result<DeploymentHandle>)> done) {
   cloud::Vm* vm = cloud_.find_vm(vm_name);
   if (vm == nullptr) {
     done(error(ErrorCode::kNotFound, "no VM " + vm_name));
@@ -471,18 +486,23 @@ void StormPlatform::set_tenant_qos(const std::string& tenant,
     qos_buckets_.erase(tenant);
     return;
   }
+  // The bucket runs where it paces: the ingress gateway's partition.
+  // Its counters live in that partition's registry for the same reason
+  // (hot-path updates stay thread-confined; the merged dump sums them).
+  sim::Executor gw_exec = gateways.ingress->executor();
   auto bucket = std::make_unique<net::TokenBucket>(
-      cloud_.simulator(), qos.rate_bytes_per_sec, qos.burst_bytes);
-  obs::Registry& reg = telemetry();
+      gw_exec, qos.rate_bytes_per_sec, qos.burst_bytes);
+  obs::Registry& reg = gw_exec.telemetry();
   bucket->bind_telemetry(&reg.counter("qos." + tenant + ".throttled_bytes"),
                          &reg.gauge("qos." + tenant + ".queue_bytes"));
   // The bucket paces the ingress gateway's FORWARD path: every spliced
   // flow of the tenant funnels through it, locally-terminated traffic
   // (relay pseudo-endpoints) is exempt.
   gateways.ingress->set_rate_limiter(bucket.get());
-  reg.record_event("qos: tenant " + tenant + " limited to " +
-                   std::to_string(qos.rate_bytes_per_sec) + " B/s (burst " +
-                   std::to_string(qos.burst_bytes) + ")");
+  telemetry().record_event("qos: tenant " + tenant + " limited to " +
+                           std::to_string(qos.rate_bytes_per_sec) +
+                           " B/s (burst " + std::to_string(qos.burst_bytes) +
+                           ")");
   qos_buckets_[tenant] = std::move(bucket);
 }
 
@@ -550,18 +570,24 @@ void StormPlatform::drain_deployment(Deployment& dep,
       std::move(done));
   auto poll = std::make_shared<std::function<void()>>();
   *poll = [this, cookie, deadline, poll, done_shared] {
-    Deployment* dep = deployment_by_cookie(cookie);
-    if (dep == nullptr) return;  // torn down while the poll was pending
-    if (deployment_quiescent(*dep)) {
-      telemetry().add_event(dep->attach_span, "drained");
-      (*done_shared)(Status::ok());
-      return;
-    }
-    if (cloud_.simulator().now() >= deadline) {
-      (*done_shared)(error(ErrorCode::kDeadlineExceeded, "drain timeout"));
-      return;
-    }
-    cloud_.executor().schedule_in(kDrainPollInterval, *poll);
+    // The quiescence probe reads initiator and relay state across
+    // partitions; hop from the control partition's timer to the barrier
+    // before looking (inline on a single-partition simulator).
+    cloud_.simulator().at_barrier([this, cookie, deadline, poll,
+                                   done_shared] {
+      Deployment* dep = deployment_by_cookie(cookie);
+      if (dep == nullptr) return;  // torn down while the poll was pending
+      if (deployment_quiescent(*dep)) {
+        telemetry().add_event(dep->attach_span, "drained");
+        (*done_shared)(Status::ok());
+        return;
+      }
+      if (cloud_.simulator().now() >= deadline) {
+        (*done_shared)(error(ErrorCode::kDeadlineExceeded, "drain timeout"));
+        return;
+      }
+      cloud_.control_executor().schedule_in(kDrainPollInterval, *poll);
+    });
   };
   (*poll)();
 }
@@ -698,6 +724,19 @@ Status StormPlatform::fence_deployment(Deployment& dep,
 
 Status StormPlatform::crash_middlebox(Deployment& deployment,
                                       std::size_t position) {
+  // Chaos injection often fires from a scheduled event on some
+  // partition; the crash touches the box's partition, so defer to the
+  // barrier there and report accepted (the health manager observes the
+  // crash on its next probe either way).
+  if (cloud_.simulator().partition_count() > 1 &&
+      sim::Simulator::in_partition_context()) {
+    const std::uint64_t cookie = deployment.splice.cookie;
+    cloud_.simulator().at_barrier([this, cookie, position] {
+      Deployment* dep = deployment_by_cookie(cookie);
+      if (dep != nullptr) crash_middlebox(*dep, position);
+    });
+    return Status::ok();
+  }
   if (position >= deployment.boxes.size()) {
     return error(ErrorCode::kInvalidArgument, "position out of range");
   }
@@ -713,6 +752,15 @@ Status StormPlatform::crash_middlebox(Deployment& deployment,
 
 Status StormPlatform::restart_middlebox(Deployment& deployment,
                                         std::size_t position) {
+  if (cloud_.simulator().partition_count() > 1 &&
+      sim::Simulator::in_partition_context()) {
+    const std::uint64_t cookie = deployment.splice.cookie;
+    cloud_.simulator().at_barrier([this, cookie, position] {
+      Deployment* dep = deployment_by_cookie(cookie);
+      if (dep != nullptr) restart_middlebox(*dep, position);
+    });
+    return Status::ok();
+  }
   if (position >= deployment.boxes.size()) {
     return error(ErrorCode::kInvalidArgument, "position out of range");
   }

@@ -211,6 +211,12 @@ class StormPlatform {
   friend class ChainHealthManager;
 
   std::uint16_t allocate_flow_port() { return next_flow_port_++; }
+  /// attach_with_chain body, run in barrier/control context (the public
+  /// entry point defers itself with sim::Simulator::at_barrier).
+  void attach_with_chain_at_barrier(
+      const std::string& vm_name, const std::string& volume_name,
+      std::vector<ServiceSpec> chain,
+      std::function<void(Result<DeploymentHandle>)> done);
   unsigned place_middlebox(const ServiceSpec& spec, unsigned vm_host);
   Result<std::unique_ptr<MiddleboxInstance>> build_box(
       const ServiceSpec& spec, const std::string& label,

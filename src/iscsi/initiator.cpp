@@ -21,7 +21,7 @@ void Initiator::login(LoginCallback done) {
 
 obs::SpanId Initiator::begin_command_span(const char* kind, std::uint32_t tag,
                                           std::uint64_t bytes) {
-  obs::Registry& reg = node_.simulator().telemetry();
+  obs::Registry& reg = node_.executor().telemetry();
   obs::SpanId span = reg.begin_span(kind);
   reg.add_event(span, "issue", bytes);
   // Bind the command's correlation key so every PDU-aware hop downstream
@@ -37,7 +37,7 @@ obs::SpanId Initiator::begin_command_span(const char* kind, std::uint32_t tag,
 void Initiator::end_command_span(obs::SpanId span, std::uint32_t tag,
                                  const char* outcome) {
   if (span == 0) return;
-  obs::Registry& reg = node_.simulator().telemetry();
+  obs::Registry& reg = node_.executor().telemetry();
   reg.add_event(span, outcome);
   reg.end_span(span);
   reg.unbind(obs::command_trace_key(source_port_, tag));
@@ -45,7 +45,7 @@ void Initiator::end_command_span(obs::SpanId span, std::uint32_t tag,
 
 void Initiator::update_outstanding() {
   if (tel_outstanding_ == nullptr) {
-    tel_outstanding_ = &node_.simulator().telemetry().gauge(
+    tel_outstanding_ = &node_.executor().telemetry().gauge(
         "iscsi.initiator." + iqn_ + ".outstanding");
   }
   tel_outstanding_->set(static_cast<std::int64_t>(pending_reads_.size() +
@@ -88,7 +88,7 @@ void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
   obs::SpanId span = begin_command_span("cmd.read", tag, bytes);
   pending_reads_[tag] = PendingRead{lba, {}, bytes, std::move(done), span};
   ++reads_;
-  node_.simulator().telemetry().counter("iscsi.initiator.reads").add();
+  node_.executor().telemetry().counter("iscsi.initiator.reads").add();
   update_outstanding();
   // While disconnected (recovery pending) the command just queues; the
   // re-login path re-issues everything outstanding.
@@ -117,7 +117,7 @@ void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
   auto [it, inserted] = pending_writes_.emplace(
       tag, PendingWrite{lba, Buf(std::move(data)), std::move(done), span});
   ++writes_;
-  node_.simulator().telemetry().counter("iscsi.initiator.writes").add();
+  node_.executor().telemetry().counter("iscsi.initiator.writes").add();
   update_outstanding();
   if (logged_in_) {
     issue_write(tag, it->second);
@@ -215,9 +215,9 @@ void Initiator::handle_pdu(Pdu pdu) {
         if (recovering_) {
           recovering_ = false;
           ++recoveries_;
-          node_.simulator().telemetry().counter("iscsi.initiator.recoveries")
+          node_.executor().telemetry().counter("iscsi.initiator.recoveries")
               .add();
-          node_.simulator().telemetry().record_event(
+          node_.executor().telemetry().record_event(
               "iscsi " + iqn_ + ": session recovered");
           log_info("iscsi-init") << iqn_ << ": session recovered (port="
                                  << source_port_ << ")";
@@ -292,7 +292,7 @@ void Initiator::on_closed(Status status) {
     ++attempts_;
     recovering_ = true;
     parser_ = StreamParser{};  // mid-PDU bytes from the old stream are gone
-    node_.simulator().telemetry().record_event(
+    node_.executor().telemetry().record_event(
         "iscsi " + iqn_ + ": session dropped (" + status.to_string() + ")");
     log_info("iscsi-init") << iqn_ << ": session dropped ("
                            << status.to_string() << "); reconnect attempt "

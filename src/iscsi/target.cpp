@@ -17,14 +17,14 @@ void Target::start() {
 
 void Target::trace_event(const Session& session, std::uint32_t tag,
                          const char* label, std::uint64_t value) {
-  obs::Registry& reg = node_.simulator().telemetry();
+  obs::Registry& reg = node_.executor().telemetry();
   obs::SpanId root =
       reg.lookup(obs::command_trace_key(session.src_port, tag));
   if (root != 0) reg.add_event(root, label, value);
 }
 
 void Target::command_started(const Session& session, const Pdu& pdu) {
-  obs::Registry& reg = node_.simulator().telemetry();
+  obs::Registry& reg = node_.executor().telemetry();
   reg.counter("iscsi.target.commands").add();
   ++inflight_;
   reg.gauge("iscsi.target.outstanding").set(
@@ -34,7 +34,7 @@ void Target::command_started(const Session& session, const Pdu& pdu) {
 
 void Target::command_finished(const Session& session, std::uint32_t tag) {
   if (inflight_ > 0) --inflight_;
-  node_.simulator().telemetry().gauge("iscsi.target.outstanding").set(
+  node_.executor().telemetry().gauge("iscsi.target.outstanding").set(
       static_cast<std::int64_t>(inflight_));
   trace_event(session, tag, "target.rsp", 0);
 }

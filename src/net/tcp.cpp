@@ -13,7 +13,7 @@ namespace storm::net {
 void TcpStack::ensure_telemetry() {
   if (telemetry_ready_) return;
   telemetry_ready_ = true;
-  obs::Registry& reg = node_.simulator().telemetry();
+  obs::Registry& reg = node_.executor().telemetry();
   tel_segments_tx_ = &reg.counter("tcp.segments_tx");
   tel_segments_rx_ = &reg.counter("tcp.segments_rx");
   tel_checksum_drops_ = &reg.counter("tcp.checksum_drops");
@@ -290,7 +290,7 @@ void TcpConnection::pump() {
       if (!rtt_probe_armed_) {
         rtt_probe_armed_ = true;
         rtt_probe_seq_ = snd_nxt_;
-        rtt_probe_sent_ = stack_.node().simulator().now();
+        rtt_probe_sent_ = stack_.node().executor().now();
       }
     }
     arm_rto();
@@ -498,7 +498,7 @@ void TcpConnection::handle_segment(const Packet& pkt) {
         rtt_probe_armed_ = false;
         stack_.ensure_telemetry();
         stack_.tel_rtt_->record(static_cast<std::int64_t>(
-            stack_.node().simulator().now() - rtt_probe_sent_));
+            stack_.node().executor().now() - rtt_probe_sent_));
       }
       dup_acks_ = 0;
       retries_ = 0;

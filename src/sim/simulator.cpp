@@ -23,15 +23,27 @@ obs::Registry& Partition::telemetry() {
   return *telemetry_;
 }
 
-CancelToken Partition::send_mail(Partition& from, Time when, Callback fn) {
-  CancelSlot* slot = from.acquire_slot();
+CancelToken Partition::send_to(Partition& dst, Time when, Callback fn) {
+  CancelSlot* slot = acquire_slot();
   const std::uint64_t gen = slot->gen.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(inbox_mu_);
-    inbox_.push_back(
-        Mail{when, from.id_, from.mail_seq_++, std::move(fn), slot, gen});
-  }
+  outbox_[dst.id_].push_back(
+      Mail{when, id_, mail_seq_++, std::move(fn), slot, gen});
   return CancelToken(slot, gen);
+}
+
+void Partition::flush_outboxes() {
+  for (std::size_t d = 0; d < outbox_.size(); ++d) {
+    std::vector<Mail>& out = outbox_[d];
+    if (out.empty()) continue;
+    Partition& dst = *owner_->parts_[d];
+    {
+      std::lock_guard<std::mutex> lock(dst.inbox_mu_);
+      std::move(out.begin(), out.end(), std::back_inserter(dst.inbox_));
+    }
+    mailbox_posts_ += out.size();
+    ++mailbox_batches_;
+    out.clear();
+  }
 }
 
 void Partition::drain_inbox() {
@@ -81,6 +93,9 @@ std::size_t Partition::run_window(Time limit) {
   // in lockstep with the global window so a cross-partition event landing
   // in a later window can never be in its past.
   if (now_ < limit) now_ = limit;
+  // Batched mailbox flush: every cross-partition send of this window goes
+  // out under one lock per destination, before the round is reported done.
+  flush_outboxes();
   return count;
 }
 
@@ -93,6 +108,7 @@ Simulator::Simulator(ParallelConfig config)
   for (std::uint32_t i = 0; i < n; ++i) {
     parts_.emplace_back(new Partition(*this, i));
   }
+  for (auto& p : parts_) p->outbox_.resize(n);
   const std::uint32_t threads = config.threads == 0 ? n : config.threads;
   threads_ = std::min(threads, n);
   if (parts_.size() > 1 && threads_ > 1) {
@@ -116,7 +132,34 @@ Simulator::~Simulator() {
 
 obs::Registry& Simulator::telemetry() { return parts_[0]->telemetry(); }
 
+std::uint64_t Simulator::mailbox_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& p : parts_) total += p->mailbox_batches_;
+  return total;
+}
+
+std::uint64_t Simulator::mailbox_posts() const {
+  std::uint64_t total = 0;
+  for (const auto& p : parts_) total += p->mailbox_posts_;
+  return total;
+}
+
 std::string Simulator::telemetry_json(bool include_spans) {
+  if (parts_.size() > 1) {
+    // Kernel health gauges, partition 0's registry: a nonzero
+    // sim.lookahead.violations means some partition-spanning interaction
+    // is faster than the window lookahead and was clamped (timing skew);
+    // the mailbox gauges size the batching win. All three are
+    // deterministic for a fixed partition count, so they are safe inside
+    // byte-identity-gated dumps.
+    obs::Registry& reg = telemetry();
+    reg.gauge("sim.lookahead.violations")
+        .set(static_cast<std::int64_t>(lookahead_violations()));
+    reg.gauge("sim.mailbox.batches")
+        .set(static_cast<std::int64_t>(mailbox_batches()));
+    reg.gauge("sim.mailbox.posts")
+        .set(static_cast<std::int64_t>(mailbox_posts()));
+  }
   std::vector<obs::Registry*> registries;
   for (auto& p : parts_) {
     if (p->telemetry_) registries.push_back(p->telemetry_.get());
@@ -193,6 +236,11 @@ std::size_t Simulator::run_windowed(Time deadline, bool until_empty) {
     for (auto& p : parts_) total += p->last_window_events_;
     // Barrier: merge cross-partition mail, in partition-id order.
     for (auto& p : parts_) p->drain_inbox();
+    // All partitions quiescent at `limit`: run the control-plane
+    // callbacks the window raised (Simulator::at_barrier). They may
+    // schedule fresh events anywhere, so the floor is recomputed next
+    // iteration.
+    run_barrier_reqs(limit);
   }
   if (until_empty) {
     Time max_now = 0;
@@ -202,7 +250,41 @@ std::size_t Simulator::run_windowed(Time deadline, bool until_empty) {
     for (auto& p : parts_) p->now_ = std::max(p->now_, deadline);
     now_ = std::max(now_, deadline);
   }
+  warn_on_violations();
   return total;
+}
+
+void Simulator::run_barrier_reqs(Time limit) {
+  std::vector<Partition::BarrierReq> reqs;
+  for (auto& p : parts_) {
+    if (p->barrier_reqs_.empty()) continue;
+    std::move(p->barrier_reqs_.begin(), p->barrier_reqs_.end(),
+              std::back_inserter(reqs));
+    p->barrier_reqs_.clear();
+  }
+  if (reqs.empty()) return;
+  // Total order independent of worker scheduling: poster's clock, then
+  // poster's partition id, then per-partition posting sequence.
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Partition::BarrierReq& a, const Partition::BarrierReq& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  now_ = std::max(now_, limit);
+  for (Partition::BarrierReq& r : reqs) r.fn();
+}
+
+void Simulator::warn_on_violations() {
+  if (warned_violations_) return;
+  const std::uint64_t v = lookahead_violations();
+  if (v == 0) return;
+  warned_violations_ = true;
+  log_warn("sim") << v
+                  << " lookahead violation(s) were clamped to window "
+                     "barriers: some partition-spanning interaction is "
+                     "faster than the derived lookahead of "
+                  << lookahead_ << "ns (check placement and link delays)";
 }
 
 void Simulator::run_round(Time limit) {

@@ -21,9 +21,12 @@
 //   sim::CancelToken t = exec.schedule_in(delay, fn);  // relative
 //
 // An Executor converts implicitly from Simulator& (partition 0), so
-// single-partition code keeps passing the simulator around. The legacy
-// at/at_cancellable/after/after_cancellable/post five-way surface
-// survives as deprecated shims over partition 0 for one more PR.
+// single-partition code keeps passing the simulator around. Control-plane
+// code that must read or mutate state across partitions defers itself to
+// the next window barrier with Simulator::at_barrier(fn): barrier
+// callbacks run on the coordinator thread while every partition is
+// quiescent, in a (when, src_partition, seq) total order, so they are
+// race-free and thread-count-deterministic by construction.
 #pragma once
 
 #include <atomic>
@@ -195,9 +198,21 @@ class Partition {
     return CancelToken(slot, gen);
   }
 
-  /// Post into this partition's inbox from partition `from` (the one the
-  /// calling thread is running). Merged at the next window barrier.
-  CancelToken send_mail(Partition& from, Time when, Callback fn);
+  /// Post a cross-partition event from *this* (the partition the calling
+  /// thread is running) toward `dst`. Appends to the thread-confined
+  /// per-destination outbox; the whole outbox is flushed into `dst`'s
+  /// inbox with one lock acquisition at the end of this partition's
+  /// window (mailbox batching). (src, src_seq) are stamped at append
+  /// time, so the barrier merge order is exactly what per-message posts
+  /// produced.
+  CancelToken send_to(Partition& dst, Time when, Callback fn);
+
+  /// Flush every non-empty per-destination outbox into its inbox — one
+  /// inbox_mu_ acquisition per (src, dst) pair per window instead of one
+  /// per message. Runs on this partition's window thread at the end of
+  /// run_window, before the round is reported done, so the coordinator's
+  /// barrier observes every send of the round.
+  void flush_outboxes();
 
   /// Sort the inbox by (when, src, src_seq) and feed it into the local
   /// queue. Runs at the window barrier, in partition-id order.
@@ -231,6 +246,16 @@ class Partition {
 
   static thread_local Partition* s_current;
 
+  /// A control-plane callback deferred to the next window barrier
+  /// (Simulator::at_barrier). Buffered thread-confined on the posting
+  /// partition; the coordinator collects and sorts across partitions.
+  struct BarrierReq {
+    Time when;          // poster's clock at the call
+    std::uint32_t src;  // posting partition id
+    std::uint64_t seq;  // per-partition monotonic tie-break
+    Callback fn;
+  };
+
   Simulator* owner_;
   std::uint32_t id_;
   Time now_ = 0;
@@ -239,6 +264,17 @@ class Partition {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unique_ptr<obs::Registry> telemetry_;
   std::size_t last_window_events_ = 0;
+
+  // Per-destination outboxes (index = destination partition id), written
+  // only by the thread running this partition's window. Flushed by
+  // flush_outboxes at the end of each window.
+  std::vector<std::vector<Mail>> outbox_;
+  std::uint64_t mailbox_batches_ = 0;  // non-empty (src,dst) flushes
+  std::uint64_t mailbox_posts_ = 0;    // messages carried by them
+
+  // at_barrier requests raised while this partition's window ran.
+  std::vector<BarrierReq> barrier_reqs_;
+  std::uint64_t barrier_seq_ = 0;
 
   // Slot pool: slots_ gives stable addresses; the free lists recycle.
   std::deque<CancelSlot> slots_;
@@ -266,17 +302,17 @@ class Executor {
   /// destination's mailbox; `when` must then be at least one lookahead
   /// ahead of the caller's clock (links guarantee this via propagation
   /// delay; violations are clamped and counted).
-  CancelToken schedule(Time when, Callback fn) {
+  CancelToken schedule(Time when, Callback fn) const {
     Partition* cur = Partition::s_current;
     if (cur == nullptr || cur == part_) {
       return part_->schedule_local(when, std::move(fn));
     }
-    return part_->send_mail(*cur, when, std::move(fn));
+    return cur->send_to(*part_, when, std::move(fn));
   }
 
   /// Schedule `fn` `delay` ns from the calling context's clock.
   /// schedule_in(0, fn) posts to the end of the current tick.
-  CancelToken schedule_in(Duration delay, Callback fn) {
+  CancelToken schedule_in(Duration delay, Callback fn) const {
     Partition* cur = Partition::s_current;
     const Time base = (cur != nullptr) ? cur->now_ : part_->now_;
     return schedule(base + delay, std::move(fn));
@@ -380,6 +416,39 @@ class Simulator {
     return parts_.size() == 1 ? parts_[0]->now() : now_;
   }
 
+  /// Defer `fn` to the next window barrier. Barrier callbacks run on the
+  /// coordinator thread while every partition is quiescent (all clocks at
+  /// the window end), so they may read and mutate any partition's state
+  /// race-free — the control channel for cloud attach/detach, health
+  /// probes and chaos injection on a partitioned topology. Callbacks
+  /// collected from all partitions execute in (when, src_partition, seq)
+  /// order, so the schedule is thread-count-deterministic. Runs `fn`
+  /// inline when that is already safe: a single-partition simulator, a
+  /// call from outside any partition (coordinator between runs), or a
+  /// call from within another barrier callback.
+  void at_barrier(Callback fn) {
+    Partition* cur = Partition::s_current;
+    if (parts_.size() == 1 || cur == nullptr) {
+      fn();
+      return;
+    }
+    cur->barrier_reqs_.push_back(Partition::BarrierReq{
+        cur->now_, cur->id_, cur->barrier_seq_++, std::move(fn)});
+  }
+
+  /// True when the calling thread is executing a partition window (as
+  /// opposed to the coordinator thread between rounds, inside a barrier
+  /// callback, or outside a run) — the cue for control-plane entry
+  /// points that must defer themselves with at_barrier.
+  static bool in_partition_context() { return Partition::s_current != nullptr; }
+
+  /// Mailbox batching telemetry: non-empty (src, dst) outbox flushes and
+  /// the cross-partition messages they carried. Deterministic for a fixed
+  /// partition count. Also exported as sim.mailbox.* gauges in
+  /// telemetry_json().
+  std::uint64_t mailbox_batches() const;
+  std::uint64_t mailbox_posts() const;
+
   /// Run until every queue is empty. Returns number of events run.
   std::size_t run();
 
@@ -416,6 +485,12 @@ class Simulator {
   friend class Partition;
 
   std::size_t run_windowed(Time deadline, bool until_empty);
+  /// Collect, order and execute pending at_barrier callbacks (coordinator
+  /// thread, all partitions quiescent at `limit`).
+  void run_barrier_reqs(Time limit);
+  /// End-of-run lookahead accounting: warn once if any violation was
+  /// clamped during this simulator's lifetime.
+  void warn_on_violations();
   void run_round(Time limit);
   void work_round();
   void worker_loop();
@@ -434,6 +509,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t copy_baseline_ = 0;  // bufstats tally at construction
   std::atomic<std::uint64_t> lookahead_violations_{0};
+  bool warned_violations_ = false;
 
   // Worker pool (spawned only for partitions > 1 && threads > 1).
   // Round protocol: the coordinator publishes round_sig_/round_limit_,

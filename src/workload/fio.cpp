@@ -2,9 +2,9 @@
 
 namespace storm::workload {
 
-FioRunner::FioRunner(sim::Simulator& simulator, block::BlockDevice& device,
+FioRunner::FioRunner(sim::Executor executor, block::BlockDevice& device,
                      FioConfig config)
-    : sim_(simulator), dev_(device), config_(config), rng_(config.seed) {}
+    : sim_(executor), dev_(device), config_(config), rng_(config.seed) {}
 
 void FioRunner::start(std::function<void(FioResult)> done) {
   done_ = std::move(done);

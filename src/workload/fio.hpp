@@ -35,7 +35,10 @@ struct FioResult {
 
 class FioRunner {
  public:
-  FioRunner(sim::Simulator& simulator, block::BlockDevice& device,
+  /// `executor` is where the job loops run — pass the partition of the
+  /// VM (or host) driving the device; converts implicitly from
+  /// Simulator& for single-partition callers.
+  FioRunner(sim::Executor executor, block::BlockDevice& device,
             FioConfig config);
 
   /// Start all jobs; `done` fires when the run duration elapses (jobs
@@ -46,7 +49,7 @@ class FioRunner {
   void job_loop(unsigned job_index);
   void finish_if_done();
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   block::BlockDevice& dev_;
   FioConfig config_;
   Rng rng_;

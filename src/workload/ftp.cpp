@@ -163,8 +163,8 @@ void FtpServer::serve_download(std::shared_ptr<Session> session,
 
 void FtpClient::upload(const std::string& name, std::uint64_t bytes,
                        std::function<void(FtpTransferResult)> done) {
-  sim::Simulator* sim = &vm_.node().simulator();
-  sim::Time started = sim->now();
+  sim::Executor ex = vm_.node().executor();
+  sim::Time started = ex.now();
   auto& conn = vm_.node().tcp().connect(server_, [] {});
   Bytes header =
       to_bytes("PUT " + name + " " + std::to_string(bytes) + "\n");
@@ -173,7 +173,7 @@ void FtpClient::upload(const std::string& name, std::uint64_t bytes,
   auto sent = std::make_shared<std::uint64_t>(0);
   auto step = std::make_shared<std::function<void()>>();
   auto conn_ptr = &conn;
-  *step = [conn_ptr, bytes, sent, step, sim] {
+  *step = [conn_ptr, bytes, sent, step, ex] {
     if (*sent >= bytes) return;
     std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(1024 * 1024, bytes - *sent));
@@ -184,15 +184,15 @@ void FtpClient::upload(const std::string& name, std::uint64_t bytes,
     *sent += n;
     conn_ptr->send(std::move(chunk));
     // Pace by send-buffer drain: check back shortly.
-    sim->schedule_in(sim::milliseconds(1), [step] { (*step)(); });
+    ex.schedule_in(sim::milliseconds(1), [step] { (*step)(); });
   };
   (*step)();
 
-  conn.set_on_data([done, started, bytes, sim, conn_ptr](Buf reply) {
+  conn.set_on_data([done, started, bytes, ex, conn_ptr](Buf reply) {
     if (reply.empty()) return;
     FtpTransferResult result;
     result.bytes = bytes;
-    result.seconds = sim::to_seconds(sim->now() - started);
+    result.seconds = sim::to_seconds(ex.now() - started);
     if (result.seconds > 0) {
       result.mb_per_s =
           static_cast<double>(bytes) / (1024.0 * 1024.0) / result.seconds;
@@ -204,14 +204,14 @@ void FtpClient::upload(const std::string& name, std::uint64_t bytes,
 
 void FtpClient::download(const std::string& name,
                          std::function<void(FtpTransferResult)> done) {
-  sim::Simulator* sim = &vm_.node().simulator();
-  sim::Time started = sim->now();
+  sim::Executor ex = vm_.node().executor();
+  sim::Time started = ex.now();
   auto& conn = vm_.node().tcp().connect(server_, [] {});
   conn.send(to_bytes("GET " + name + "\n"));
   auto state = std::make_shared<std::pair<std::int64_t, std::uint64_t>>(-1, 0);
   auto header = std::make_shared<Bytes>();
   auto conn_ptr = &conn;
-  conn.set_on_data([state, header, done, started, sim,
+  conn.set_on_data([state, header, done, started, ex,
                     conn_ptr](Buf data) {
     if (state->first < 0) {
       data.append_to(*header);
@@ -227,7 +227,7 @@ void FtpClient::download(const std::string& name,
         state->second >= static_cast<std::uint64_t>(state->first)) {
       FtpTransferResult result;
       result.bytes = state->second;
-      result.seconds = sim::to_seconds(sim->now() - started);
+      result.seconds = sim::to_seconds(ex.now() - started);
       if (result.seconds > 0) {
         result.mb_per_s = static_cast<double>(result.bytes) /
                           (1024.0 * 1024.0) / result.seconds;

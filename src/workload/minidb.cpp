@@ -4,9 +4,9 @@
 
 namespace storm::workload {
 
-MiniDb::MiniDb(sim::Simulator& simulator, block::BlockDevice& device,
+MiniDb::MiniDb(sim::Executor executor, block::BlockDevice& device,
                MiniDbConfig config)
-    : sim_(simulator), dev_(device), config_(config) {}
+    : sim_(executor), dev_(device), config_(config) {}
 
 void MiniDb::init(std::function<void(Status)> done) {
   // WAL header page + zeroed record area; records are written in large
@@ -167,7 +167,7 @@ void OltpClient::start(sim::Time deadline, std::function<void()> done) {
 }
 
 void OltpClient::thread_loop(net::TcpConnection* conn) {
-  auto& sim = vm_.node().simulator();
+  sim::Executor sim = vm_.node().executor();
   if (sim.now() >= deadline_) {
     conn->close();
     if (--running_ == 0 && done_) done_();
@@ -176,7 +176,7 @@ void OltpClient::thread_loop(net::TcpConnection* conn) {
   conn->send(to_bytes("TXN\n"));
   // One outstanding request per thread: wait for the reply line.
   conn->set_on_data([this, conn](Buf reply) {
-    auto& sim2 = vm_.node().simulator();
+    sim::Executor sim2 = vm_.node().executor();
     for (std::uint8_t byte : reply) {
       if (byte != '\n') continue;
       std::size_t bucket = static_cast<std::size_t>(

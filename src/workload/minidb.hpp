@@ -27,7 +27,9 @@ struct MiniDbConfig {
 
 class MiniDb {
  public:
-  MiniDb(sim::Simulator& simulator, block::BlockDevice& device,
+  /// `executor`: the partition driving the device (implicit from
+  /// Simulator& for single-partition callers).
+  MiniDb(sim::Executor executor, block::BlockDevice& device,
          MiniDbConfig config = {});
 
   /// Format the store (writes initial records + WAL header).
@@ -46,7 +48,7 @@ class MiniDb {
   static constexpr std::uint64_t kWalLba = 0;
   static constexpr std::uint64_t kDataStart = 8;
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   block::BlockDevice& dev_;
   MiniDbConfig config_;
   std::uint64_t next_txn_id_ = 1;

@@ -2,9 +2,9 @@
 
 namespace storm::workload {
 
-PostmarkRunner::PostmarkRunner(sim::Simulator& simulator,
-                               fs::SimExt& filesystem, PostmarkConfig config)
-    : sim_(simulator), fs_(filesystem), config_(config), rng_(config.seed) {}
+PostmarkRunner::PostmarkRunner(sim::Executor executor, fs::SimExt& filesystem,
+                               PostmarkConfig config)
+    : sim_(executor), fs_(filesystem), config_(config), rng_(config.seed) {}
 
 void PostmarkRunner::run(std::function<void(PostmarkResult)> done) {
   done_ = std::move(done);

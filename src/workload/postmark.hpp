@@ -38,7 +38,9 @@ struct PostmarkResult {
 
 class PostmarkRunner {
  public:
-  PostmarkRunner(sim::Simulator& simulator, fs::SimExt& filesystem,
+  /// `executor`: the partition driving the filesystem (implicit from
+  /// Simulator& for single-partition callers).
+  PostmarkRunner(sim::Executor executor, fs::SimExt& filesystem,
                  PostmarkConfig config);
 
   void run(std::function<void(PostmarkResult)> done);
@@ -59,7 +61,7 @@ class PostmarkRunner {
   std::string random_existing();
   std::string fresh_name();
 
-  sim::Simulator& sim_;
+  sim::Executor sim_;
   fs::SimExt& fs_;
   PostmarkConfig config_;
   Rng rng_;
