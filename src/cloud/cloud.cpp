@@ -172,6 +172,16 @@ std::vector<net::FlowSwitch*> Cloud::flow_switches() {
   return switches;
 }
 
+Cloud::FlowCacheStats Cloud::flow_cache_stats() {
+  FlowCacheStats stats;
+  for (net::FlowSwitch* fs : flow_switches()) {
+    stats.hits += fs->cache_hits();
+    stats.misses += fs->cache_misses();
+    stats.entries += fs->cache_entries();
+  }
+  return stats;
+}
+
 Vm& Cloud::create_vm(const std::string& name, const std::string& tenant,
                      unsigned host_index, unsigned vcpus) {
   auto vm = std::make_unique<Vm>(*this, name, tenant, host_index, vcpus);

@@ -252,6 +252,20 @@ class Cloud {
   /// the SDN controller installs steering rules across these.
   std::vector<net::FlowSwitch*> flow_switches();
 
+  /// Exact-match fast-path statistics aggregated over every FlowSwitch.
+  /// Scale-out rule swaps must keep the hit rate intact — the bench gates
+  /// on hits / (hits + misses) staying above 99.99%.
+  struct FlowCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0.0 ? 1.0 : static_cast<double>(hits) / total;
+    }
+  };
+  FlowCacheStats flow_cache_stats();
+
   /// Provision a VM on a compute host.
   Vm& create_vm(const std::string& name, const std::string& tenant,
                 unsigned host_index, unsigned vcpus = 2);

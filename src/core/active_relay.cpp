@@ -574,6 +574,84 @@ void ActiveRelay::adopt_sessions(RelayJournalSnapshot snapshot) {
   update_journal_gauge();
 }
 
+ActiveRelay::Session* ActiveRelay::find_session(std::uint16_t bind_port) {
+  for (auto& session : sessions_) {
+    if (session->bind_port == bind_port) return session.get();
+  }
+  return nullptr;
+}
+
+void ActiveRelay::teardown_session(Session& session) {
+  session.failed = true;  // suppress cross-abort close handlers
+  ++session.epoch;        // stale CPU callbacks drop themselves
+  net::TcpConnection* down = session.downstream;
+  net::TcpConnection* up = session.upstream;
+  session.downstream = nullptr;
+  session.upstream = nullptr;
+  if (down != nullptr) down->abort();
+  if (up != nullptr) up->abort();
+  // Release the session's journal streams from the shared device — a
+  // departed flow must not pin NVRAM (or the relay's quiescence) behind
+  // the flows that stay.
+  reset_direction(session.to_target);
+  reset_direction(session.to_initiator);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == &session) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+  update_journal_gauge();
+}
+
+bool ActiveRelay::session_quiescent(std::uint16_t bind_port) const {
+  for (const auto& session : sessions_) {
+    if (session->bind_port != bind_port) continue;
+    return session->to_target.queue.empty() &&
+           session->to_initiator.queue.empty() &&
+           !session->to_target.processing &&
+           !session->to_initiator.processing &&
+           session->to_target.journal.bytes() == 0 &&
+           session->to_initiator.journal.bytes() == 0 &&
+           session->upstream_backlog.empty();
+  }
+  return true;  // no session for this flow: nothing to drain
+}
+
+RelayJournalSnapshot ActiveRelay::extract_session(std::uint16_t bind_port) {
+  RelayJournalSnapshot snapshot;
+  Session* session = find_session(bind_port);
+  if (session == nullptr) return snapshot;
+  RelayJournalSnapshot::SessionImage image;
+  image.bind_port = session->bind_port;
+  image.login_pdu = session->login_pdu;
+  image.to_target_wires = session->to_target.journal.unacknowledged();
+  snapshot.sessions.push_back(std::move(image));
+  scope_.counter("sessions_extracted").add();
+  telemetry().record_event("relay " + vm_.name() +
+                           ": extracted session (port " +
+                           std::to_string(bind_port) + ", " +
+                           std::to_string(snapshot.bytes()) +
+                           " journal bytes hand off)");
+  teardown_session(*session);
+  flow_volumes_.erase(bind_port);
+  return snapshot;
+}
+
+void ActiveRelay::drop_session(std::uint16_t bind_port) {
+  Session* session = find_session(bind_port);
+  if (session == nullptr) return;
+  telemetry().record_event("relay " + vm_.name() + ": dropped session (port " +
+                           std::to_string(bind_port) + ")");
+  teardown_session(*session);
+  flow_volumes_.erase(bind_port);
+}
+
+void ActiveRelay::register_volume(std::uint16_t bind_port,
+                                  std::string volume) {
+  flow_volumes_[bind_port] = std::move(volume);
+}
+
 bool ActiveRelay::quiescent() const {
   for (const auto& session : sessions_) {
     if (!session->to_target.queue.empty() ||

@@ -128,6 +128,27 @@ class ActiveRelay {
   /// the recreated session by on_accept, exactly like the restart path.
   void adopt_sessions(RelayJournalSnapshot snapshot);
 
+  // --- per-flow scale-out (replica sets share one relay) ---
+  /// Quiescence of one flow's session only: its queues, journals and
+  /// backlog are empty (true for an unknown port — nothing to drain).
+  /// The flow-migration drain polls this instead of quiescent(), which
+  /// would couple the migrating flow to every other tenant flow pinned
+  /// to this replica.
+  bool session_quiescent(std::uint16_t bind_port) const;
+  /// Hand one drained flow off to another replica: snapshot the
+  /// session's journal + login PDU (same shape adopt_sessions consumes),
+  /// abort its TCP legs, drop its journal streams and erase it — the
+  /// rest of the relay's sessions are untouched. Empty snapshot for an
+  /// unknown port.
+  RelayJournalSnapshot extract_session(std::uint16_t bind_port);
+  /// Tear one flow's session down with no handoff (per-flow fence /
+  /// release on a shared replica).
+  void drop_session(std::uint16_t bind_port);
+  /// Per-flow volume identity: a pooled replica splices flows of many
+  /// volumes, so services resolve the volume by the session's pinned
+  /// source port; unregistered ports fall back to the relay-wide volume.
+  void register_volume(std::uint16_t bind_port, std::string volume);
+
   // --- drain / failover-completion predicates ---
   /// Nothing buffered anywhere: parser queues empty, journals trimmed to
   /// empty, no upstream backlog. The drain protocol polls this before
@@ -174,7 +195,9 @@ class ActiveRelay {
     void inject_to_initiator(iscsi::Pdu pdu) override;
     sim::Simulator& simulator() override;
     const obs::Scope& scope() override { return relay_.scope_; }
-    const std::string& volume() const override { return relay_.volume_; }
+    const std::string& volume() const override {
+      return relay_.flow_volume(session_.bind_port);
+    }
 
    private:
     ActiveRelay& relay_;
@@ -218,6 +241,12 @@ class ActiveRelay {
     std::uint64_t epoch = 0;
   };
 
+  const std::string& flow_volume(std::uint16_t bind_port) const {
+    auto it = flow_volumes_.find(bind_port);
+    return it == flow_volumes_.end() ? volume_ : it->second;
+  }
+  Session* find_session(std::uint16_t bind_port);
+  void teardown_session(Session& session);
   void on_accept(net::TcpConnection& conn);
   /// Wipe a direction back to its initial state while keeping it bound to
   /// the relay's journal device on a fresh stream id (the old stream's
@@ -245,6 +274,7 @@ class ActiveRelay {
   net::SocketAddr upstream_;
   std::vector<StorageService*> services_;
   std::string volume_;
+  std::map<std::uint16_t, std::string> flow_volumes_;  // by pinned port
   ActiveRelayCosts costs_;
   RelayFlowControl flow_;
   std::size_t peak_buffered_ = 0;

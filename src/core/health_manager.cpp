@@ -364,6 +364,20 @@ void ChainHealthManager::install_stall_hooks(Deployment& dep) {
   }
 }
 
+void ChainHealthManager::forget_deployment(std::uint64_t cookie) {
+  chains_.erase(cookie);
+}
+
+void ChainHealthManager::unhook_node(net::TcpStack* stack) {
+  for (auto it = hooked_stacks_.begin(); it != hooked_stacks_.end(); ++it) {
+    if (*it == stack) {
+      stack->set_on_stall(nullptr);
+      hooked_stacks_.erase(it);
+      return;
+    }
+  }
+}
+
 RelayHealth ChainHealthManager::status(std::uint64_t cookie,
                                        std::size_t position) const {
   auto it = chains_.find(cookie);

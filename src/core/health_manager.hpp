@@ -94,6 +94,21 @@ class ChainHealthManager {
   std::uint64_t failures_detected() const { return failures_; }
   std::uint64_t recoveries_completed() const { return recoveries_; }
 
+  /// Deployment torn down (detach/rollback): drop its chain record so a
+  /// stale entry can't keep probing box pointers the teardown destroyed.
+  /// Safe for unknown cookies.
+  void forget_deployment(std::uint64_t cookie);
+
+  /// Stop watching one TCP stack (replica parked / VM powered off): the
+  /// stall callback is cleared so a dark node can never call back into
+  /// the manager, and the stack is dropped from the hooked list so a
+  /// later revive re-hooks it cleanly. Safe for unhooked stacks.
+  void unhook_node(net::TcpStack* stack);
+
+  /// Number of chains currently carrying health records (tests).
+  std::size_t monitored_chains() const { return chains_.size(); }
+  std::size_t hooked_stacks() const { return hooked_stacks_.size(); }
+
  private:
   struct BoxHealth {
     RelayHealth state = RelayHealth::kAlive;

@@ -1,5 +1,7 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "core/health_manager.hpp"
 
@@ -264,6 +266,7 @@ void StormPlatform::wire_relays(Deployment& deployment) {
   net::SocketAddr upstream{deployment.splice.gateways.egress_instance_ip(),
                            iscsi::kIscsiPort};
   for (auto& box : deployment.boxes) {
+    if (box->pooled) continue;  // pooled relays start when the pool builds
     switch (box->spec.relay) {
       case RelayMode::kForward:
         break;  // plain IP forwarding, nothing to run
@@ -294,6 +297,448 @@ void StormPlatform::wire_relays(Deployment& deployment) {
       box->standby->active_relay->start();
     }
   }
+}
+
+// ---------------------------------------------------------- replica sets
+
+ReplicaSet* StormPlatform::find_replica_set(const std::string& tenant,
+                                            const std::string& type) {
+  auto it = replica_sets_.find(tenant + "|" + type);
+  return it == replica_sets_.end() ? nullptr : it->second.get();
+}
+
+const ReplicaSet* StormPlatform::replica_set(
+    const std::string& tenant, const std::string& service_type) const {
+  auto it = replica_sets_.find(tenant + "|" + service_type);
+  return it == replica_sets_.end() ? nullptr : it->second.get();
+}
+
+net::TokenBucket* StormPlatform::tenant_qos_mutable(
+    const std::string& tenant) {
+  auto it = qos_buckets_.find(tenant);
+  return it == qos_buckets_.end() ? nullptr : it->second.get();
+}
+
+Result<std::shared_ptr<MiddleboxInstance>> StormPlatform::build_replica(
+    ReplicaSet& set, unsigned avoid_host,
+    std::vector<StorageService*>* fresh_services) {
+  if (!set.parked.empty()) {
+    // Revive the most recently parked replica: its VM and initialized
+    // service are intact, so scale-up skips both boot and setup time.
+    std::shared_ptr<MiddleboxInstance> box = set.parked.back();
+    set.parked.pop_back();
+    box->vm->node().set_down(false);
+    box->active_relay->restart();
+    set.ring.add_node(box->replica_label);
+    set.replicas.push_back(box);
+    telemetry().record_event("scaleout: revived replica " +
+                             box->replica_label + " on " + box->vm->name());
+    return box;
+  }
+
+  const std::string label =
+      set.tenant + "/" + set.spec.type + "#" + std::to_string(set.next_ordinal);
+  // Spread replicas over distinct hosts (and off the tenant VM's host):
+  // a co-located pair fails together, which defeats the pool.
+  ServiceSpec spec = set.spec;
+  if (spec.host_index < 0) {
+    unsigned host = next_mb_host_++ % cloud_.compute_count();
+    for (unsigned attempt = 0; attempt < cloud_.compute_count(); ++attempt) {
+      bool taken = host == avoid_host;
+      for (const auto& sibling : set.replicas) {
+        taken = taken || sibling->vm->host_index() == host;
+      }
+      if (!taken) break;
+      host = next_mb_host_++ % cloud_.compute_count();
+    }
+    spec.host_index = static_cast<int>(host);
+  }
+  auto built = build_box(spec, "mb-" + std::to_string(next_mb_id_++) + "-" +
+                                   set.spec.type,
+                         set.tenant, avoid_host, nullptr);
+  if (!built.is_ok()) return built.status();
+  std::shared_ptr<MiddleboxInstance> box = std::move(built).take();
+  if (box->service != nullptr && !box->service->replica_safe()) {
+    return error(ErrorCode::kInvalidArgument,
+                 "service '" + set.spec.type +
+                     "' keeps per-volume state and cannot be pooled "
+                     "(replicas stanza)");
+  }
+  box->pooled = true;
+  box->replica_label = label;
+  ++set.next_ordinal;
+
+  // The pooled relay dials the tenant's egress gateway like any private
+  // relay would; per-flow volumes are registered as flows pin to it.
+  GatewayPair& gateways = splicer_.tenant_gateways(set.tenant);
+  net::SocketAddr upstream{gateways.egress_instance_ip(), iscsi::kIscsiPort};
+  box->active_relay = std::make_unique<ActiveRelay>(
+      *box->vm, upstream, std::vector<StorageService*>{box->service.get()},
+      /*volume=*/"", ActiveRelayCosts{}, relay_flow_control(box->spec),
+      relay_journal_config(box->spec));
+  box->active_relay->start();
+  if (fresh_services != nullptr && box->service != nullptr) {
+    fresh_services->push_back(box->service.get());
+  }
+  set.ring.add_node(label);
+  set.replicas.push_back(box);
+  telemetry().record_event("scaleout: built replica " + label + " on " +
+                           box->vm->name());
+  return box;
+}
+
+Result<std::shared_ptr<MiddleboxInstance>> StormPlatform::acquire_replica(
+    Deployment& dep, const ServiceSpec& spec, const std::string& tenant,
+    unsigned vm_host, block::Volume* volume,
+    std::vector<StorageService*>* fresh_services) {
+  (void)volume;
+  if (spec.relay != RelayMode::kActive) {
+    return error(ErrorCode::kInvalidArgument,
+                 "replicas stanza requires relay=active");
+  }
+  const std::string key = tenant + "|" + spec.type;
+  auto it = replica_sets_.find(key);
+  if (it == replica_sets_.end()) {
+    auto set = std::make_unique<ReplicaSet>();
+    set->tenant = tenant;
+    set->spec = spec;
+    it = replica_sets_.emplace(key, std::move(set)).first;
+  }
+  ReplicaSet& set = *it->second;
+  // First acquisition sizes the pool from the policy; later attaches
+  // join the pool at whatever size elasticity has taken it to.
+  if (set.replicas.empty()) {
+    for (unsigned i = 0; i < std::max(1u, spec.replicas.count); ++i) {
+      auto built = build_replica(set, vm_host, fresh_services);
+      if (!built.is_ok()) return built.status();
+    }
+  }
+
+  const std::uint64_t flow_hash = FlowHashRing::flow_key(
+      dep.splice.host_storage_ip, dep.splice.vm_port, dep.splice.target_ip,
+      iscsi::kIscsiPort);
+  const std::string& label = set.ring.assign(flow_hash);
+  for (const auto& replica : set.replicas) {
+    if (replica->replica_label != label) continue;
+    replica->active_relay->register_volume(dep.splice.vm_port, dep.volume);
+    set.assignments[dep.splice.cookie] = label;
+    telemetry().record_event("scaleout: flow port " +
+                             std::to_string(dep.splice.vm_port) +
+                             " pinned to " + label);
+    return replica;
+  }
+  return error(ErrorCode::kNotFound, "hash ring assigned unknown replica");
+}
+
+void StormPlatform::release_replica_flows(Deployment& dep) {
+  for (auto& [key, set] : replica_sets_) {
+    auto it = set->assignments.find(dep.splice.cookie);
+    if (it == set->assignments.end()) continue;
+    MiddleboxInstance* box = set->find(it->second);
+    if (box != nullptr && box->active_relay != nullptr) {
+      box->active_relay->drop_session(dep.splice.vm_port);
+    }
+    set->assignments.erase(it);
+  }
+}
+
+void StormPlatform::migrate_flow(Deployment& dep, std::size_t position,
+                                 std::shared_ptr<MiddleboxInstance> target,
+                                 std::function<void(Status)> done) {
+  static constexpr sim::Duration kDrainPollInterval = sim::microseconds(100);
+  std::shared_ptr<MiddleboxInstance> source = dep.boxes[position];
+  if (source == target) {
+    done(Status::ok());
+    return;
+  }
+  iscsi::Initiator* initiator = dep.attachment.initiator;
+  if (initiator == nullptr || source->active_relay == nullptr ||
+      target->active_relay == nullptr) {
+    done(error(ErrorCode::kFailedPrecondition,
+               "flow migration needs a live initiator and active relays"));
+    return;
+  }
+  // The handoff tears the initiator's downstream TCP leg; session
+  // recovery re-dials from the pinned source port and re-issues whatever
+  // the reopened gate admits. Without it, parked commands would fail.
+  if (!initiator->recovery_policy().enabled) {
+    iscsi::RecoveryPolicy recovery;
+    recovery.enabled = true;
+    recovery.reconnect_delay = sim::milliseconds(1);
+    initiator->set_recovery(recovery);
+  }
+  // Park new commands instead of failing them: the chain drains to empty
+  // under a live workload, and nothing issued during the move is lost.
+  initiator->set_admission_mode(iscsi::AdmissionMode::kDeferred);
+  telemetry().add_event(dep.attach_span, "migrate_begin", position);
+
+  const std::uint64_t cookie = dep.splice.cookie;
+  const std::uint16_t vm_port = dep.splice.vm_port;
+  const sim::Time deadline = cloud_.simulator().now() + drain_timeout_;
+  auto done_shared =
+      std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, cookie, position, vm_port, deadline, source, target, poll,
+           done_shared] {
+    cloud_.simulator().at_barrier([this, cookie, position, vm_port, deadline,
+                                   source, target, poll, done_shared] {
+      Deployment* dep = deployment_by_cookie(cookie);
+      if (dep == nullptr) {
+        (*done_shared)(error(ErrorCode::kNotFound,
+                             "deployment detached mid-migration"));
+        return;
+      }
+      iscsi::Initiator* initiator = dep->attachment.initiator;
+      const bool drained =
+          initiator->outstanding() == 0 &&
+          source->active_relay->session_quiescent(vm_port);
+      if (!drained) {
+        if (cloud_.simulator().now() >= deadline) {
+          initiator->set_admission_mode(iscsi::AdmissionMode::kOpen);
+          (*done_shared)(
+              error(ErrorCode::kDeadlineExceeded, "migration drain timeout"));
+          return;
+        }
+        cloud_.control_executor().schedule_in(kDrainPollInterval, *poll);
+        return;
+      }
+      // Quiescent: hand the flow off atomically at the barrier.
+      // 1. Snapshot the drained session (login + empty unacked tail) and
+      //    tear it out of the source relay.
+      RelayJournalSnapshot snapshot =
+          source->active_relay->extract_session(vm_port);
+      // 2. The departing replica's capture DNAT is cookie-tagged but
+      //    refresh_capture_rules only touches the *new* chain's VMs —
+      //    flush it explicitly or the old VM keeps capturing the flow.
+      source->vm->node().nat().remove_rules_by_cookie(
+          cookie, /*flush_conntrack=*/true);
+      // 3. Re-point chain + steering at the target replica (one atomic
+      //    swap per switch; the exact-match cache revalidates in-place).
+      dep->splice.chain[position] = Hop{target->vm, RelayMode::kActive};
+      dep->boxes[position] = target;
+      splicer_.refresh_capture_rules(dep->splice);
+      sdn_.reprogram_chain(dep->splice);
+      // 4. Adopt on the target: recreate the session, re-dial upstream,
+      //    replay login (the tail is empty — the flow drained).
+      target->active_relay->register_volume(vm_port, dep->volume);
+      target->active_relay->adopt_sessions(std::move(snapshot));
+      // 5. Re-dial now and reopen the gate: parked commands queue behind
+      //    session recovery and issue after the re-login lands.
+      initiator->kick();
+      initiator->set_admission_mode(iscsi::AdmissionMode::kOpen);
+      telemetry().add_event(dep->attach_span, "migrated", position);
+      telemetry().counter("scaleout.migrations").add();
+      telemetry().record_event(
+          "scaleout: flow port " + std::to_string(vm_port) + " moved " +
+          source->replica_label + " -> " + target->replica_label);
+      (*done_shared)(Status::ok());
+    });
+  };
+  (*poll)();
+}
+
+void StormPlatform::rebalance_flows(ReplicaSet& set,
+                                    std::function<void(Status)> done) {
+  // Collect the flows whose arc changed hands, in deterministic (cookie)
+  // order, then migrate them one at a time: concurrent migrations of one
+  // tenant would interleave their barrier mutations.
+  struct Move {
+    std::uint64_t cookie;
+    std::string from;
+    std::string to;
+  };
+  auto moves = std::make_shared<std::vector<Move>>();
+  for (const auto& [cookie, label] : set.assignments) {
+    Deployment* dep = deployment_by_cookie(cookie);
+    if (dep == nullptr) continue;
+    const std::string& target = set.ring.assign(FlowHashRing::flow_key(
+        dep->splice.host_storage_ip, dep->splice.vm_port,
+        dep->splice.target_ip, iscsi::kIscsiPort));
+    if (!target.empty() && target != label) {
+      moves->push_back(Move{cookie, label, target});
+    }
+  }
+  const std::string set_key = set.key();
+  auto first_error = std::make_shared<Status>(Status::ok());
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, set_key, moves, first_error, done, step](std::size_t i) {
+    if (i == moves->size()) {
+      done(*first_error);
+      return;
+    }
+    const Move& move = (*moves)[i];
+    ReplicaSet* set = nullptr;
+    if (auto it = replica_sets_.find(set_key); it != replica_sets_.end()) {
+      set = it->second.get();
+    }
+    Deployment* dep = set != nullptr ? deployment_by_cookie(move.cookie)
+                                     : nullptr;
+    if (dep == nullptr) {
+      (*step)(i + 1);
+      return;
+    }
+    std::shared_ptr<MiddleboxInstance> target;
+    for (const auto& replica : set->replicas) {
+      if (replica->replica_label == move.to) target = replica;
+    }
+    std::size_t position = dep->boxes.size();
+    for (std::size_t p = 0; p < dep->boxes.size(); ++p) {
+      if (dep->boxes[p]->pooled &&
+          dep->boxes[p]->replica_label == move.from) {
+        position = p;
+      }
+    }
+    if (target == nullptr || position == dep->boxes.size()) {
+      (*step)(i + 1);
+      return;
+    }
+    migrate_flow(*dep, position, target,
+                 [this, set_key, moves, first_error, step, i](Status status) {
+                   if (status.is_ok()) {
+                     if (auto it = replica_sets_.find(set_key);
+                         it != replica_sets_.end()) {
+                       it->second->assignments[(*moves)[i].cookie] =
+                           (*moves)[i].to;
+                     }
+                   } else if (first_error->is_ok()) {
+                     *first_error = status;
+                   }
+                   (*step)(i + 1);
+                 });
+  };
+  (*step)(0);
+}
+
+void StormPlatform::park_replica(ReplicaSet& set,
+                                 std::shared_ptr<MiddleboxInstance> box) {
+  for (auto it = set.replicas.begin(); it != set.replicas.end(); ++it) {
+    if (*it == box) {
+      set.replicas.erase(it);
+      break;
+    }
+  }
+  // Silence before power-off (journal intact, sessions already migrated
+  // away) so a later revive can restart() it; unhook the stall callback
+  // so the dark VM cannot ring the health manager's doorbell.
+  if (box->active_relay != nullptr && !box->active_relay->crashed()) {
+    box->active_relay->crash();
+  }
+  health_->unhook_node(&box->vm->node().tcp());
+  box->vm->node().set_down(true);
+  set.parked.push_back(box);
+  telemetry().record_event("scaleout: parked replica " + box->replica_label);
+}
+
+void StormPlatform::scale_service_replicas(const std::string& tenant,
+                                           const std::string& service_type,
+                                           unsigned target,
+                                           std::function<void(Status)> done) {
+  if (!done) done = [](Status) {};
+  cloud_.simulator().at_barrier(
+      [this, tenant, service_type, target, done = std::move(done)]() mutable {
+        scale_at_barrier(tenant, service_type, target, std::move(done));
+      });
+}
+
+void StormPlatform::scale_at_barrier(const std::string& tenant,
+                                     const std::string& type, unsigned target,
+                                     std::function<void(Status)> done) {
+  ReplicaSet* set = find_replica_set(tenant, type);
+  if (set == nullptr) {
+    done(error(ErrorCode::kNotFound,
+               "no replica set for " + tenant + "/" + type));
+    return;
+  }
+  const unsigned lo = std::max(1u, set->spec.replicas.min_count);
+  const unsigned hi = std::max(lo, set->spec.replicas.max_count);
+  target = std::min(std::max(target, lo), hi);
+  const unsigned current = static_cast<unsigned>(set->replicas.size());
+  if (target == current) {
+    done(Status::ok());
+    return;
+  }
+  const std::string set_key = set->key();
+  telemetry().record_event("scaleout: " + tenant + "/" + type + " " +
+                           std::to_string(current) + " -> " +
+                           std::to_string(target) + " replicas");
+
+  if (target > current) {
+    std::vector<StorageService*> fresh_services;
+    for (unsigned i = current; i < target; ++i) {
+      auto built = build_replica(*set, /*avoid_host=*/~0u, &fresh_services);
+      if (!built.is_ok()) {
+        done(built.status());
+        return;
+      }
+    }
+    telemetry().counter("scaleout.scale_ups").add();
+    // Initialize fresh services (pool services are replica-safe and
+    // initialize synchronously today, but honor the async contract), then
+    // move only the flows whose arc the new replicas took over.
+    auto remaining = std::make_shared<std::size_t>(1);
+    auto first_error = std::make_shared<Status>(Status::ok());
+    auto proceed = [this, set_key, first_error, done]() {
+      if (!first_error->is_ok()) {
+        done(*first_error);
+        return;
+      }
+      if (auto it = replica_sets_.find(set_key); it != replica_sets_.end()) {
+        rebalance_flows(*it->second, done);
+      } else {
+        done(Status::ok());
+      }
+    };
+    auto on_ready = [remaining, first_error, proceed](Status status) {
+      if (!status.is_ok() && first_error->is_ok()) *first_error = status;
+      if (--*remaining == 0) proceed();
+    };
+    for (StorageService* service : fresh_services) {
+      ++*remaining;
+      service->initialize(on_ready);
+    }
+    on_ready(Status::ok());
+    return;
+  }
+
+  // Scale-down: retire the newest replicas first (consistent hashing
+  // moves only their arcs), drain their flows onto the survivors, then
+  // park them.
+  auto victims =
+      std::make_shared<std::vector<std::shared_ptr<MiddleboxInstance>>>();
+  for (unsigned i = target; i < current; ++i) {
+    victims->push_back(set->replicas[i]);
+  }
+  for (const auto& victim : *victims) {
+    set->ring.remove_node(victim->replica_label);
+  }
+  telemetry().counter("scaleout.scale_downs").add();
+  rebalance_flows(*set, [this, set_key, victims, done](Status status) {
+    auto it = replica_sets_.find(set_key);
+    if (it == replica_sets_.end()) {
+      done(status);
+      return;
+    }
+    ReplicaSet& set = *it->second;
+    for (const auto& victim : *victims) {
+      bool busy = false;
+      for (const auto& [cookie, label] : set.assignments) {
+        busy = busy || label == victim->replica_label;
+      }
+      if (busy) {
+        // A migration failed and left a flow behind: the victim must
+        // keep serving it. Put its arcs back so new flows can land too.
+        set.ring.add_node(victim->replica_label);
+        if (status.is_ok()) {
+          status = error(ErrorCode::kFailedPrecondition,
+                         "replica " + victim->replica_label +
+                             " still owns flows; not parked");
+        }
+        continue;
+      }
+      park_replica(set, victim);
+    }
+    done(status);
+  });
 }
 
 void StormPlatform::attach_with_chain(
@@ -344,13 +789,34 @@ void StormPlatform::attach_with_chain_at_barrier(
       telemetry().begin_span("deploy." + vm_name + ":" + volume_name);
   const std::uint64_t cookie = dep->splice.cookie;
 
-  // Provision the middle-box VMs + service instances.
+  // Provision the middle-box VMs + service instances. Hops carrying a
+  // `replicas` stanza draw a pooled box from the tenant's replica set
+  // instead of building a private one; only freshly built service
+  // instances go through initialize() below (a pooled instance serving
+  // its second flow was initialized when the pool was built).
+  std::vector<StorageService*> fresh_services;
   for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].replicas.enabled) {
+      auto pooled = acquire_replica(*dep, chain[i], vm->tenant(),
+                                    vm->host_index(), volume,
+                                    &fresh_services);
+      if (!pooled.is_ok()) {
+        release_replica_flows(*dep);
+        telemetry().end_span(dep->attach_span);
+        done(pooled.status());
+        return;
+      }
+      dep->splice.chain.push_back(
+          Hop{pooled.value()->vm, pooled.value()->spec.relay});
+      dep->boxes.push_back(std::move(pooled).take());
+      continue;
+    }
     std::string label = "mb-" + std::to_string(next_mb_id_++) + "-" +
                         chain[i].type;
     auto box = build_box(chain[i], label, vm->tenant(), vm->host_index(),
                          volume);
     if (!box.is_ok()) {
+      release_replica_flows(*dep);
       telemetry().end_span(dep->attach_span);
       done(box.status());
       return;
@@ -361,11 +827,18 @@ void StormPlatform::attach_with_chain_at_barrier(
       auto standby = build_box(chain[i], label + "-sb", vm->tenant(),
                                vm->host_index(), volume);
       if (!standby.is_ok()) {
+        release_replica_flows(*dep);
         telemetry().end_span(dep->attach_span);
         done(standby.status());
         return;
       }
       box.value()->standby = std::move(standby).take();
+    }
+    if (box.value()->service) {
+      fresh_services.push_back(box.value()->service.get());
+    }
+    if (box.value()->standby && box.value()->standby->service) {
+      fresh_services.push_back(box.value()->standby->service.get());
     }
     dep->splice.chain.push_back(
         Hop{box.value()->vm, box.value()->spec.relay});
@@ -433,15 +906,9 @@ void StormPlatform::attach_with_chain_at_barrier(
     if (!status.is_ok() && first_error->is_ok()) *first_error = status;
     if (--*remaining == 0) proceed();
   };
-  for (auto& box : dep->boxes) {
-    if (box->service) {
-      ++*remaining;
-      box->service->initialize(on_ready);
-    }
-    if (box->standby && box->standby->service) {
-      ++*remaining;
-      box->standby->service->initialize(on_ready);
-    }
+  for (StorageService* service : fresh_services) {
+    ++*remaining;
+    service->initialize(on_ready);
   }
   on_ready(Status::ok());  // release the initial hold
 }
@@ -529,6 +996,10 @@ void StormPlatform::teardown_rules(Deployment* dep) {
 
 void StormPlatform::rollback_deployment(Deployment* dep) {
   teardown_rules(dep);
+  release_replica_flows(*dep);
+  // Drop the chain's health record with it: a stale entry would keep
+  // probing box pointers the erase below is about to destroy.
+  health_->forget_deployment(dep->splice.cookie);
   telemetry().end_span(dep->attach_span);
   for (auto it = deployments_.begin(); it != deployments_.end(); ++it) {
     if (it->get() == dep) {
@@ -544,8 +1015,15 @@ bool StormPlatform::deployment_quiescent(const Deployment& dep) const {
     return false;
   }
   for (const auto& box : dep.boxes) {
-    if (box->active_relay != nullptr && !box->active_relay->quiescent()) {
-      return false;
+    if (box->active_relay != nullptr) {
+      // A pooled relay carries other tenants' flows concurrently; only
+      // *this* flow's session must be empty for this deployment to count
+      // as drained.
+      if (box->pooled
+              ? !box->active_relay->session_quiescent(dep.splice.vm_port)
+              : !box->active_relay->quiescent()) {
+        return false;
+      }
     }
     if (box->passive_relay != nullptr && !box->passive_relay->quiescent()) {
       return false;
@@ -671,6 +1149,11 @@ Status StormPlatform::bypass_middlebox(Deployment& dep,
     return error(ErrorCode::kInvalidArgument, "position out of range");
   }
   MiddleboxInstance* box = dep.boxes[position].get();
+  if (box->pooled) {
+    return error(ErrorCode::kFailedPrecondition,
+                 "replica " + box->replica_label +
+                     " is shared by other flows: bypass would sever them");
+  }
   if (box->service != nullptr && box->service->confidentiality_critical()) {
     return error(ErrorCode::kPermissionDenied,
                  "service '" + box->spec.type +
@@ -711,9 +1194,17 @@ Status StormPlatform::fence_deployment(Deployment& dep,
         error(ErrorCode::kUnavailable, "deployment fenced: " + reason));
   }
   // Quiesce the data path and pull the rules. Nothing may keep flowing
-  // around the dead box — that would be a silent bypass.
+  // around the dead box — that would be a silent bypass. A pooled relay
+  // serves other tenants' healthy flows, so only this flow's session is
+  // dropped; a private relay is shut down whole.
   for (auto& box : dep.boxes) {
-    if (box->active_relay != nullptr) box->active_relay->shutdown();
+    if (box->active_relay != nullptr) {
+      if (box->pooled) {
+        box->active_relay->drop_session(dep.splice.vm_port);
+      } else {
+        box->active_relay->shutdown();
+      }
+    }
     if (box->standby != nullptr && box->standby->active_relay != nullptr) {
       box->standby->active_relay->shutdown();
     }

@@ -57,6 +57,13 @@ struct MiddleboxInstance {
   /// relay listens but nothing is steered to it until the health manager
   /// promotes it in place of this box.
   std::unique_ptr<MiddleboxInstance> standby;
+  /// True when this box belongs to a tenant ReplicaSet and is shared by
+  /// every flow the consistent-hash ring pins to it. Deployment teardown
+  /// must drop only its own session (ActiveRelay::drop_session), never
+  /// shut the relay down.
+  bool pooled = false;
+  /// Ring label of a pooled box ("<tenant>/<type>#<ordinal>").
+  std::string replica_label;
 };
 
 enum class DeploymentState {
@@ -66,15 +73,45 @@ enum class DeploymentState {
 };
 
 /// A spliced volume attachment with its chain (platform-internal state;
-/// external callers go through DeploymentHandle).
+/// external callers go through DeploymentHandle). Boxes are shared_ptr
+/// because a pooled replica appears in every deployment whose flow the
+/// hash ring pinned to it (its ReplicaSet co-owns it); non-pooled boxes
+/// still have exactly one owner.
 struct Deployment {
   std::string vm;
   std::string volume;
   SpliceContext splice;
   cloud::Attachment attachment;
-  std::vector<std::unique_ptr<MiddleboxInstance>> boxes;
+  std::vector<std::shared_ptr<MiddleboxInstance>> boxes;
   obs::SpanId attach_span = 0;  // "deploy.<vm>:<volume>", ends at detach
   DeploymentState state = DeploymentState::kActive;
+};
+
+/// A pool of interchangeable active-relay replicas standing in for one
+/// logical chain hop, shared by every flow of one tenant + service type
+/// (policy stanza `replicas N`). The consistent-hash ring pins each flow
+/// (keyed on its iSCSI 4-tuple) to exactly one replica; scale-up/-down
+/// moves only the flows whose arc changed hands, each via the deferred-
+/// admission migration protocol — no in-flight write is ever dropped.
+struct ReplicaSet {
+  std::string tenant;
+  ServiceSpec spec;  // base spec: relay/type/params + replicas stanza
+  std::vector<std::shared_ptr<MiddleboxInstance>> replicas;
+  /// Scaled-down replicas, parked with relay shut down and VM powered
+  /// off; a later scale-up revives the newest parked box before
+  /// provisioning fresh ones (VM boot time off the scale-up path).
+  std::vector<std::shared_ptr<MiddleboxInstance>> parked;
+  FlowHashRing ring;
+  std::map<std::uint64_t, std::string> assignments;  // cookie -> label
+  unsigned next_ordinal = 0;
+
+  std::string key() const { return tenant + "|" + spec.type; }
+  MiddleboxInstance* find(const std::string& label) const {
+    for (const auto& r : replicas) {
+      if (r->replica_label == label) return r.get();
+    }
+    return nullptr;
+  }
 };
 
 /// Value handle to one deployment. Resolution is by splice cookie, so a
@@ -187,6 +224,28 @@ class StormPlatform {
   void set_tenant_qos(const std::string& tenant, const QosSpec& qos);
   /// The tenant's installed bucket, or nullptr.
   const net::TokenBucket* tenant_qos(const std::string& tenant) const;
+  /// Mutable bucket handle: the autoscaler re-prices the tenant's rate
+  /// in place (TokenBucket::set_rate) as the replica pool grows and
+  /// shrinks. nullptr when the tenant has no qos stanza installed.
+  net::TokenBucket* tenant_qos_mutable(const std::string& tenant);
+
+  // --- elastic replica sets (scale-out) ---
+  /// Resize the tenant's replica pool for `service_type` to `target`
+  /// active replicas, clamped to the policy's min/max. Runs at a window
+  /// barrier. Scale-up revives/provisions replicas and installs their
+  /// hash arcs; scale-down retires the newest replicas first. Either
+  /// way, only the flows whose arc changed hands move, each through the
+  /// deferred-admission migration drain (commands park, never fail), and
+  /// `done` fires once every migration landed — with OK, or the first
+  /// migration error. Resizing to the current size is an OK no-op.
+  void scale_service_replicas(const std::string& tenant,
+                              const std::string& service_type,
+                              unsigned target,
+                              std::function<void(Status)> done = {});
+  /// The tenant's pool for `service_type`, or nullptr when no deployment
+  /// with a `replicas` stanza created one.
+  const ReplicaSet* replica_set(const std::string& tenant,
+                                const std::string& service_type) const;
 
   /// Handle to an existing deployment; invalid handle if none matches.
   DeploymentHandle find_deployment(const std::string& vm,
@@ -222,6 +281,46 @@ class StormPlatform {
       const ServiceSpec& spec, const std::string& label,
       const std::string& tenant, unsigned vm_host, block::Volume* volume);
   void wire_relays(Deployment& deployment);
+
+  // --- replica-set internals ---
+  ReplicaSet* find_replica_set(const std::string& tenant,
+                               const std::string& type);
+  /// Create (or revive from the parked list) one pooled replica and
+  /// start its relay; newly built service instances are appended to
+  /// `fresh_services` so the attach path can initialize() them exactly
+  /// once.
+  Result<std::shared_ptr<MiddleboxInstance>> build_replica(
+      ReplicaSet& set, unsigned avoid_host,
+      std::vector<StorageService*>* fresh_services);
+  /// Attach-time acquisition: ensure the tenant's pool exists at its
+  /// configured size, pin this flow's 4-tuple on the hash ring, register
+  /// the protected volume with the chosen relay. Returns the pooled box
+  /// the flow was pinned to.
+  Result<std::shared_ptr<MiddleboxInstance>> acquire_replica(
+      Deployment& dep, const ServiceSpec& spec, const std::string& tenant,
+      unsigned vm_host, block::Volume* volume,
+      std::vector<StorageService*>* fresh_services);
+  /// Teardown/rollback: drop this deployment's sessions from its pooled
+  /// boxes and erase its ring assignments. Pooled relays stay up.
+  void release_replica_flows(Deployment& dep);
+  /// Move dep's flow from the pooled box at `position` to `target`:
+  /// deferred admission -> drain poll -> atomic handoff (journal
+  /// extraction, NAT flush on the old VM, capture + steering reprogram,
+  /// session adoption) -> reopen. Parked commands are replayed, never
+  /// failed.
+  void migrate_flow(Deployment& dep, std::size_t position,
+                    std::shared_ptr<MiddleboxInstance> target,
+                    std::function<void(Status)> done);
+  void scale_at_barrier(const std::string& tenant, const std::string& type,
+                        unsigned target, std::function<void(Status)> done);
+  /// After the ring changed: migrate every flow whose assignment no
+  /// longer matches its current replica, one at a time (deterministic
+  /// order), then run `done`.
+  void rebalance_flows(ReplicaSet& set, std::function<void(Status)> done);
+  /// Retire a drained replica: shut its relay down, power the VM off,
+  /// unhook its stall callback, move it to the parked list.
+  void park_replica(ReplicaSet& set,
+                    std::shared_ptr<MiddleboxInstance> box);
   Deployment* deployment_by_cookie(std::uint64_t cookie);
   Status add_middlebox(Deployment& deployment, const ServiceSpec& spec,
                        std::size_t position);
@@ -269,6 +368,9 @@ class StormPlatform {
   SdnController sdn_;
   std::map<std::string, ServiceFactory> factories_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
+  // Keyed "<tenant>|<type>"; pooled boxes are co-owned by the set and by
+  // every deployment pinned to them, so destruction order is immaterial.
+  std::map<std::string, std::unique_ptr<ReplicaSet>> replica_sets_;
   std::map<std::string, std::unique_ptr<net::TokenBucket>> qos_buckets_;
   std::unique_ptr<ChainHealthManager> health_;
   sim::Duration drain_timeout_ = sim::seconds(2);

@@ -159,6 +159,33 @@ Result<TenantPolicy> parse_policy(const std::string& text) {
           return fail("unknown quorum key: " + key);
         }
       }
+    } else if (tokens[0] == "replicas") {
+      if (current_volume == nullptr || current_volume->chain.empty()) {
+        return fail("replicas outside a service block");
+      }
+      if (tokens.size() < 2) {
+        return fail("expected: replicas <count> [min=<n>] [max=<n>]");
+      }
+      ReplicaSpec& replicas = current_volume->chain.back().replicas;
+      replicas.enabled = true;
+      replicas.count = static_cast<unsigned>(std::stoul(tokens[1]));
+      replicas.min_count = 1;
+      replicas.max_count = replicas.count;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          return fail("expected key=value, got: " + tokens[i]);
+        }
+        std::string key = tokens[i].substr(0, eq);
+        std::string value = tokens[i].substr(eq + 1);
+        if (key == "min") {
+          replicas.min_count = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "max") {
+          replicas.max_count = static_cast<unsigned>(std::stoul(value));
+        } else {
+          return fail("unknown replicas key: " + key);
+        }
+      }
     } else {
       return fail("unknown directive: " + tokens[0]);
     }
@@ -236,6 +263,42 @@ Status validate_policy(const TenantPolicy& policy) {
         if (spec.quorum.rebuild_rate_bytes_per_sec == 0) {
           return error(ErrorCode::kInvalidArgument,
                        "quorum rebuild rate must be non-zero");
+        }
+      }
+      if (spec.replicas.enabled) {
+        // A replica set load-balances *flows*, so every instance must
+        // terminate TCP — packet-level relays have no session to pin.
+        if (spec.relay != RelayMode::kActive) {
+          return error(ErrorCode::kInvalidArgument,
+                       "service " + spec.type +
+                           ": replicas requires relay=active");
+        }
+        // Replication owns per-volume version maps: two instances would
+        // silently fork the map. Replica-safety of custom services is
+        // re-checked at deploy time via StorageService::replica_safe().
+        if (spec.type == "replication" || spec.type == "monitor") {
+          return error(ErrorCode::kInvalidArgument,
+                       "service " + spec.type +
+                           " keeps per-volume state and cannot be "
+                           "replicated across instances");
+        }
+        // Standby promotion moves a box into one deployment's chain; a
+        // pooled replica is shared across flows, so the two mechanisms
+        // compose wrong. Replica sets recover by rebalancing instead.
+        if (spec.recovery == RecoveryPolicyKind::kStandby) {
+          return error(ErrorCode::kInvalidArgument,
+                       "service " + spec.type +
+                           ": recovery=standby cannot combine with a "
+                           "replica set (rebalancing is the recovery)");
+        }
+        if (spec.replicas.count == 0 || spec.replicas.min_count == 0) {
+          return error(ErrorCode::kInvalidArgument,
+                       "replicas requires count >= 1 and min >= 1");
+        }
+        if (spec.replicas.min_count > spec.replicas.count ||
+            spec.replicas.count > spec.replicas.max_count) {
+          return error(ErrorCode::kInvalidArgument,
+                       "replicas requires min <= count <= max");
         }
       }
       // Bypass is fail-open: known confidentiality-critical built-ins are

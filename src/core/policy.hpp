@@ -55,6 +55,18 @@ struct QuorumSpec {
   std::uint64_t rebuild_burst_bytes = 256 * 1024;
 };
 
+/// Replica set for one middle-box hop (elastic chain scale-out): the
+/// platform keeps `count` active-relay instances of the service alive on
+/// distinct hosts and consistent-hashes each spliced flow onto one of
+/// them. The autoscaler may move `count` within [min_count, max_count]
+/// at runtime; disabled (the default) keeps one instance per hop.
+struct ReplicaSpec {
+  bool enabled = false;
+  unsigned count = 1;
+  unsigned min_count = 1;
+  unsigned max_count = 1;
+};
+
 struct ServiceSpec {
   std::string type;  // "noop" | "monitor" | "encryption" | "stream_cipher" |
                      // "replication" | ... (extensible via the registry)
@@ -65,6 +77,8 @@ struct ServiceSpec {
   int host_index = -1;
   /// W-of-N commit + copy-machine rebuild (replication services only).
   QuorumSpec quorum;
+  /// Horizontal scale-out of this hop (replica-safe services only).
+  ReplicaSpec replicas;
   /// Service-specific parameters, e.g. {"replicas", "vol2,vol3"}.
   std::map<std::string, std::string> params;
 
@@ -105,9 +119,15 @@ struct TenantPolicy {
 ///   volume vm2 vol2
 ///     service replication replicas=vol2-r1,vol2-r2
 ///     quorum w=2 rebuild_mbps=64 rebuild_burst_kb=256
+///   volume vm3 vol3
+///     service stream_cipher relay=active
+///     replicas 3 min=1 max=4
 ///
-/// A `quorum` line applies to the service declared immediately above it.
-/// Blank lines and '#' comments are ignored.
+/// A `quorum` or `replicas` line applies to the service declared
+/// immediately above it. (`replicas N` — the hop's instance count — is
+/// distinct from the replication service's `replicas=<vol,...>` param,
+/// which names its backup volumes.) Blank lines and '#' comments are
+/// ignored.
 Result<TenantPolicy> parse_policy(const std::string& text);
 
 /// Validate structural rules (each volume has >= 1 service, relay modes

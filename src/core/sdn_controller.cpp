@@ -1,9 +1,68 @@
 #include "core/sdn_controller.hpp"
 
+#include <functional>
+
 #include "common/log.hpp"
 #include "iscsi/pdu.hpp"
 
 namespace storm::core {
+
+// ------------------------------------------------------------ FlowHashRing
+
+std::uint64_t FlowHashRing::mix(std::uint64_t x) {
+  // splitmix64 finalizer: cheap, deterministic, avalanche-complete —
+  // identical assignment on every platform and thread count.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t FlowHashRing::flow_key(net::Ipv4Addr src_ip,
+                                     std::uint16_t src_port,
+                                     net::Ipv4Addr dst_ip,
+                                     std::uint16_t dst_port) {
+  std::uint64_t k = (static_cast<std::uint64_t>(src_ip.value) << 32) |
+                    dst_ip.value;
+  k = mix(k);
+  k ^= (static_cast<std::uint64_t>(src_port) << 16) | dst_port;
+  return mix(k);
+}
+
+void FlowHashRing::add_node(const std::string& label) {
+  if (contains(label)) return;
+  std::uint64_t point = std::hash<std::string>{}(label);
+  for (unsigned v = 0; v < kVnodes; ++v) {
+    point = mix(point + v + 1);
+    ring_.emplace(point, label);
+  }
+  ++nodes_;
+}
+
+void FlowHashRing::remove_node(const std::string& label) {
+  if (!contains(label)) return;
+  std::erase_if(ring_, [&](const auto& entry) {
+    return entry.second == label;
+  });
+  --nodes_;
+}
+
+bool FlowHashRing::contains(const std::string& label) const {
+  for (const auto& [point, node] : ring_) {
+    if (node == label) return true;
+  }
+  return false;
+}
+
+const std::string& FlowHashRing::assign(std::uint64_t flow_hash) const {
+  static const std::string empty;
+  if (ring_.empty()) return empty;
+  auto it = ring_.lower_bound(mix(flow_hash));
+  if (it == ring_.end()) it = ring_.begin();  // wrap the ring
+  return it->second;
+}
+
+// ------------------------------------------------------------ SdnController
 
 void SdnController::add_rule_everywhere(net::FlowRule rule) {
   // The controller programs every virtual switch; rules only trigger

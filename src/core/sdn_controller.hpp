@@ -5,11 +5,49 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "cloud/cloud.hpp"
 #include "core/splicer.hpp"
 
 namespace storm::core {
+
+/// Consistent-hash ring over middle-box replica labels (Stratos-style
+/// network-aware flow distribution): each replica contributes a fixed
+/// fan of virtual nodes, a flow's iSCSI 4-tuple hashes to a point on the
+/// ring, and the first vnode clockwise owns the flow. Adding or removing
+/// one replica moves only the flows whose arc changed hands (~1/N of
+/// them) — the property that lets scale-out rebalance without a global
+/// re-pinning storm. Deterministic: same labels + same flows => same
+/// assignment, on any thread count.
+class FlowHashRing {
+ public:
+  /// Vnodes per replica: enough to smooth the arcs to a few percent
+  /// imbalance without bloating the map.
+  static constexpr unsigned kVnodes = 64;
+
+  void add_node(const std::string& label);
+  /// Removing an unknown label is a no-op.
+  void remove_node(const std::string& label);
+  bool contains(const std::string& label) const;
+  std::size_t node_count() const { return nodes_; }
+  bool empty() const { return ring_.empty(); }
+
+  /// The replica owning `flow_hash`; empty string on an empty ring.
+  const std::string& assign(std::uint64_t flow_hash) const;
+
+  /// Deterministic 4-tuple hash (the iSCSI flow identity: compute-host
+  /// storage IP + pinned source port -> target IP + iSCSI port).
+  static std::uint64_t flow_key(net::Ipv4Addr src_ip, std::uint16_t src_port,
+                                net::Ipv4Addr dst_ip, std::uint16_t dst_port);
+
+ private:
+  static std::uint64_t mix(std::uint64_t x);
+
+  std::map<std::uint64_t, std::string> ring_;  // vnode point -> label
+  std::size_t nodes_ = 0;
+};
 
 class SdnController {
  public:

@@ -106,6 +106,15 @@ class StorageService {
   /// must preserve per-service security semantics).
   virtual bool confidentiality_critical() const { return false; }
 
+  /// True when one service instance may serve flows of *different*
+  /// volumes concurrently (replica-set pooling): the instance must keep
+  /// no cross-PDU per-volume state of its own — anything it needs per
+  /// flow comes from ServiceContext::volume(). Services that bind to one
+  /// protected volume at construction (replication's copy set, the
+  /// monitor's filesystem view) return false and are refused a `replicas`
+  /// stanza at deployment.
+  virtual bool replica_safe() const { return true; }
+
   /// Asynchronous setup before any traffic flows (e.g. the replication
   /// service attaching its backup volumes to the middle-box VM). The
   /// platform waits for `ready` before opening the data path.

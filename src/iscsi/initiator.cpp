@@ -75,8 +75,16 @@ void Initiator::reconnect() {
 
 void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
                      ReadCallback done) {
-  if (!admission_open_) {
+  if (admission_ == AdmissionMode::kClosed) {
     done(error(ErrorCode::kUnavailable, "session draining"), {});
+    return;
+  }
+  if (admission_ == AdmissionMode::kDeferred) {
+    DeferredOp op;
+    op.lba = lba;
+    op.sectors = sectors;
+    op.read_done = std::move(done);
+    deferred_.push_back(std::move(op));
     return;
   }
   if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
@@ -99,8 +107,17 @@ void Initiator::read(std::uint64_t lba, std::uint32_t sectors,
 }
 
 void Initiator::write(std::uint64_t lba, Bytes data, WriteCallback done) {
-  if (!admission_open_) {
+  if (admission_ == AdmissionMode::kClosed) {
     done(error(ErrorCode::kUnavailable, "session draining"));
+    return;
+  }
+  if (admission_ == AdmissionMode::kDeferred) {
+    DeferredOp op;
+    op.is_write = true;
+    op.lba = lba;
+    op.data = std::move(data);
+    op.write_done = std::move(done);
+    deferred_.push_back(std::move(op));
     return;
   }
   if (failed_ || logging_out_ || (!logged_in_ && !recovery_.enabled)) {
@@ -325,6 +342,40 @@ void Initiator::on_closed(Status status) {
     pending.done(failure);
   }
   if (on_failure_) on_failure_(failure);
+}
+
+void Initiator::set_admission_mode(AdmissionMode mode) {
+  if (admission_ == mode) return;
+  admission_ = mode;
+  if (deferred_.empty()) return;
+  std::deque<DeferredOp> parked = std::move(deferred_);
+  deferred_.clear();
+  if (mode == AdmissionMode::kClosed) {
+    // A fence outranks an in-flight migration: the parked commands were
+    // never issued, so failing them here is exact (nothing half-sent).
+    for (DeferredOp& op : parked) {
+      Status reason = error(ErrorCode::kUnavailable, "session draining");
+      if (op.is_write) {
+        op.write_done(reason);
+      } else {
+        op.read_done(reason, {});
+      }
+    }
+    return;
+  }
+  // Reopened: issue in arrival order. read()/write() re-check the gate,
+  // so a callback that flips the mode again just re-parks the rest.
+  for (DeferredOp& op : parked) {
+    if (admission_ != AdmissionMode::kOpen) {
+      deferred_.push_back(std::move(op));
+      continue;
+    }
+    if (op.is_write) {
+      write(op.lba, std::move(op.data), std::move(op.write_done));
+    } else {
+      read(op.lba, op.sectors, std::move(op.read_done));
+    }
+  }
 }
 
 void Initiator::kick() {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -35,6 +36,16 @@ struct RecoveryPolicy {
   /// peer that crashed with nothing in flight at the TCP level is
   /// undetectable — TCP only notices loss when it has unacked data.
   sim::Duration response_timeout = sim::milliseconds(500);
+};
+
+/// Admission-gate behaviour for new commands (see set_admission_mode).
+enum class AdmissionMode {
+  kOpen,      // commands enter the chain normally
+  kClosed,    // new commands fail fast with kUnavailable (drain/fence)
+  kDeferred,  // new commands park in a side queue, invisible to
+              // outstanding(), and issue when the gate reopens — the
+              // flow-migration gate: the chain drains to empty while the
+              // workload keeps issuing, and nothing ever fails
 };
 
 class Initiator {
@@ -79,8 +90,21 @@ class Initiator {
   /// calls fail fast with kUnavailable instead of entering the chain.
   /// Commands already in flight are unaffected — that is the point: the
   /// chain drains to empty instead of being torn down mid-command.
-  void set_admission(bool open) { admission_open_ = open; }
-  bool admission_open() const { return admission_open_; }
+  void set_admission(bool open) {
+    set_admission_mode(open ? AdmissionMode::kOpen : AdmissionMode::kClosed);
+  }
+  bool admission_open() const { return admission_ == AdmissionMode::kOpen; }
+
+  /// Three-state admission gate. kDeferred (open-iscsi's
+  /// queue-during-replacement behaviour) parks new commands without
+  /// issuing them — they don't count as outstanding(), so the chain can
+  /// drain to empty under a live workload; reopening issues the parked
+  /// commands in arrival order. Closing the gate fails the parked
+  /// commands (a fence outranks a migration in progress).
+  void set_admission_mode(AdmissionMode mode);
+  AdmissionMode admission_mode() const { return admission_; }
+  /// Commands parked behind a kDeferred gate.
+  std::size_t deferred() const { return deferred_.size(); }
 
   /// Commands issued but not yet responded to.
   std::size_t outstanding() const {
@@ -108,8 +132,17 @@ class Initiator {
   std::uint64_t writes_issued() const { return writes_; }
   /// Successful session re-establishments.
   std::uint64_t recoveries() const { return recoveries_; }
+  const RecoveryPolicy& recovery_policy() const { return recovery_; }
 
  private:
+  struct DeferredOp {
+    bool is_write = false;
+    std::uint64_t lba = 0;
+    std::uint32_t sectors = 0;  // reads
+    Bytes data;                 // writes
+    ReadCallback read_done;
+    WriteCallback write_done;
+  };
   struct PendingRead {
     std::uint64_t lba;
     Bytes data;
@@ -151,7 +184,8 @@ class Initiator {
   bool failed_ = false;
   bool logging_out_ = false;
   bool recovering_ = false;
-  bool admission_open_ = true;
+  AdmissionMode admission_ = AdmissionMode::kOpen;
+  std::deque<DeferredOp> deferred_;
   std::uint16_t source_port_ = 0;
   std::uint32_t next_tag_ = 1;
   RecoveryPolicy recovery_;

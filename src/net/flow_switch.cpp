@@ -51,10 +51,38 @@ std::size_t FlowSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
 std::size_t FlowSwitch::swap_rules_by_cookie(std::uint64_t cookie,
                                              std::vector<FlowRule> rules) {
   // The simulator is single-threaded and this runs between packets, so
-  // remove+insert here really is one indivisible table update.
+  // remove+insert here really is one indivisible table update. The
+  // remove/add helpers each clear the memo wholesale; the revalidation
+  // pass afterwards rebuilds every entry against the committed table, so
+  // no packet forwarded off the cache can land on a rule the swap
+  // removed — and flows the swap never touched keep their fast path
+  // (the per-flow exact-match hit rate survives scale-out rebalances).
+  auto cache = std::move(flow_cache_);
   std::size_t removed = remove_rules_by_cookie(cookie);
   for (auto& rule : rules) add_rule(std::move(rule));
+  flow_cache_ = std::move(cache);
+  revalidate_cache();
   return removed;
+}
+
+std::size_t FlowSwitch::scan_rules(int in_port, const Packet& pkt) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].match.matches(in_port, pkt)) return i;
+  }
+  return kNoRule;
+}
+
+void FlowSwitch::revalidate_cache() {
+  for (auto& [key, idx] : flow_cache_) {
+    Packet pkt;
+    pkt.eth.src = MacAddr{key.src_mac};
+    pkt.eth.dst = MacAddr{key.dst_mac};
+    pkt.ip.src = Ipv4Addr{key.src_ip};
+    pkt.ip.dst = Ipv4Addr{key.dst_ip};
+    pkt.tcp.src_port = key.src_port;
+    pkt.tcp.dst_port = key.dst_port;
+    idx = scan_rules(key.in_port, pkt);
+  }
 }
 
 void FlowSwitch::ensure_telemetry() {
@@ -86,12 +114,7 @@ void FlowSwitch::process(int in_port, Packet pkt) {
   } else {
     ++cache_misses_;
     tel_cache_misses_->add();
-    for (std::size_t i = 0; i < rules_.size(); ++i) {
-      if (rules_[i].match.matches(in_port, pkt)) {
-        idx = i;
-        break;
-      }
-    }
+    idx = scan_rules(in_port, pkt);
     flow_cache_.emplace(key, idx);
   }
   if (idx == kNoRule) {

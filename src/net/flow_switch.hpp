@@ -110,7 +110,12 @@ class FlowSwitch : public L2Switch {
   /// Atomically replace every rule carrying `cookie` with `rules` (an
   /// OVS bundle/bundle-commit): no packet ever sees the table between
   /// removal and reinstall, which is what makes failover rule swaps safe
-  /// under live traffic. Returns the number of rules removed.
+  /// under live traffic. The exact-match cache is revalidated — not
+  /// dropped — in the same indivisible update: every memoized key is
+  /// re-scanned against the post-swap table before the next packet, so a
+  /// cached entry can neither steer into a removed replica nor cost the
+  /// unaffected flows their fast path. Returns the number of rules
+  /// removed.
   std::size_t swap_rules_by_cookie(std::uint64_t cookie,
                                    std::vector<FlowRule> rules);
 
@@ -129,8 +134,16 @@ class FlowSwitch : public L2Switch {
   void ensure_telemetry();
   /// Any table mutation shifts rule indices and can change which rule any
   /// key selects, so the whole memo is dropped (OVS's megaflow-cache
-  /// revalidation collapsed to its safe extreme).
+  /// revalidation collapsed to its safe extreme). Bundle operations use
+  /// revalidate_cache() instead, which preserves still-correct entries.
   void invalidate_cache() { flow_cache_.clear(); }
+  /// Re-derive every memoized entry against the current table (OVS
+  /// revalidator): the cache key carries every header field a FlowMatch
+  /// can discriminate on, so recomputing the winning index from a packet
+  /// reconstructed off the key is exact. Entries survive with their new
+  /// index; hit-rate is untouched by rule swaps.
+  void revalidate_cache();
+  std::size_t scan_rules(int in_port, const Packet& pkt) const;
 
   static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
 

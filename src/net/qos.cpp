@@ -74,6 +74,41 @@ void TokenBucket::drain() {
   schedule_drain();
 }
 
+void TokenBucket::set_rate(std::uint64_t rate_bytes_per_sec,
+                           std::uint64_t burst_bytes) {
+  // Settle the accrual earned so far at the *old* rate first — pricing
+  // the elapsed window at the new rate would mint (or burn) tokens the
+  // configured rates never granted.
+  refill();
+  rate_ = rate_bytes_per_sec;
+  if (burst_bytes != 0) {
+    burst_ = std::max<std::uint64_t>(burst_bytes, 1);
+  }
+  // A balance banked under a larger old cap must not survive above the
+  // new one: without this clamp a shrink mid-drain lets a stale surplus
+  // burst past the new limit before refill() ever runs again.
+  tokens_ = std::min(tokens_, static_cast<double>(burst_));
+  if (rate_ == 0) {
+    // Unconfigured means pass-through; nothing may stay parked behind a
+    // limiter that no longer exists.
+    drain_token_.cancel();
+    while (!queue_.empty()) {
+      Pending head = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= std::min(head.bytes, queued_bytes_);
+      admitted_bytes_ += head.bytes;
+      head.release();
+    }
+    if (tel_queue_ != nullptr) {
+      tel_queue_->set(static_cast<std::int64_t>(queued_bytes_));
+    }
+    return;
+  }
+  // A pending drain's wakeup was priced at the old rate; re-derive it.
+  drain_token_.cancel();
+  schedule_drain();
+}
+
 void TokenBucket::schedule_drain() {
   if (drain_token_.armed() || queue_.empty()) return;
   const double deficit = tokens_ < 0 ? -tokens_ : 0.0;

@@ -43,6 +43,16 @@ class TokenBucket {
   /// otherwise queues it until refill. FIFO order is preserved.
   void admit(std::size_t bytes, std::function<void()> release);
 
+  /// Retune the limiter in place (autoscaler: capacity follows the
+  /// replica count). Accrual earned under the old rate is settled first
+  /// and the balance clamped to the new burst cap, so tokens banked at
+  /// the old rate can never exceed the new cap mid-drain; a pending
+  /// drain is rescheduled because its ETA was priced at the old rate.
+  /// Queued traffic stays queued (FIFO order preserved) and pays the new
+  /// rate from now on. A zero `burst_bytes` keeps the current burst.
+  void set_rate(std::uint64_t rate_bytes_per_sec,
+                std::uint64_t burst_bytes = 0);
+
   bool idle() const { return queue_.empty(); }
   std::size_t queued_bytes() const { return queued_bytes_; }
   std::uint64_t throttled_bytes() const { return throttled_bytes_; }

@@ -39,6 +39,9 @@ class MonitorService : public core::StorageService {
                  MonitorConfig config = {});
 
   std::string name() const override { return "monitor"; }
+  // The reconstructor mirrors one volume's filesystem; interleaving a
+  // second volume's writes would corrupt the semantic view.
+  bool replica_safe() const override { return false; }
   core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,
                               iscsi::Pdu& pdu) override;
 

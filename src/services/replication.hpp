@@ -72,6 +72,9 @@ class ReplicationService : public core::StorageService {
   bool requires_active_relay() const override { return true; }
   // Bypassing replication silently stops mirroring acknowledged writes.
   bool confidentiality_critical() const override { return true; }
+  // The copy set is bound to one protected volume at construction; a
+  // pooled instance would mirror the wrong volume's writes.
+  bool replica_safe() const override { return false; }
 
   void initialize(std::function<void(Status)> ready) override;
   core::ServiceVerdict on_pdu(core::ServiceContext& ctx, core::Direction dir,

@@ -5,7 +5,9 @@
 // — must be byte-identical across identically seeded runs.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/active_relay.hpp"
 #include "core/health_manager.hpp"
@@ -411,6 +413,81 @@ TEST_F(HealthTest, FailoverIsDeterministicIncludingMttr) {
   EXPECT_EQ(first.mttr_ns, second.mttr_ns);
   ASSERT_FALSE(first.telemetry.empty());
   EXPECT_NE(first.telemetry.find("health.mttr_ns"), std::string::npos);
+}
+
+// ------------------------------------------- scale-down monitor unhook
+
+// Regression: parking a replica on scale-down must unregister its stall
+// hook and drop it from liveness probing — chaos against the parked VM
+// afterwards must neither fire callbacks into the retired relay nor
+// count as a chain failure.
+TEST_F(HealthTest, ScaleDownThenChaosNeverCallsIntoTheParkedReplica) {
+  ServiceSpec spec = noop_spec(RelayMode::kActive,
+                               RecoveryPolicyKind::kFence);
+  spec.replicas.enabled = true;
+  spec.replicas.count = 2;
+  spec.replicas.min_count = 1;
+  spec.replicas.max_count = 2;
+  std::vector<cloud::Vm*> vms;
+  std::vector<DeploymentHandle> deps;
+  for (unsigned t = 0; t < 6; ++t) {
+    vms.push_back(&cloud_.create_vm("vm" + std::to_string(t), "t", t % 4));
+    ASSERT_TRUE(
+        cloud_.create_volume("vol" + std::to_string(t), 20'000).is_ok());
+    deps.push_back(deploy("vm" + std::to_string(t),
+                          "vol" + std::to_string(t), {spec}));
+  }
+  cloud::Vm& vm = *vms[0];
+  DeploymentHandle dep = deps[0];
+  // Precondition for the regression: both replicas carry flows, so the
+  // scale-down victim is a box some chain was monitoring.
+  const core::ReplicaSet* pool = platform_.replica_set("t", "noop");
+  ASSERT_NE(pool, nullptr);
+  std::set<std::string> pinned;
+  for (const auto& [cookie, label] : pool->assignments) pinned.insert(label);
+  ASSERT_EQ(pinned.size(), 2u) << "flows must spread over both replicas";
+
+  platform_.health().start();
+  sim_.run_for(sim::milliseconds(20));
+  EXPECT_EQ(platform_.health().monitored_chains(), 6u);
+  const std::size_t hooked_before = platform_.health().hooked_stacks();
+  ASSERT_GT(hooked_before, 0u);
+
+  Status scale = error(ErrorCode::kIoError, "unset");
+  platform_.scale_service_replicas("t", "noop", 1,
+                                   [&](Status s) { scale = s; });
+  sim_.run_for(sim::milliseconds(50));
+  ASSERT_TRUE(scale.is_ok()) << scale.to_string();
+  const core::ReplicaSet* set = platform_.replica_set("t", "noop");
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->parked.size(), 1u);
+  EXPECT_LT(platform_.health().hooked_stacks(), hooked_before)
+      << "the victim's stall hook must be unregistered when it parks";
+
+  // Chaos on the parked box: power-cycle its VM across several probe
+  // windows. A monitor that still referenced it would declare a failure
+  // (or worse, call a stall hook into the dead relay).
+  cloud::Vm* parked_vm = set->parked[0]->vm;
+  parked_vm->node().set_down(false);
+  sim_.run_for(2 * platform_.health().config().heartbeat_interval);
+  parked_vm->node().set_down(true);
+  sim_.run_for(5 * platform_.health().config().heartbeat_interval);
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+  EXPECT_FALSE(dep.fenced());
+
+  // The surviving replica still carries the flow.
+  int state = 0;
+  vm.disk()->write(0, Bytes(8 * block::kSectorSize, 0xEE),
+                   [&](Status s) { state = s.is_ok() ? 1 : -1; });
+  sim_.run_for(sim::milliseconds(20));
+  EXPECT_EQ(state, 1);
+
+  // Detach forgets the chain: it leaves the monitored set immediately.
+  EXPECT_TRUE(dep.detach().is_ok());
+  sim_.run_for(sim::milliseconds(20));
+  EXPECT_EQ(platform_.health().monitored_chains(), 5u);
+  EXPECT_EQ(platform_.health().failures_detected(), 0u);
+  platform_.health().stop();
 }
 
 }  // namespace

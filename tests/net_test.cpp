@@ -635,6 +635,76 @@ TEST(TokenBucket, OversizedPacketBorrowsAgainstFutureCredit) {
   EXPECT_TRUE(passed);
 }
 
+TEST(TokenBucket, SetRateRepricesQueuedBacklogWithoutDropping) {
+  // Regression for the autoscaler's in-place re-pricing: a backlog
+  // queued under the old rate must drain at the new rate — FIFO, nothing
+  // dropped, nothing double-admitted.
+  sim::Simulator sim;
+  TokenBucket bucket(sim, 1'000'000, 10'000);  // 1 MB/s, 10 KB burst
+  int released = 0;
+  for (int i = 0; i < 30; ++i) {
+    bucket.admit(10'000, [&] { ++released; });
+  }
+  ASSERT_LT(released, 30);
+  ASSERT_GT(bucket.queued_bytes(), 0u);
+
+  // Capacity doubles mid-drain (a second replica came online).
+  bucket.set_rate(2'000'000, 20'000);
+  EXPECT_EQ(bucket.rate_bytes_per_sec(), 2'000'000u);
+  EXPECT_EQ(bucket.burst_bytes(), 20'000u);
+  sim.run();
+  EXPECT_EQ(released, 30) << "re-pricing must not drop queued traffic";
+  EXPECT_TRUE(bucket.idle());
+  EXPECT_EQ(bucket.admitted_bytes(), 300'000u);
+  // 300 KB at the old rate alone takes ~290 ms past the burst; the
+  // doubled rate must finish measurably sooner, but not at line rate.
+  EXPECT_LT(sim::to_seconds(sim.now()), 0.29);
+  EXPECT_GT(sim::to_seconds(sim.now()), 0.10);
+}
+
+TEST(TokenBucket, SetRateClampsBankedCreditToTheNewBurst) {
+  // Regression: tokens banked under a large old burst must be clamped
+  // when the cap shrinks — otherwise the first packets after a
+  // scale-down are admitted against credit the new configuration never
+  // granted.
+  sim::Simulator sim;
+  TokenBucket bucket(sim, 1'000'000, 100'000);  // starts full at 100 KB
+  bucket.set_rate(1'000'000, 10'000);
+  EXPECT_EQ(bucket.burst_bytes(), 10'000u);
+
+  // 20 KB against the clamped 10 KB balance leaves a 10 KB debt, so the
+  // next packet queues. Without the clamp the stale 100 KB bank would
+  // cover both instantly.
+  int released = 0;
+  bucket.admit(20'000, [&] { ++released; });
+  bucket.admit(10'000, [&] { ++released; });
+  EXPECT_EQ(released, 1)
+      << "banked credit above the new burst must not leak through";
+  sim.run();
+  EXPECT_EQ(released, 2);
+  // The queued packet waited for the 10 KB debt to refill at 1 MB/s.
+  EXPECT_NEAR(sim::to_seconds(sim.now()), 0.01, 0.002);
+}
+
+TEST(TokenBucket, SetRateReschedulesPendingDrainAtTheNewRate) {
+  // A drain scheduled under a slow rate has a far-future ETA; raising
+  // the rate must re-derive it, not leave the queue waiting on the old
+  // clock.
+  sim::Simulator sim;
+  TokenBucket bucket(sim, 10'000, 1'000);  // 10 KB/s: glacial
+  int released = 0;
+  bucket.admit(2'000, [&] { ++released; });   // burns into a 1 KB debt
+  bucket.admit(10'000, [&] { ++released; });  // ~0.1 s away at 10 KB/s
+  ASSERT_EQ(released, 1);
+
+  bucket.set_rate(10'000'000);  // 10 MB/s, burst unchanged
+  EXPECT_EQ(bucket.burst_bytes(), 1'000u) << "zero burst keeps the cap";
+  sim.run();
+  EXPECT_EQ(released, 2);
+  EXPECT_LT(sim::to_seconds(sim.now()), 0.01)
+      << "pending drain must be repriced at the new rate";
+}
+
 TEST(NetNode, PerPacketCostDelaysDelivery) {
   sim::Simulator sim;
   auto arp = std::make_shared<ArpRegistry>();

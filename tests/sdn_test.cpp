@@ -3,8 +3,15 @@
 // reprogramming for on-demand scaling.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "core/sdn_controller.hpp"
 #include "core/splicer.hpp"
+#include "net/flow_switch.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
 #include "services/registry.hpp"
 #include "testutil.hpp"
 
@@ -136,6 +143,171 @@ TEST_F(SdnTest, GatewayPairsAreReusedPerTenant) {
   GatewayPair& other = splicer_.tenant_gateways("other");
   EXPECT_NE(first.ingress, other.ingress);
   EXPECT_NE(first.ingress_instance_ip(), other.ingress_instance_ip());
+}
+
+// --------------------------------------------- consistent-hash flow ring
+
+TEST(FlowHashRing, AssignmentIsDeterministicAcrossInstances) {
+  FlowHashRing a, b;
+  for (const char* label : {"t/noop#0", "t/noop#1", "t/noop#2"}) {
+    a.add_node(label);
+    b.add_node(label);
+  }
+  EXPECT_EQ(a.node_count(), 3u);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.assign(key), b.assign(key));
+  }
+  // The 4-tuple key is order-sensitive: forward and reverse directions
+  // of different flows must not collide systematically.
+  EXPECT_NE(FlowHashRing::flow_key(net::Ipv4Addr{0x0a000001}, 40000,
+                                   net::Ipv4Addr{0x0a000002}, 3260),
+            FlowHashRing::flow_key(net::Ipv4Addr{0x0a000002}, 3260,
+                                   net::Ipv4Addr{0x0a000001}, 40000));
+}
+
+TEST(FlowHashRing, ScaleUpMovesOnlyArcsTheNewNodeTook) {
+  FlowHashRing ring;
+  ring.add_node("t/noop#0");
+  ring.add_node("t/noop#1");
+  ring.add_node("t/noop#2");
+  constexpr std::uint64_t kFlows = 2000;
+  std::vector<std::string> before;
+  before.reserve(kFlows);
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    before.push_back(ring.assign(key));
+  }
+  ring.add_node("t/noop#3");
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    const std::string& after = ring.assign(key);
+    if (after == before[key]) continue;
+    ++moved;
+    EXPECT_EQ(after, "t/noop#3")
+        << "a flow may only move to the node that took its arc";
+  }
+  // Expected movement is ~1/4 of the keyspace; anywhere under half
+  // proves the ring beats mod-N rehashing (which moves ~3/4).
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kFlows / 2);
+}
+
+TEST(FlowHashRing, RemovalOnlyMovesTheVictimsFlows) {
+  FlowHashRing ring;
+  ring.add_node("t/noop#0");
+  ring.add_node("t/noop#1");
+  ring.add_node("t/noop#2");
+  constexpr std::uint64_t kFlows = 2000;
+  std::vector<std::string> before;
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    before.push_back(ring.assign(key));
+  }
+  ring.remove_node("t/noop#1");
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_FALSE(ring.contains("t/noop#1"));
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    if (before[key] != "t/noop#1") {
+      EXPECT_EQ(ring.assign(key), before[key])
+          << "survivor flows must not move on scale-down";
+    } else {
+      EXPECT_NE(ring.assign(key), "t/noop#1");
+    }
+  }
+  // Re-adding restores the exact prior assignment (labels hash to fixed
+  // vnode points).
+  ring.add_node("t/noop#1");
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    EXPECT_EQ(ring.assign(key), before[key]);
+  }
+}
+
+TEST(FlowHashRing, VnodesSpreadLoadRoughlyEvenly) {
+  FlowHashRing ring;
+  std::map<std::string, std::size_t> load;
+  for (int n = 0; n < 4; ++n) {
+    ring.add_node("t/noop#" + std::to_string(n));
+  }
+  constexpr std::uint64_t kFlows = 8000;
+  for (std::uint64_t key = 0; key < kFlows; ++key) {
+    ++load[ring.assign(key)];
+  }
+  ASSERT_EQ(load.size(), 4u) << "every node must own some arc";
+  for (const auto& [label, count] : load) {
+    EXPECT_GT(count, kFlows / 10) << label << " starved";
+    EXPECT_LT(count, kFlows / 2) << label << " overloaded";
+  }
+}
+
+// ------------------------------- rule swap vs the exact-match fast path
+
+// Regression: swap_rules_by_cookie must revalidate the memoized
+// exact-match entries in the same indivisible update. Before the fix, a
+// cached entry could keep steering into the pre-swap rule (stale index)
+// — under replica rebalancing that means packets delivered to a relay
+// that no longer owns the flow.
+TEST(FlowSwitchSwap, SwapRevalidatesCachedEntriesWithoutDroppingThem) {
+  sim::Simulator sim;
+  net::FlowSwitch sw(sim, "ovs");
+  net::Link l_in(sim, 1'000'000'000ull, 0), l_a(sim, 1'000'000'000ull, 0),
+      l_b(sim, 1'000'000'000ull, 0);
+  int got_a = 0, got_b = 0;
+  l_a.connect(0, [&](net::Packet) { ++got_a; });
+  l_b.connect(0, [&](net::Packet) { ++got_b; });
+  sw.attach(l_in, 1);
+  const int port_a = sw.attach(l_a, 1);
+  const int port_b = sw.attach(l_b, 1);
+
+  auto make_rule = [](std::uint64_t cookie, std::uint16_t src_port,
+                      int out_port) {
+    net::FlowRule rule;
+    rule.priority = 10;
+    rule.cookie = cookie;
+    rule.match.src_port = src_port;
+    rule.actions = {net::FlowAction::output(out_port)};
+    return rule;
+  };
+  auto make_pkt = [](std::uint16_t src_port) {
+    net::Packet pkt;
+    pkt.ip.src = testutil::ip("10.0.0.1");
+    pkt.ip.dst = testutil::ip("10.0.0.9");
+    pkt.tcp.src_port = src_port;
+    pkt.tcp.dst_port = 3260;
+    pkt.eth.src = testutil::mac(0xA);
+    pkt.eth.dst = testutil::mac(0xB);
+    pkt.tcp.checksum = net::tcp_checksum(pkt);
+    return pkt;
+  };
+
+  // Flow 1000 (cookie 7) steers to A; flow 2000 (cookie 8) to B.
+  sw.add_rule(make_rule(7, 1000, port_a));
+  sw.add_rule(make_rule(8, 2000, port_b));
+
+  // Populate the exact-match cache (first packet misses, second hits).
+  for (int i = 0; i < 2; ++i) {
+    l_in.send(0, make_pkt(1000));
+    l_in.send(0, make_pkt(2000));
+  }
+  sim.run();
+  ASSERT_EQ(got_a, 2);
+  ASSERT_EQ(got_b, 2);
+  ASSERT_EQ(sw.cache_entries(), 2u);
+  const std::uint64_t hits_before = sw.cache_hits();
+  const std::uint64_t misses_before = sw.cache_misses();
+  ASSERT_GE(hits_before, 2u);
+
+  // Rebalance: cookie 7's flow moves to output B (replica handoff).
+  EXPECT_EQ(sw.swap_rules_by_cookie(7, {make_rule(7, 1000, port_b)}), 1u);
+
+  l_in.send(0, make_pkt(1000));
+  l_in.send(0, make_pkt(2000));
+  sim.run();
+  EXPECT_EQ(got_a, 2) << "stale cache entry steered into the old replica";
+  EXPECT_EQ(got_b, 4);
+  // Both flows stayed on the fast path: the swap revalidated the
+  // memoized entries instead of flushing them.
+  EXPECT_EQ(sw.cache_misses(), misses_before)
+      << "swap must not cost cached flows their fast path";
+  EXPECT_EQ(sw.cache_hits(), hits_before + 2);
+  EXPECT_EQ(sw.cache_entries(), 2u);
 }
 
 TEST_F(SdnTest, CaptureRulesFollowActiveChainSegments) {
